@@ -1,0 +1,77 @@
+//! Ablation benchmarks for DESIGN.md's design decisions:
+//!
+//! * script-wrapper hooks (vanilla) vs native-export hooks (stealth) —
+//!   runtime overhead of each instrumentation flavour;
+//! * honey properties on vs off — cost of the iterator filter;
+//! * instrumented vs bare page — total instrumentation tax.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use openwpm::{Browser, BrowserConfig, SiteResponse, VisitSpec};
+
+fn workload_spec() -> VisitSpec {
+    VisitSpec {
+        url: "https://bench.test/".into(),
+        dwell_override_s: Some(1),
+        scripts: vec![openwpm::PageScript {
+            url: "https://bench.test/work.js".into(),
+            source: r#"
+                var sink = 0;
+                for (var i = 0; i < 200; i++) {
+                    sink += navigator.userAgent.length;
+                    sink += screen.width + screen.availTop;
+                    var el = document.createElement('div');
+                    document.body.appendChild(el);
+                }
+            "#
+            .into(),
+            content_type: "text/javascript".into(),
+        }],
+        ..Default::default()
+    }
+}
+
+fn visit_with(config: BrowserConfig) -> usize {
+    let mut b = Browser::new(config);
+    b.visit(&workload_spec(), |_| SiteResponse::default());
+    b.take_store().js_calls.len()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    c.bench_function("ablation/instrument_off", |b| {
+        b.iter_batched(
+            || BrowserConfig::bare(42),
+            |cfg| black_box(visit_with(cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ablation/instrument_vanilla", |b| {
+        b.iter_batched(
+            || BrowserConfig::vanilla(42),
+            |cfg| black_box(visit_with(cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ablation/instrument_stealth", |b| {
+        b.iter_batched(
+            || BrowserConfig::stealth(42),
+            |cfg| black_box(visit_with(cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ablation/scanner_with_honey", |b| {
+        b.iter_batched(
+            || BrowserConfig::scanner(42),
+            |cfg| black_box(visit_with(cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablation
+}
+criterion_main!(benches);

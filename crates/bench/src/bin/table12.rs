@@ -1,0 +1,31 @@
+//! Table 12 / Appx. A — first-party detector origin clusters.
+
+use gullible::report::{thousands, TextTable};
+use gullible::run_scan;
+
+fn main() {
+    bench::banner("Table 12: first-party detector attribution");
+    let report = run_scan(bench::scan_config());
+    let t12 = report.table12();
+    let mut table = TextTable::new("Table 12 — first-party detector origins by URL pattern");
+    table.header(&["origin", "sites", "paper @100K"]);
+    let paper: &[(&str, u32)] = &[
+        ("Akamai", 1004),
+        ("Incapsula", 998),
+        ("Unknown", 659),
+        ("Cloudflare", 486),
+        ("PerimeterX", 134),
+        ("SelfBuilt", 586),
+    ];
+    let mut rows: Vec<(&str, u32)> = t12.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    for (origin, count) in rows {
+        let target = paper.iter().find(|(o, _)| *o == origin).map(|(_, c)| *c).unwrap_or(0);
+        table.row(&[
+            origin.to_string(),
+            thousands(count as u64),
+            format!("{} (scaled ≈ {})", target, bench::scale_target(target as u64)),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,62 @@
+//! Shared plumbing for the experiment-regeneration binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it against the synthetic population. Scale and seed are
+//! controlled by environment variables so the same binaries drive both
+//! quick looks and the full paper-scale runs recorded in EXPERIMENTS.md:
+//!
+//! * `GULLIBLE_SITES`   — population size (default 20,000; paper scale 100,000)
+//! * `GULLIBLE_SEED`    — population seed (default 42)
+//! * `GULLIBLE_WORKERS` — worker threads (default: available parallelism)
+
+use gullible::{CompareConfig, ScanConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Population size for scan-scale experiments.
+pub fn n_sites() -> u32 {
+    env_u64("GULLIBLE_SITES", 20_000) as u32
+}
+
+pub fn seed() -> u64 {
+    env_u64("GULLIBLE_SEED", 42)
+}
+
+pub fn workers() -> usize {
+    env_u64(
+        "GULLIBLE_WORKERS",
+        std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(4),
+    ) as usize
+}
+
+/// Standard scan configuration from the environment.
+pub fn scan_config() -> ScanConfig {
+    let mut cfg = ScanConfig::new(n_sites(), seed());
+    cfg.workers = workers();
+    cfg
+}
+
+/// Standard comparison configuration from the environment.
+pub fn compare_config() -> CompareConfig {
+    let mut cfg = CompareConfig::new(n_sites(), seed());
+    cfg.workers = workers();
+    cfg
+}
+
+/// Print the run header every binary starts with.
+pub fn banner(what: &str) {
+    println!(
+        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers\n",
+        n_sites(),
+        seed(),
+        workers()
+    );
+}
+
+/// Scale one of the paper's 100K-population counts to the configured size
+/// (for side-by-side target columns).
+pub fn scale_target(paper_count: u64) -> u64 {
+    paper_count * n_sites() as u64 / 100_000
+}

@@ -1,0 +1,46 @@
+//! Content Security Policy — the `script-src` directive.
+//!
+//! Sec. 5.1.2 of the paper: OpenWPM's JavaScript instrument enters the page
+//! by injecting a `<script>` node into the DOM; a site whose CSP restricts
+//! `script-src` blocks that injection, leaving the page un-instrumented and
+//! producing a CSP violation report (the `csp_report` rows of Table 8). The
+//! hardened instrument installs hooks from the content context via
+//! `exportFunction`, which is not subject to the page's CSP (Sec. 6.2.1).
+
+/// A site's CSP, reduced to what the experiments observe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CspPolicy {
+    /// `script-src` present without `'unsafe-inline'`: dynamically injected
+    /// inline scripts are refused.
+    pub blocks_inline_scripts: bool,
+    /// `report-uri` endpoint; violations POST a report there.
+    pub report_uri: Option<String>,
+}
+
+impl CspPolicy {
+    /// The common hardened-site policy: inline injection blocked, reports
+    /// collected.
+    pub fn strict(report_uri: &str) -> CspPolicy {
+        CspPolicy {
+            blocks_inline_scripts: true,
+            report_uri: Some(report_uri.to_owned()),
+        }
+    }
+
+    /// A policy that permits inline scripts (no effect on instrumentation).
+    pub fn permissive() -> CspPolicy {
+        CspPolicy { blocks_inline_scripts: false, report_uri: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies() {
+        assert!(CspPolicy::strict("/csp-report").blocks_inline_scripts);
+        assert!(!CspPolicy::permissive().blocks_inline_scripts);
+        assert_eq!(CspPolicy::strict("/r").report_uri.as_deref(), Some("/r"));
+    }
+}

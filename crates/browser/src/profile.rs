@@ -1,0 +1,376 @@
+//! Fingerprint profiles per OS × run mode.
+//!
+//! Encodes the observable client surface the paper measures in Tables 2–4:
+//! screen geometry and window placement (Table 3), WebGL vendor strings and
+//! `screen.availTop`/`availLeft` (Table 4), font availability, timezone and
+//! `navigator` extras. An OpenWPM client profile differs from a stock
+//! Firefox profile *only* in the ways the paper found — everything else is
+//! shared, so fingerprint-surface diffs measure exactly those deviations.
+
+use crate::webgl::WebGlProfile;
+
+/// Host operating system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Os {
+    MacOs1015,
+    Ubuntu1804,
+}
+
+impl Os {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Os::MacOs1015 => "macOS 10.15",
+            Os::Ubuntu1804 => "Ubuntu 18.04",
+        }
+    }
+}
+
+/// OpenWPM run modes considered by the paper (Sec. 2, Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunMode {
+    /// Full Firefox on a display.
+    Regular,
+    /// `--headless`.
+    Headless,
+    /// X virtual framebuffer (Ubuntu only).
+    Xvfb,
+    /// OpenWPM's Docker container (Ubuntu base).
+    Docker,
+}
+
+impl RunMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunMode::Regular => "Regular",
+            RunMode::Headless => "Headless",
+            RunMode::Xvfb => "Xvfb",
+            RunMode::Docker => "Docker",
+        }
+    }
+
+    /// Modes without a physical display (`availTop == 0` per Sec. 3.1.2).
+    pub fn is_displayless(&self) -> bool {
+        matches!(self, RunMode::Headless | RunMode::Xvfb | RunMode::Docker)
+    }
+}
+
+/// Window geometry knobs. OpenWPM hard-codes these; the stealth settings
+/// file of Sec. 6.1.5 makes them configurable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowGeometry {
+    pub screen_width: u32,
+    pub screen_height: u32,
+    pub window_width: u32,
+    pub window_height: u32,
+    /// `window.screenX` / `screenY` of the first browser instance.
+    pub screen_x: i32,
+    pub screen_y: i32,
+    /// Per-instance shift applied on Ubuntu regular mode (Table 3
+    /// "Offset"); zero elsewhere.
+    pub instance_offset: (i32, i32),
+}
+
+/// Everything a page script can observe about the client.
+#[derive(Clone, Debug)]
+pub struct FingerprintProfile {
+    pub os: Os,
+    pub mode: RunMode,
+    /// WebDriver-controlled (Selenium sets `navigator.webdriver = true`).
+    pub webdriver: bool,
+    pub geometry: WindowGeometry,
+    /// Index of this browser instance on the host (for the Ubuntu offset).
+    pub instance: u32,
+    /// `screen.availTop` / `availLeft` (Table 4).
+    pub avail_top: i32,
+    pub avail_left: i32,
+    /// WebGL surface; `None` in headless mode (no implementation at all).
+    pub webgl: Option<WebGlProfile>,
+    /// `navigator.languages`.
+    pub languages: Vec<&'static str>,
+    /// Headless mode adds 43 extra properties to the language object
+    /// (Sec. 3.1.2); this count realises them.
+    pub extra_language_props: u32,
+    /// Fonts `document.fonts.check` reports as installed.
+    pub fonts: Vec<&'static str>,
+    /// `Date.getTimezoneOffset()` minutes; Docker has no timezone info and
+    /// reports 0 (Sec. 3.1.3).
+    pub timezone_offset_min: i32,
+    /// Firefox major version behind `navigator.userAgent`.
+    pub firefox_version: u32,
+    /// Human-readable client label for reports.
+    pub label: String,
+    /// Chromium-family client (exposes `window.chrome`, a classic
+    /// cross-family distinguisher).
+    pub is_chromium: bool,
+    /// `navigator.hardwareConcurrency`.
+    pub hardware_concurrency: u32,
+}
+
+/// Fonts present on a normal desktop install.
+const DESKTOP_FONTS: &[&str] = &[
+    "Arial",
+    "Courier New",
+    "Georgia",
+    "Times New Roman",
+    "Verdana",
+    "Helvetica",
+    "DejaVu Sans",
+    "Liberation Serif",
+];
+
+/// The sole font inside OpenWPM's Docker image (Sec. 3.1.3).
+const DOCKER_FONTS: &[&str] = &["Bitstream Vera Sans Mono"];
+
+impl FingerprintProfile {
+    /// The OpenWPM client for a given OS × mode (Tables 2–4), Firefox 90 /
+    /// OpenWPM 0.17.0 vintage by default.
+    pub fn openwpm(os: Os, mode: RunMode) -> FingerprintProfile {
+        let geometry = match (os, mode) {
+            (Os::MacOs1015, RunMode::Regular) => WindowGeometry {
+                screen_width: 2560,
+                screen_height: 1440,
+                window_width: 1366,
+                window_height: 683,
+                screen_x: 23,
+                screen_y: 4,
+                instance_offset: (0, 0),
+            },
+            (Os::MacOs1015, RunMode::Headless) => WindowGeometry {
+                screen_width: 1366,
+                screen_height: 768,
+                window_width: 1366,
+                window_height: 683,
+                screen_x: 4,
+                screen_y: 4,
+                instance_offset: (0, 0),
+            },
+            (Os::Ubuntu1804, RunMode::Regular) => WindowGeometry {
+                screen_width: 2560,
+                screen_height: 1440,
+                window_width: 1366,
+                window_height: 683,
+                screen_x: 80,
+                screen_y: 35,
+                instance_offset: (8, 8),
+            },
+            (Os::Ubuntu1804, RunMode::Headless) | (Os::Ubuntu1804, RunMode::Xvfb) => {
+                WindowGeometry {
+                    screen_width: 1366,
+                    screen_height: 768,
+                    window_width: 1366,
+                    window_height: 683,
+                    screen_x: 0,
+                    screen_y: 0,
+                    instance_offset: (0, 0),
+                }
+            }
+            (_, RunMode::Docker) | (Os::MacOs1015, RunMode::Xvfb) => WindowGeometry {
+                // Docker runs the Ubuntu image regardless of host OS; Xvfb
+                // on macOS is not an OpenWPM configuration but falls back to
+                // the Docker-like geometry for completeness.
+                screen_width: 2560,
+                screen_height: 1440,
+                window_width: 1366,
+                window_height: 683,
+                screen_x: 0,
+                screen_y: 0,
+                instance_offset: (0, 0),
+            },
+        };
+        let (avail_top, avail_left) = match mode {
+            RunMode::Regular => (72, 27),
+            RunMode::Docker => (72, 27),
+            RunMode::Headless | RunMode::Xvfb => (0, 0),
+        };
+        let webgl = match mode {
+            RunMode::Headless => None,
+            RunMode::Regular => Some(WebGlProfile::native(os)),
+            RunMode::Xvfb => Some(WebGlProfile::llvmpipe_mesa(os)),
+            RunMode::Docker => Some(WebGlProfile::llvmpipe_vmware()),
+        };
+        let fonts = if mode == RunMode::Docker { DOCKER_FONTS } else { DESKTOP_FONTS };
+        FingerprintProfile {
+            os,
+            mode,
+            webdriver: true,
+            geometry,
+            instance: 0,
+            avail_top,
+            avail_left,
+            webgl,
+            languages: vec!["en-US", "en"],
+            extra_language_props: if mode == RunMode::Headless { 43 } else { 0 },
+            fonts: fonts.to_vec(),
+            timezone_offset_min: if mode == RunMode::Docker { 0 } else { -120 },
+            firefox_version: 90,
+            label: format!("OpenWPM/{}/{}", os.name(), mode.name()),
+            is_chromium: false,
+            hardware_concurrency: 8,
+        }
+    }
+
+    /// A standalone Firefox of the same version on the same OS — the
+    /// baseline the paper diffs against ("any differences must originate in
+    /// the hosting environment, the framework, …", Sec. 3.1).
+    pub fn stock_firefox(os: Os) -> FingerprintProfile {
+        FingerprintProfile {
+            os,
+            mode: RunMode::Regular,
+            webdriver: false,
+            geometry: WindowGeometry {
+                screen_width: 1920,
+                screen_height: 1080,
+                window_width: 1276,
+                window_height: 854,
+                screen_x: 212,
+                screen_y: 118,
+                instance_offset: (0, 0),
+            },
+            instance: 0,
+            avail_top: 72,
+            avail_left: 27,
+            webgl: Some(WebGlProfile::native(os)),
+            languages: vec!["en-US", "en"],
+            extra_language_props: 0,
+            fonts: DESKTOP_FONTS.to_vec(),
+            timezone_offset_min: -120,
+            firefox_version: 90,
+            label: format!("Firefox/{}", os.name()),
+            is_chromium: false,
+            hardware_concurrency: 8,
+        }
+    }
+
+    /// A consumer browser from a *different* engine family, for validating
+    /// the fingerprint surface's distinctiveness (Sec. 3.3). Chromium-like
+    /// surfaces share WebGL-style properties but differ in geometry and
+    /// vendor strings.
+    pub fn stock_chrome(os: Os) -> FingerprintProfile {
+        let mut p = FingerprintProfile::stock_firefox(os);
+        p.geometry.window_width = 1312;
+        p.geometry.window_height = 902;
+        p.geometry.screen_x = 64;
+        p.geometry.screen_y = 30;
+        p.webgl = Some(WebGlProfile::chrome(os));
+        p.label = format!("Chrome/{}", os.name());
+        p.is_chromium = true;
+        p
+    }
+
+    /// Effective `screenX` for instance `i` (Ubuntu regular mode shifts each
+    /// new window by the per-instance offset — Sec. 3.1.1).
+    pub fn screen_x_for_instance(&self) -> i32 {
+        self.geometry.screen_x + self.geometry.instance_offset.0 * self.instance as i32
+    }
+
+    pub fn screen_y_for_instance(&self) -> i32 {
+        self.geometry.screen_y + self.geometry.instance_offset.1 * self.instance as i32
+    }
+
+    /// `navigator.userAgent`.
+    pub fn user_agent(&self) -> String {
+        let os_part = match self.os {
+            Os::MacOs1015 => "Macintosh; Intel Mac OS X 10.15",
+            Os::Ubuntu1804 => "X11; Ubuntu; Linux x86_64",
+        };
+        if self.is_chromium {
+            return format!(
+                "Mozilla/5.0 ({os_part}) AppleWebKit/537.36 (KHTML, like Gecko)                  Chrome/103.0.0.0 Safari/537.36"
+            );
+        }
+        format!(
+            "Mozilla/5.0 ({os_part}; rv:{v}.0) Gecko/20100101 Firefox/{v}.0",
+            v = self.firefox_version
+        )
+    }
+
+    pub fn with_instance(mut self, instance: u32) -> FingerprintProfile {
+        self.instance = instance;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_screen_geometry() {
+        // Spot-check the exact values of Table 3.
+        let mac_rm = FingerprintProfile::openwpm(Os::MacOs1015, RunMode::Regular);
+        assert_eq!(mac_rm.geometry.screen_width, 2560);
+        assert_eq!(mac_rm.geometry.window_width, 1366);
+        assert_eq!(mac_rm.geometry.screen_x, 23);
+        assert_eq!(mac_rm.geometry.screen_y, 4);
+
+        let ubu_rm = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular);
+        assert_eq!(ubu_rm.geometry.instance_offset, (8, 8));
+        assert_eq!(ubu_rm.geometry.screen_x, 80);
+
+        let ubu_hm = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Headless);
+        assert_eq!(ubu_hm.geometry.screen_width, 1366);
+        assert_eq!(ubu_hm.geometry.screen_x, 0);
+
+        let docker = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Docker);
+        assert_eq!(docker.geometry.screen_width, 2560);
+        assert_eq!(docker.geometry.screen_x, 0);
+    }
+
+    #[test]
+    fn table4_webgl_and_avail() {
+        let rm = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular);
+        assert!(rm.webgl.as_ref().unwrap().vendor.contains("AMD"));
+        assert_eq!((rm.avail_left, rm.avail_top), (27, 72));
+
+        let hm = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Headless);
+        assert!(hm.webgl.is_none());
+        assert_eq!((hm.avail_left, hm.avail_top), (0, 0));
+
+        let xvfb = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Xvfb);
+        assert!(xvfb.webgl.as_ref().unwrap().renderer.contains("llvmpipe"));
+        assert_eq!((xvfb.avail_left, xvfb.avail_top), (0, 0));
+
+        let docker = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Docker);
+        assert!(docker.webgl.as_ref().unwrap().vendor.contains("VMware"));
+    }
+
+    #[test]
+    fn docker_reduces_fonts_and_timezone() {
+        let docker = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Docker);
+        assert_eq!(docker.fonts, vec!["Bitstream Vera Sans Mono"]);
+        assert_eq!(docker.timezone_offset_min, 0);
+        let rm = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular);
+        assert!(rm.fonts.len() > 1);
+        assert_ne!(rm.timezone_offset_min, 0);
+    }
+
+    #[test]
+    fn headless_adds_language_props() {
+        assert_eq!(FingerprintProfile::openwpm(Os::MacOs1015, RunMode::Headless).extra_language_props, 43);
+        assert_eq!(FingerprintProfile::openwpm(Os::MacOs1015, RunMode::Regular).extra_language_props, 0);
+    }
+
+    #[test]
+    fn instance_offset_only_on_ubuntu_regular() {
+        let p = FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular).with_instance(3);
+        assert_eq!(p.screen_x_for_instance(), 80 + 24);
+        assert_eq!(p.screen_y_for_instance(), 35 + 24);
+        let m = FingerprintProfile::openwpm(Os::MacOs1015, RunMode::Regular).with_instance(3);
+        assert_eq!(m.screen_x_for_instance(), 23);
+    }
+
+    #[test]
+    fn stock_firefox_has_no_webdriver() {
+        let p = FingerprintProfile::stock_firefox(Os::Ubuntu1804);
+        assert!(!p.webdriver);
+        assert!(p.user_agent().contains("Firefox/90.0"));
+    }
+
+    #[test]
+    fn chrome_profile_has_chromium_user_agent() {
+        let p = FingerprintProfile::stock_chrome(Os::Ubuntu1804);
+        assert!(p.is_chromium);
+        assert!(p.user_agent().contains("Chrome/"));
+        assert!(!p.user_agent().contains("Firefox"));
+    }
+}

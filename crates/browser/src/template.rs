@@ -1,0 +1,237 @@
+//! JavaScript template attacks (Schwarz et al., NDSS'19) — the second of the
+//! two fingerprinting methods the paper combines (Sec. 3).
+//!
+//! A template is a map from DOM property *paths* to value *signatures*,
+//! captured by exhaustively traversing the object hierarchy from `window`.
+//! Diffing the templates of two clients yields the properties that are
+//! missing, added or changed between them; applied to OpenWPM vs a stock
+//! Firefox this recovers the fingerprint surface of Table 2.
+
+use std::collections::BTreeMap;
+
+use jsengine::{Callable, ObjId, Value};
+
+use crate::page::Page;
+
+/// A captured template: path → signature.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Template {
+    pub entries: BTreeMap<String, String>,
+}
+
+/// Difference between two templates.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateDiff {
+    /// Paths present in the baseline but absent in the subject.
+    pub missing: Vec<String>,
+    /// Paths absent in the baseline but present in the subject.
+    pub added: Vec<String>,
+    /// Paths present in both with different signatures.
+    pub changed: Vec<String>,
+}
+
+impl TemplateDiff {
+    pub fn total(&self) -> usize {
+        self.missing.len() + self.added.len() + self.changed.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// All deviating paths matching a prefix filter.
+    pub fn matching(&self, prefix: &str) -> usize {
+        self.missing
+            .iter()
+            .chain(&self.added)
+            .chain(&self.changed)
+            .filter(|p| p.starts_with(prefix))
+            .count()
+    }
+}
+
+/// Capture a template of `page` by traversing from `window`.
+///
+/// Like the original attack script, the traversal first *materialises*
+/// lazily-created surfaces (a WebGL context) so they are reachable, then
+/// walks own properties recursively, following prototype links as
+/// `__proto__` edges. Accessor getters are invoked with their real receiver,
+/// so receiver-validating getters behave as they would for the attack
+/// script. Cycles are broken per-path by an on-stack set.
+pub fn capture_template(page: &mut Page) -> Template {
+    // Materialise WebGL exactly as the attack script would.
+    let _ = page.run_script(
+        "try { window.__tmplWebgl = document.createElement('canvas').getContext('webgl'); } \
+         catch (e) { window.__tmplWebgl = null; }",
+        "template-attack",
+    );
+    let mut t = Template::default();
+    let root = page.top.window;
+    // Global visited set: each object is expanded at its first-encountered
+    // path (as the original attack script does), keeping the traversal
+    // linear in heap size instead of exponential in depth.
+    let mut visited: std::collections::HashSet<ObjId> = std::collections::HashSet::new();
+    walk(page, Value::Obj(root), "window", 0, &mut visited, &mut t);
+    // Present the materialised context under a stable path, as the attack
+    // script would label its probe.
+    let webgl_entries: Vec<(String, String)> = t
+        .entries
+        .iter()
+        .filter(|(k, _)| k.starts_with("window.__tmplWebgl"))
+        .map(|(k, v)| (k.replacen("window.__tmplWebgl", "webglContext", 1), v.clone()))
+        .collect();
+    t.entries.retain(|k, _| !k.starts_with("window.__tmplWebgl"));
+    t.entries.extend(webgl_entries);
+    let _ = page.run_script("delete window.__tmplWebgl;", "template-attack");
+    t
+}
+
+const MAX_DEPTH: usize = 5;
+
+fn signature(page: &Page, v: &Value) -> String {
+    match v {
+        Value::Undefined => "undefined".into(),
+        Value::Null => "null".into(),
+        Value::Bool(b) => format!("boolean:{b}"),
+        Value::Num(n) => format!("number:{n}"),
+        Value::Str(s) => format!("string:{s}"),
+        Value::Obj(id) => {
+            let obj = page.interp.heap.get(*id);
+            match &obj.call {
+                Some(Callable::Native { name, .. }) => format!("function:native:{name}"),
+                Some(Callable::Script { def, .. }) => format!("function:script:{}", def.source),
+                None => format!("object:{}", obj.class),
+            }
+        }
+    }
+}
+
+fn walk(
+    page: &mut Page,
+    v: Value,
+    path: &str,
+    depth: usize,
+    visited: &mut std::collections::HashSet<ObjId>,
+    out: &mut Template,
+) {
+    out.entries.insert(path.to_owned(), signature(page, &v));
+    if depth >= MAX_DEPTH {
+        return;
+    }
+    let Value::Obj(id) = v else { return };
+    if !visited.insert(id) {
+        return;
+    }
+    // Enumerate every key visible along the prototype chain and read it
+    // through the *instance* — this is what `obj[key]` in the attack script
+    // does, and it is how prototype accessors (e.g. `webdriver` on
+    // `Navigator.prototype`) resolve to concrete values.
+    let mut keys: Vec<std::rc::Rc<str>> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = Some(id);
+        while let Some(oid) = cur {
+            let obj = page.interp.heap.get(oid);
+            for k in obj.props.keys() {
+                if seen.insert(k.clone()) {
+                    keys.push(k.clone());
+                }
+            }
+            cur = obj.proto;
+        }
+    }
+    let proto = page.interp.heap.get(id).proto;
+    for key in keys {
+        let child_path = format!("{path}.{key}");
+        match page.interp.get_prop(&Value::Obj(id), &key) {
+            Ok(value) => walk(page, value, &child_path, depth + 1, visited, out),
+            Err(_) => {
+                out.entries.insert(child_path, "throws".into());
+            }
+        }
+    }
+    // Record the structural prototype link too (distinguishes where a
+    // property lives — needed to observe prototype pollution).
+    if let Some(p) = proto {
+        let sig = format!("proto:{}", page.interp.heap.get(p).class);
+        out.entries.insert(format!("{path}.__proto__"), sig);
+        let own: Vec<std::rc::Rc<str>> =
+            page.interp.heap.get(p).props.keys().cloned().collect();
+        out.entries.insert(
+            format!("{path}.__proto__.#ownKeys"),
+            own.iter().map(|k| k.as_ref()).collect::<Vec<_>>().join(","),
+        );
+    }
+}
+
+/// Diff `subject` against `baseline`.
+pub fn diff(baseline: &Template, subject: &Template) -> TemplateDiff {
+    let mut d = TemplateDiff::default();
+    for (k, v) in &baseline.entries {
+        match subject.entries.get(k) {
+            None => d.missing.push(k.clone()),
+            Some(sv) if sv != v => d.changed.push(k.clone()),
+            Some(_) => {}
+        }
+    }
+    for k in subject.entries.keys() {
+        if !baseline.entries.contains_key(k) {
+            d.added.push(k.clone());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{FingerprintProfile, Os, RunMode};
+    use netsim::Url;
+
+    fn page_for(p: FingerprintProfile) -> Page {
+        Page::new(p, Url::parse("https://probe.test/").unwrap(), None)
+    }
+
+    #[test]
+    fn identical_profiles_have_empty_diff() {
+        let mut a = page_for(FingerprintProfile::stock_firefox(Os::Ubuntu1804));
+        let mut b = page_for(FingerprintProfile::stock_firefox(Os::Ubuntu1804));
+        let d = diff(&capture_template(&mut a), &capture_template(&mut b));
+        assert!(d.is_empty(), "diff: {:?}", d);
+    }
+
+    #[test]
+    fn webdriver_difference_is_detected() {
+        let mut stock = page_for(FingerprintProfile::stock_firefox(Os::Ubuntu1804));
+        let mut wpm = page_for(FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular));
+        let d = diff(&capture_template(&mut stock), &capture_template(&mut wpm));
+        assert!(
+            d.changed.iter().any(|p| p.contains("webdriver")),
+            "changed: {:?}",
+            &d.changed[..d.changed.len().min(20)]
+        );
+    }
+
+    #[test]
+    fn headless_loses_thousands_of_webgl_properties() {
+        let mut regular = page_for(FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular));
+        let mut headless =
+            page_for(FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Headless));
+        let d = diff(&capture_template(&mut regular), &capture_template(&mut headless));
+        let webgl_missing = d
+            .missing
+            .iter()
+            .filter(|p| p.contains("WEBGL_PROP_") || p.contains("UNMASKED_"))
+            .count();
+        assert!(webgl_missing > 2000, "missing WebGL props: {webgl_missing}");
+    }
+
+    #[test]
+    fn template_contains_screen_and_navigator_paths() {
+        let mut p = page_for(FingerprintProfile::stock_firefox(Os::Ubuntu1804));
+        let t = capture_template(&mut p);
+        assert!(t.entries.keys().any(|k| k.contains("navigator") && k.contains("userAgent")));
+        assert!(t.entries.keys().any(|k| k.contains("screen")));
+        assert!(t.entries.len() > 200, "template size {}", t.entries.len());
+    }
+}

@@ -1,0 +1,290 @@
+//! Proof-of-concept attacks against OpenWPM's data recording (paper Sec. 5)
+//! and their evaluation against both instrument flavours (Sec. 6.2).
+//!
+//! Each attack returns a structured outcome so tests and the experiment
+//! binaries can assert *who wins*: the attack must succeed against the
+//! vanilla instrument and fail against WPM_hide.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use browser::{CspPolicy, FingerprintProfile, Os, Page, RunMode};
+use detect::corpus;
+use netsim::Url;
+use openwpm::instrument::{stealth, vanilla, StoreHandle};
+use openwpm::{RecordStore, StealthSettings};
+
+/// Which instrument the attack runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    Vanilla,
+    Stealth,
+}
+
+fn setup(target: Target, csp: Option<CspPolicy>) -> (Page, StoreHandle, bool) {
+    let mut page = Page::new(
+        FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+        Url::parse("https://victim.test/").unwrap(),
+        csp,
+    );
+    let store: StoreHandle = Rc::new(RefCell::new(RecordStore::new()));
+    let installed = match target {
+        Target::Vanilla => {
+            vanilla::install(&mut page, 99, store.clone(), "https://victim.test/".into())
+        }
+        Target::Stealth => {
+            stealth::install(
+                &mut page,
+                &StealthSettings::default(),
+                store.clone(),
+                "https://victim.test/".into(),
+            );
+            true
+        }
+    };
+    (page, store, installed)
+}
+
+/// Outcome of the dispatcher-hijack ("turn recording off", Listing 2).
+#[derive(Clone, Debug)]
+pub struct RecordingOffOutcome {
+    /// Accesses recorded *after* the attack armed (should be > 0 only when
+    /// the attack failed).
+    pub recorded_after_attack: usize,
+    /// Did the attacker learn the instrument's event id?
+    pub id_grabbed: bool,
+}
+
+impl RecordingOffOutcome {
+    pub fn attack_succeeded(&self) -> bool {
+        self.recorded_after_attack == 0
+    }
+}
+
+/// RQ5 (Sec. 5.1.1): disrupt the instrument's messaging by shadowing
+/// `document.dispatchEvent`.
+pub fn recording_off(target: Target) -> RecordingOffOutcome {
+    let (mut page, store, _installed) = setup(target, None);
+    page.run_script(&corpus::dispatcher_hijack_attack(), "https://victim.test/attack.js")
+        .expect("attack script runs");
+    let id_grabbed = page
+        .run_script("window.__owpmBlockedId !== null && window.__owpmBlockedId !== undefined", "p")
+        .map(|v| v.truthy())
+        .unwrap_or(false);
+    let before = store.borrow().js_calls.len();
+    // Probe monitored APIs after the hijack armed.
+    page.run_script(
+        "navigator.userAgent; screen.width; document.createElement('div');",
+        "https://victim.test/later.js",
+    )
+    .unwrap();
+    let after = store.borrow().js_calls.len();
+    RecordingOffOutcome { recorded_after_attack: after - before, id_grabbed }
+}
+
+/// Outcome of the CSP-blocking attack (Sec. 5.1.2).
+#[derive(Clone, Debug)]
+pub struct CspBlockOutcome {
+    pub instrumentation_installed: bool,
+    pub csp_violations: u32,
+    pub accesses_recorded: usize,
+}
+
+/// RQ5 (Sec. 5.1.2): a strict `script-src` CSP blocks DOM-injected
+/// instrumentation.
+pub fn csp_block(target: Target) -> CspBlockOutcome {
+    let (mut page, store, installed) = setup(target, Some(CspPolicy::strict("/csp-report")));
+    page.run_script("navigator.userAgent;", "https://victim.test/app.js").unwrap();
+    let csp_violations = page.host.borrow().csp_violations;
+    let accesses_recorded = store.borrow().js_calls.len();
+    CspBlockOutcome { instrumentation_installed: installed, csp_violations, accesses_recorded }
+}
+
+/// Outcome of the fake-data injection (Sec. 5.2).
+#[derive(Clone, Debug)]
+pub struct FakeDataOutcome {
+    /// Forged records that landed in the store.
+    pub forged_records: usize,
+    /// Whether the forged record's spoofed script attribution survived.
+    pub spoofed_script_url: bool,
+    /// Whether `page_url` (set host-side) resisted spoofing.
+    pub page_url_intact: bool,
+}
+
+/// RQ6: inject fabricated records through the grabbed event id.
+pub fn fake_data_injection(target: Target) -> FakeDataOutcome {
+    let (mut page, store, _) = setup(target, None);
+    page.run_script(
+        &corpus::fake_data_injection_attack("https://innocent.example/app.js"),
+        "https://victim.test/attack.js",
+    )
+    .unwrap();
+    let store = store.borrow();
+    let forged: Vec<_> = store
+        .js_calls
+        .iter()
+        .filter(|r| r.symbol == "window.navigator.injectedFakeSymbol")
+        .collect();
+    FakeDataOutcome {
+        forged_records: forged.len(),
+        spoofed_script_url: forged
+            .iter()
+            .any(|r| r.script_url.contains("innocent.example")),
+        page_url_intact: forged.iter().all(|r| r.page_url == "https://victim.test/"),
+    }
+}
+
+/// Outcome of the iframe bypass (Listing 3, Sec. 5.4.1).
+#[derive(Clone, Debug)]
+pub struct IframeBypassOutcome {
+    /// Was the in-frame `navigator.userAgent` access recorded?
+    pub frame_access_recorded: bool,
+    /// Same access performed later (after injection jobs ran) — recorded?
+    pub delayed_access_recorded: bool,
+}
+
+/// RQ8 (Sec. 5.4.1): immediate access through a fresh iframe beats the
+/// vanilla instrument's scheduled injection; delayed access does not.
+pub fn iframe_bypass(target: Target) -> IframeBypassOutcome {
+    let (mut page, store, _) = setup(target, None);
+    // Immediate access at creation time (the exploitable variant).
+    page.run_script(
+        r#"
+        var f1 = document.createElement('iframe');
+        document.body.appendChild(f1);
+        f1.contentWindow.navigator.userAgent;
+        "#,
+        "https://victim.test/immediate.js",
+    )
+    .unwrap();
+    let immediate_recorded = store
+        .borrow()
+        .js_calls
+        .iter()
+        .any(|r| r.symbol.ends_with(".userAgent") && r.script_url.contains("immediate"));
+    // Delayed access: create the frame, let the event loop run, then access.
+    page.run_script(
+        r#"
+        var f2 = document.createElement('iframe');
+        document.body.appendChild(f2);
+        setTimeout(function () { f2.contentWindow.navigator.userAgent; }, 100);
+        "#,
+        "https://victim.test/delayed.js",
+    )
+    .unwrap();
+    page.advance(1000);
+    let delayed_recorded = store
+        .borrow()
+        .js_calls
+        .iter()
+        .any(|r| r.symbol.ends_with(".userAgent") && r.script_url.contains("delayed"));
+    IframeBypassOutcome {
+        frame_access_recorded: immediate_recorded,
+        delayed_access_recorded: delayed_recorded,
+    }
+}
+
+/// Outcome of the silent-delivery attack (Listing 4, Sec. 5.4.2).
+#[derive(Clone, Debug)]
+pub struct SilentDeliveryOutcome {
+    /// The smuggled payload executed.
+    pub payload_executed: bool,
+    /// The payload body appears in the saved-scripts table.
+    pub payload_saved_as_script: bool,
+    /// The payload body appears in full response bodies (Full mode).
+    pub payload_in_full_bodies: bool,
+}
+
+/// RQ8 (Sec. 5.4.2): deliver JavaScript as `text/plain` and `eval` it; the
+/// JS-only HTTP filter misses it, full-body recording does not.
+pub fn silent_delivery() -> SilentDeliveryOutcome {
+    use openwpm::instrument::http;
+    use openwpm::HttpSaveMode;
+    let (mut page, _store, _) = setup(Target::Vanilla, None);
+    page.add_server_resource(
+        "https://attacker.test/cheat",
+        "text/plain",
+        "window.cheatRan = true;",
+    );
+    page.run_script(
+        &corpus::silent_delivery_loader("https://attacker.test/cheat"),
+        "https://victim.test/loader.js",
+    )
+    .unwrap();
+    let executed = page
+        .run_script("window.cheatRan === true", "probe")
+        .map(|v| v.truthy())
+        .unwrap_or(false);
+    // Feed the response through both HTTP-instrument modes.
+    let resp = netsim::HttpResponse {
+        url: Url::parse("https://attacker.test/cheat").unwrap(),
+        status: 200,
+        content_type: "text/plain".into(),
+        body: "window.cheatRan = true;".into(),
+    };
+    let mut filtered = RecordStore::new();
+    http::record_response(&mut filtered, &resp, HttpSaveMode::JavascriptOnly, "p");
+    let mut full = RecordStore::new();
+    http::record_response(&mut full, &resp, HttpSaveMode::Full, "p");
+    SilentDeliveryOutcome {
+        payload_executed: executed,
+        payload_saved_as_script: !filtered.saved_scripts.is_empty(),
+        payload_in_full_bodies: !full.http_responses.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_off_beats_vanilla_not_stealth() {
+        let v = recording_off(Target::Vanilla);
+        assert!(v.id_grabbed, "attacker must learn the event id from vanilla");
+        assert!(v.attack_succeeded(), "recorded {} after attack", v.recorded_after_attack);
+        let s = recording_off(Target::Stealth);
+        assert!(!s.id_grabbed, "stealth leaks no event id");
+        assert!(!s.attack_succeeded(), "stealth keeps recording");
+        assert!(s.recorded_after_attack >= 3);
+    }
+
+    #[test]
+    fn csp_blocks_vanilla_not_stealth() {
+        let v = csp_block(Target::Vanilla);
+        assert!(!v.instrumentation_installed);
+        assert!(v.csp_violations > 0);
+        assert_eq!(v.accesses_recorded, 0);
+        let s = csp_block(Target::Stealth);
+        assert!(s.instrumentation_installed);
+        assert_eq!(s.csp_violations, 0);
+        assert!(s.accesses_recorded > 0);
+    }
+
+    #[test]
+    fn fake_data_lands_in_vanilla_with_spoofed_script_but_not_page() {
+        let v = fake_data_injection(Target::Vanilla);
+        assert_eq!(v.forged_records, 1);
+        assert!(v.spoofed_script_url, "script URL is attacker-controlled");
+        assert!(v.page_url_intact, "page URL is set outside the browser (Sec. 5.2)");
+        let s = fake_data_injection(Target::Stealth);
+        assert_eq!(s.forged_records, 0, "stealth messaging accepts no page events");
+    }
+
+    #[test]
+    fn iframe_bypass_beats_vanilla_only_for_immediate_access() {
+        let v = iframe_bypass(Target::Vanilla);
+        assert!(!v.frame_access_recorded, "immediate frame access must evade vanilla");
+        assert!(v.delayed_access_recorded, "delayed access is caught once injection ran");
+        let s = iframe_bypass(Target::Stealth);
+        assert!(s.frame_access_recorded, "frame protection instruments synchronously");
+        assert!(s.delayed_access_recorded);
+    }
+
+    #[test]
+    fn silent_delivery_evades_filter_but_not_full_mode() {
+        let o = silent_delivery();
+        assert!(o.payload_executed);
+        assert!(!o.payload_saved_as_script, "JS-only filter must miss the payload");
+        assert!(o.payload_in_full_bodies, "full mode records everything (Sec. 6.2.3)");
+    }
+}

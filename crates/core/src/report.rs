@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the experiment binaries — every table the
+//! reproduction regenerates prints through this, in a layout close to the
+//! paper's.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(title: impl Into<String>) -> TextTable {
+        TextTable { title: title.into(), ..Default::default() }
+    }
+
+    pub fn header(&mut self, cols: &[&str]) -> &mut Self {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn row(&mut self, cols: &[String]) -> &mut Self {
+        self.rows.push(cols.to_vec());
+        self
+    }
+
+    pub fn row_str(&mut self, cols: &[&str]) -> &mut Self {
+        self.rows.push(cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cols: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cols.iter().enumerate() {
+                let pad = widths[i].saturating_sub(c.chars().count());
+                line.push_str(c);
+                line.push_str(&" ".repeat(pad + 2));
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols)));
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a count with thousands separators (paper style: `13,989`).
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Percentage with one decimal (`13.99%`→ two decimals variant available).
+pub fn pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        "0.0%".into()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new("Demo");
+        t.header(&["name", "count"]);
+        t.row_str(&["alpha", "1"]);
+        t.row_str(&["bb", "12345"]);
+        let out = t.render();
+        assert!(out.contains("== Demo =="));
+        assert!(out.contains("alpha"));
+        let lines: Vec<&str> = out.lines().collect();
+        // Columns align: "count" and "12345" start at the same offset.
+        let hpos = lines[1].find("count").unwrap();
+        let rpos = lines[4].find("12345").unwrap();
+        assert_eq!(hpos, rpos);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(13989), "13,989");
+        assert_eq!(thousands(1535306), "1,535,306");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(13989, 100000), "14.0%");
+        assert_eq!(pct(0, 0), "0.0%");
+    }
+}

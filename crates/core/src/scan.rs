@@ -1,0 +1,535 @@
+//! The Tranco-100K scan for client-side bot detection (paper Sec. 4).
+//!
+//! For every site: visit the front page and up to three subpages with the
+//! scanning client (vanilla OpenWPM + honey properties + OpenWPM-property
+//! watches), save every delivered script, record every JavaScript call,
+//! then classify each script with the combined static + dynamic pipeline.
+//! The aggregation reproduces Tables 5–7, 11–12 and the data behind
+//! Figures 3–5.
+
+use std::collections::BTreeMap;
+
+use detect::{analyse, preprocess, DynamicClass, StaticPattern};
+use netsim::url::etld1_of;
+use netsim::Url;
+use openwpm::manager::run_parallel;
+use openwpm::{Browser, BrowserConfig, SiteResponse};
+use webgen::{visit_spec, Category, PageKind, Population, SitePlan};
+
+/// Scan configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanConfig {
+    pub n_sites: u32,
+    pub seed: u64,
+    pub workers: usize,
+    /// Also visit up to three subpages (the paper's deep scan).
+    pub include_subpages: bool,
+    /// Simulate user interaction during the dwell (HLISA-style). The
+    /// paper's scan did not; with interaction, hover-gated detectors fire
+    /// and become dynamically visible (an ablation of Sec. 4.1's
+    /// "code that happens not to be executed" limitation).
+    pub simulate_interaction: bool,
+}
+
+impl ScanConfig {
+    pub fn new(n_sites: u32, seed: u64) -> ScanConfig {
+        ScanConfig {
+            n_sites,
+            seed,
+            workers: 4,
+            include_subpages: true,
+            simulate_interaction: false,
+        }
+    }
+}
+
+/// Per-page detection flags.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageFlags {
+    /// Naive static pattern matched some script (includes false positives).
+    pub static_identified: bool,
+    /// Precise static patterns matched (true static finding).
+    pub static_true: bool,
+    /// Dynamic analysis saw fingerprint-surface access (includes
+    /// inconclusive iterators).
+    pub dynamic_identified: bool,
+    /// Dynamic classification says Detector.
+    pub dynamic_true: bool,
+}
+
+impl PageFlags {
+    pub fn union_true(&self) -> bool {
+        self.static_true || self.dynamic_true
+    }
+
+    pub fn union_identified(&self) -> bool {
+        self.static_identified || self.dynamic_identified
+    }
+
+    fn or(&mut self, other: PageFlags) {
+        self.static_identified |= other.static_identified;
+        self.static_true |= other.static_true;
+        self.dynamic_identified |= other.dynamic_identified;
+        self.dynamic_true |= other.dynamic_true;
+    }
+}
+
+/// One site's scan outcome.
+#[derive(Clone, Debug)]
+pub struct SiteScanRecord {
+    pub rank: u32,
+    pub domain: String,
+    pub categories: Vec<Category>,
+    pub front: PageFlags,
+    /// Front ∪ subpages.
+    pub site: PageFlags,
+    /// `(provider domain, property)` pairs of OpenWPM-specific probes.
+    pub openwpm_probes: Vec<(String, String)>,
+    /// Hosting domains (eTLD+1) of third-party detector scripts.
+    pub third_party_domains: Vec<String>,
+    /// URLs of first-party detector scripts (Table 12 clustering input).
+    pub first_party_urls: Vec<String>,
+    /// FNV-1a hashes of every script body collected on this site (the
+    /// paper's corpus statistic: 1,535,306 unique scripts over 100K sites).
+    pub script_hashes: Vec<u64>,
+}
+
+/// Scan one site with a scanning browser.
+pub fn scan_site(browser: &mut Browser, plan: &SitePlan, include_subpages: bool) -> SiteScanRecord {
+    let mut record = SiteScanRecord {
+        rank: plan.rank,
+        domain: plan.domain.clone(),
+        categories: plan.categories.clone(),
+        front: PageFlags::default(),
+        site: PageFlags::default(),
+        openwpm_probes: Vec::new(),
+        third_party_domains: Vec::new(),
+        first_party_urls: Vec::new(),
+        script_hashes: Vec::new(),
+    };
+    let mut pages = vec![PageKind::Front];
+    if include_subpages {
+        for i in 0..plan.subpage_count.min(3) {
+            pages.push(PageKind::Subpage(i));
+        }
+    }
+    for page in pages {
+        let mut spec = visit_spec(plan, page);
+        spec.dwell_override_s = Some(61); // covers 500 ms-delayed probes + 60 s dwell
+        browser.visit(&spec, |_traffic| SiteResponse::default());
+        let store = browser.take_store();
+        let flags = classify_page(&store, plan, &mut record);
+        if matches!(page, PageKind::Front) {
+            record.front = flags;
+        }
+        record.site.or(flags);
+    }
+    record.third_party_domains.sort();
+    record.third_party_domains.dedup();
+    record.first_party_urls.sort();
+    record.first_party_urls.dedup();
+    record.openwpm_probes.sort();
+    record.openwpm_probes.dedup();
+    record
+}
+
+/// Classify one page's records; appends attribution data to `record`.
+fn classify_page(
+    store: &openwpm::RecordStore,
+    plan: &SitePlan,
+    record: &mut SiteScanRecord,
+) -> PageFlags {
+    let mut flags = PageFlags::default();
+    let site_etld1 = etld1_of(&plan.domain);
+
+    // --- static pipeline over saved scripts ---
+    let mut static_by_url: BTreeMap<&str, detect::StaticFinding> = BTreeMap::new();
+    for script in &store.saved_scripts {
+        record.script_hashes.push(fnv1a(script.body.as_bytes()));
+        let finding = analyse(&script.body);
+        let pre = preprocess(&script.body);
+        let naive = StaticPattern::WebdriverLiteral.matches(&pre);
+        if naive || finding.is_detector() {
+            flags.static_identified = true;
+        }
+        if finding.is_detector() {
+            flags.static_true = true;
+            attribute_script(&script.url, site_etld1.as_str(), record);
+        }
+        for prop in &finding.openwpm_props {
+            if let Some(u) = Url::parse(&script.url) {
+                record.openwpm_probes.push((u.etld1(), (*prop).to_owned()));
+            }
+        }
+        static_by_url.insert(script.url.as_str(), finding);
+    }
+
+    // --- dynamic pipeline over recorded calls ---
+    let honey_total = 10; // the scanner config's honey property count
+    for obs in detect::observe(store) {
+        let statically_flagged = static_by_url
+            .get(obs.script_url.as_str())
+            .map(|f| f.selenium)
+            .unwrap_or(false);
+        let touched = obs.accessed_webdriver || !obs.openwpm_props.is_empty();
+        if touched {
+            flags.dynamic_identified = true;
+        }
+        match obs.classify(honey_total, statically_flagged) {
+            DynamicClass::Detector => {
+                flags.dynamic_true = true;
+                attribute_script(&obs.script_url, site_etld1.as_str(), record);
+                for prop in &obs.openwpm_props {
+                    if let Some(u) = Url::parse(&obs.script_url) {
+                        let name = prop.trim_start_matches("window.").to_owned();
+                        record.openwpm_probes.push((u.etld1(), name));
+                    }
+                }
+            }
+            DynamicClass::Inconclusive | DynamicClass::NotDetector => {}
+        }
+    }
+    flags
+}
+
+/// FNV-1a over bytes — the script-identity hash of the corpus statistics.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+fn attribute_script(script_url: &str, site_etld1: &str, record: &mut SiteScanRecord) {
+    let Some(u) = Url::parse(script_url) else { return };
+    let host_etld1 = u.etld1();
+    if host_etld1 == site_etld1 {
+        record.first_party_urls.push(script_url.to_owned());
+    } else {
+        record.third_party_domains.push(host_etld1);
+    }
+}
+
+/// Classify a first-party detector URL into a Table 12 origin cluster by
+/// its path pattern (the attribution method of Appx. A).
+pub fn first_party_origin_of(url: &str) -> &'static str {
+    let path = Url::parse(url).map(|u| u.path).unwrap_or_default();
+    if path.starts_with("/akam/11/") {
+        "Akamai"
+    } else if path.contains("_Incapsula_Resource") {
+        "Incapsula"
+    } else if path.starts_with("/cdn-cgi/bm/cv/") {
+        "Cloudflare"
+    } else if path.ends_with("/init.js")
+        && path.split('/').nth(1).map(|s| s.len() == 8).unwrap_or(false)
+    {
+        "PerimeterX"
+    } else if path.starts_with("/assets/")
+        && path.split('/').nth(2).map(|s| s.len() >= 31 && s.chars().all(|c| c.is_ascii_hexdigit())).unwrap_or(false)
+    {
+        "Unknown"
+    } else {
+        "SelfBuilt"
+    }
+}
+
+/// Whole-scan report.
+#[derive(Clone, Debug, Default)]
+pub struct ScanReport {
+    pub n_sites: u32,
+    pub sites: Vec<SiteScanRecord>,
+}
+
+impl ScanReport {
+    pub fn count(&self, f: impl Fn(&SiteScanRecord) -> bool) -> u32 {
+        self.sites.iter().filter(|s| f(s)).count() as u32
+    }
+
+    /// Table 5 rows: (static, dynamic, union) × (identified, true), over
+    /// front + subpages.
+    pub fn table5(&self) -> [(u32, u32); 3] {
+        [
+            (
+                self.count(|s| s.site.static_identified),
+                self.count(|s| s.site.static_true),
+            ),
+            (
+                self.count(|s| s.site.dynamic_identified),
+                self.count(|s| s.site.dynamic_true),
+            ),
+            (
+                self.count(|s| s.site.union_identified()),
+                self.count(|s| s.site.union_true()),
+            ),
+        ]
+    }
+
+    /// Table 6: OpenWPM-specific probes per provider domain × property.
+    pub fn table6(&self) -> BTreeMap<String, BTreeMap<String, u32>> {
+        let mut out: BTreeMap<String, BTreeMap<String, u32>> = BTreeMap::new();
+        for site in &self.sites {
+            let mut per_site: Vec<&(String, String)> = site.openwpm_probes.iter().collect();
+            per_site.sort();
+            per_site.dedup();
+            for (provider, prop) in per_site {
+                *out.entry(provider.clone()).or_default().entry(prop.clone()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Table 7: third-party hosting domains by inclusion count (1/site).
+    pub fn table7(&self) -> Vec<(String, u32)> {
+        let mut tally: BTreeMap<String, u32> = BTreeMap::new();
+        for site in &self.sites {
+            for d in &site.third_party_domains {
+                *tally.entry(d.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(String, u32)> = tally.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Table 12: first-party origin clusters.
+    pub fn table12(&self) -> BTreeMap<&'static str, u32> {
+        let mut out: BTreeMap<&'static str, u32> = BTreeMap::new();
+        for site in &self.sites {
+            let mut origins: Vec<&'static str> =
+                site.first_party_urls.iter().map(|u| first_party_origin_of(u)).collect();
+            origins.sort();
+            origins.dedup();
+            for o in origins {
+                *out.entry(o).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Fig. 3/4 series: per-1K-rank-bucket counts of
+    /// `(front static, front dynamic, site static, site dynamic)`.
+    pub fn rank_buckets(&self, bucket: u32) -> Vec<[u32; 4]> {
+        let nb = self.n_sites.div_ceil(bucket);
+        let mut out = vec![[0u32; 4]; nb as usize];
+        for s in &self.sites {
+            let b = (s.rank / bucket) as usize;
+            if s.front.static_true {
+                out[b][0] += 1;
+            }
+            if s.front.dynamic_true {
+                out[b][1] += 1;
+            }
+            if s.site.static_true {
+                out[b][2] += 1;
+            }
+            if s.site.dynamic_true {
+                out[b][3] += 1;
+            }
+        }
+        out
+    }
+
+    /// Fig. 5: category tallies for first-party vs third-party detector
+    /// sites.
+    pub fn category_tallies(&self) -> (BTreeMap<&'static str, u32>, BTreeMap<&'static str, u32>) {
+        let mut first: BTreeMap<&'static str, u32> = BTreeMap::new();
+        let mut third: BTreeMap<&'static str, u32> = BTreeMap::new();
+        for s in &self.sites {
+            if !s.site.union_true() {
+                continue;
+            }
+            let target = if s.first_party_urls.is_empty() { &mut third } else { &mut first };
+            for c in &s.categories {
+                *target.entry(c.name()).or_insert(0) += 1;
+            }
+        }
+        (first, third)
+    }
+
+    /// Corpus statistics: `(scripts collected, unique bodies)` — the paper
+    /// collected 1,535,306 unique scripts over its crawl.
+    pub fn script_stats(&self) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for site in &self.sites {
+            total += site.script_hashes.len() as u64;
+            seen.extend(site.script_hashes.iter().copied());
+        }
+        (total, seen.len() as u64)
+    }
+
+    /// Total first-party vs third-party detector inclusions (Sec. 4.3).
+    pub fn inclusion_totals(&self) -> (u32, u32) {
+        let first = self.sites.iter().map(|s| s.first_party_urls.len() as u32).sum();
+        let third = self.sites.iter().map(|s| s.third_party_domains.len() as u32).sum();
+        (first, third)
+    }
+}
+
+/// Run the full scan.
+pub fn run_scan(cfg: ScanConfig) -> ScanReport {
+    let pop = Population::new(cfg.n_sites, cfg.seed);
+    let ranks: Vec<u32> = (0..cfg.n_sites).collect();
+    let include_subpages = cfg.include_subpages;
+    let seed = cfg.seed;
+    let interact = cfg.simulate_interaction;
+    let sites = run_parallel(
+        ranks,
+        cfg.workers,
+        move |worker| {
+            let mut config = BrowserConfig::scanner(seed ^ worker as u64);
+            config.simulate_interaction = interact;
+            Browser::new(config).with_instance(worker as u32)
+        },
+        move |browser, _idx, rank| {
+            let plan = pop.plan(rank);
+            scan_site(browser, &plan, include_subpages)
+        },
+    );
+    ScanReport { n_sites: cfg.n_sites, sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scan() -> ScanReport {
+        run_scan(ScanConfig { ..ScanConfig::new(800, 11) })
+    }
+
+    #[test]
+    fn scan_detects_sites_at_paper_like_rates() {
+        let report = small_scan();
+        let [(_si, st), (_di, dt), (ui, ut)] = report.table5();
+        // At n=800 the paper's rates scale to: static true ≈ 127,
+        // dynamic true ≈ 134, union true ≈ 150, identified union ≈ 290.
+        assert!((90..=175).contains(&st), "static true = {st}");
+        assert!((95..=180).contains(&dt), "dynamic true = {dt}");
+        assert!((110..=200).contains(&ut), "union true = {ut}");
+        assert!(ui > ut, "identified ({ui}) must exceed true ({ut}) — FP classes exist");
+    }
+
+    #[test]
+    fn static_and_dynamic_have_exclusive_findings() {
+        let report = small_scan();
+        let static_only =
+            report.count(|s| s.site.static_true && !s.site.dynamic_true);
+        let dynamic_only =
+            report.count(|s| s.site.dynamic_true && !s.site.static_true);
+        assert!(static_only > 0, "hover-gated detectors must be static-only");
+        assert!(dynamic_only > 0, "constructed probes must be dynamic-only");
+    }
+
+    #[test]
+    fn subpages_increase_detection() {
+        let report = small_scan();
+        let front = report.count(|s| s.front.union_true());
+        let site = report.count(|s| s.site.union_true());
+        assert!(site > front, "subpage scan must add detector sites: {front} vs {site}");
+        // Paper: ≥ 37% more sites with active (dynamic) detectors.
+        let front_dyn = report.count(|s| s.front.dynamic_true);
+        let site_dyn = report.count(|s| s.site.dynamic_true);
+        assert!(
+            site_dyn as f64 >= front_dyn as f64 * 1.15,
+            "dynamic uplift too small: {front_dyn} -> {site_dyn}"
+        );
+    }
+
+    #[test]
+    fn openwpm_specific_probes_found() {
+        let report = small_scan();
+        let t6 = report.table6();
+        // cheqzone is by far the largest provider (331/100K ⇒ ~2-3 at 800).
+        assert!(
+            t6.contains_key("cheqzone.com"),
+            "providers found: {:?}",
+            t6.keys().collect::<Vec<_>>()
+        );
+        let cheq = &t6["cheqzone.com"];
+        assert!(cheq.contains_key("jsInstruments"), "cheq probes: {cheq:?}");
+    }
+
+    #[test]
+    fn third_party_providers_ranked_with_yandex_on_top() {
+        let report = small_scan();
+        let t7 = report.table7();
+        assert!(!t7.is_empty());
+        // yandex.ru holds ~18% of inclusions — it must rank in the top 3.
+        let top3: Vec<&str> = t7.iter().take(3).map(|(d, _)| d.as_str()).collect();
+        assert!(top3.contains(&"yandex.ru"), "top3: {top3:?}");
+    }
+
+    #[test]
+    fn first_party_clusters_match_table12_patterns() {
+        let report = small_scan();
+        let t12 = report.table12();
+        let total: u32 = t12.values().sum();
+        // 3,867/100K ⇒ ~31 at n=800.
+        assert!((15..=50).contains(&total), "first-party sites = {total}, {t12:?}");
+        assert!(t12.contains_key("Akamai") || t12.contains_key("Incapsula"), "{t12:?}");
+    }
+
+    #[test]
+    fn first_party_origin_classifier() {
+        assert_eq!(first_party_origin_of("https://a.com/akam/11/pixel"), "Akamai");
+        assert_eq!(
+            first_party_origin_of("https://a.com/_Incapsula_Resource?x=1"),
+            "Incapsula"
+        );
+        assert_eq!(
+            first_party_origin_of("https://a.com/cdn-cgi/bm/cv/2172558837/api.js"),
+            "Cloudflare"
+        );
+        assert_eq!(first_party_origin_of("https://a.com/abcdefgh/init.js"), "PerimeterX");
+        assert_eq!(
+            first_party_origin_of(&format!("https://a.com/assets/{:032x}", 0xabcdu64)),
+            "Unknown"
+        );
+        assert_eq!(first_party_origin_of("https://a.com/js/bot-check.js"), "SelfBuilt");
+    }
+
+    #[test]
+    fn interaction_surfaces_hover_gated_detectors_dynamically() {
+        // Ablation: an HLISA-style interacting crawl executes the
+        // hover-gated probes that the paper's non-interacting scan could
+        // only find statically.
+        let passive = run_scan(ScanConfig::new(600, 11));
+        let active = run_scan(ScanConfig {
+            simulate_interaction: true,
+            ..ScanConfig::new(600, 11)
+        });
+        let passive_dyn = passive.count(|s| s.site.dynamic_true);
+        let active_dyn = active.count(|s| s.site.dynamic_true);
+        assert!(
+            active_dyn > passive_dyn,
+            "interaction must add dynamic findings: {passive_dyn} -> {active_dyn}"
+        );
+        // Static findings are unaffected by interaction.
+        assert_eq!(
+            passive.count(|s| s.site.static_true),
+            active.count(|s| s.site.static_true)
+        );
+    }
+
+    #[test]
+    fn script_stats_count_collected_and_unique() {
+        let report = small_scan();
+        let (total, unique) = report.script_stats();
+        assert!(total > 0);
+        assert!(unique > 0 && unique <= total);
+        // Shared third-party detector bodies dedupe heavily, per-site
+        // scripts stay distinct-ish.
+        assert!(unique < total, "shared provider scripts must dedupe");
+    }
+
+    #[test]
+    fn rank_buckets_cover_all_sites() {
+        let report = small_scan();
+        let buckets = report.rank_buckets(100);
+        assert_eq!(buckets.len(), 8);
+        let front_static_total: u32 = buckets.iter().map(|b| b[0]).sum();
+        assert_eq!(front_static_total, report.count(|s| s.front.static_true));
+    }
+}

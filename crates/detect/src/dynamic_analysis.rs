@@ -1,0 +1,188 @@
+//! Dynamic analysis of recorded JavaScript calls (paper Sec. 4.1).
+//!
+//! Operates on the OpenWPM record store of a visit: every recorded access
+//! to the fingerprint surface marks its originating script as a *potential*
+//! detector; honey-property hits separate deliberate probes from blanket
+//! property iteration (Sec. 4.1.3); iterator scripts that also probed
+//! `navigator.webdriver` are kept as detectors only when static analysis
+//! independently flagged them, otherwise they are *inconclusive*.
+
+use std::collections::BTreeMap;
+
+use openwpm::instrument::honey::HONEY_SYMBOL_PREFIX;
+use openwpm::RecordStore;
+
+/// Classification of one script after the combined pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DynamicClass {
+    /// Probed bot-identifying properties deliberately.
+    Detector,
+    /// Iterator whose fingerprint-surface accesses may be incidental.
+    Inconclusive,
+    /// Touched no bot-identifying property.
+    NotDetector,
+}
+
+/// Per-script dynamic observation.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptObservation {
+    pub script_url: String,
+    pub accessed_webdriver: bool,
+    /// OpenWPM-specific property names probed (`window.getInstrumentJS`…).
+    pub openwpm_props: Vec<String>,
+    /// Distinct honey properties touched.
+    pub honey_hits: usize,
+}
+
+impl ScriptObservation {
+    /// Iterator heuristic: touched ≥90% of the installed honey properties.
+    pub fn is_iterator(&self, honey_total: usize) -> bool {
+        honey_total > 0 && self.honey_hits * 10 >= honey_total * 9
+    }
+
+    /// Combined classification. `statically_flagged`: did static analysis
+    /// independently find this script probing webdriver?
+    pub fn classify(&self, honey_total: usize, statically_flagged: bool) -> DynamicClass {
+        let touched_surface = self.accessed_webdriver || !self.openwpm_props.is_empty();
+        if !touched_surface {
+            return DynamicClass::NotDetector;
+        }
+        if self.is_iterator(honey_total) && !statically_flagged {
+            return DynamicClass::Inconclusive;
+        }
+        DynamicClass::Detector
+    }
+
+    pub fn probes_openwpm(&self) -> bool {
+        !self.openwpm_props.is_empty()
+    }
+}
+
+/// Group a visit's JS records by originating script.
+pub fn observe(store: &RecordStore) -> Vec<ScriptObservation> {
+    let mut by_script: BTreeMap<String, ScriptObservation> = BTreeMap::new();
+    for rec in &store.js_calls {
+        let obs = by_script.entry(rec.script_url.clone()).or_insert_with(|| {
+            ScriptObservation { script_url: rec.script_url.clone(), ..Default::default() }
+        });
+        if let Some(rest) = rec.symbol.strip_prefix(HONEY_SYMBOL_PREFIX) {
+            let _ = rest;
+            obs.honey_hits += 1;
+        } else if rec.symbol.ends_with(".webdriver") {
+            obs.accessed_webdriver = true;
+        } else if rec.symbol.starts_with("window.")
+            && openwpm::instrument::watch::WATCHED_PROPS
+                .iter()
+                .any(|p| rec.symbol == format!("window.{p}"))
+        {
+            if !obs.openwpm_props.contains(&rec.symbol) {
+                obs.openwpm_props.push(rec.symbol.clone());
+            }
+        }
+    }
+    // Honey hits counted above are raw accesses; dedupe per honey name.
+    for obs in by_script.values_mut() {
+        let mut names: Vec<&str> = store
+            .js_calls
+            .iter()
+            .filter(|r| {
+                r.script_url == obs.script_url && r.symbol.starts_with(HONEY_SYMBOL_PREFIX)
+            })
+            .map(|r| r.symbol.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        // Each honey property is installed on both navigator and window;
+        // count distinct *names*.
+        let mut short: Vec<&str> =
+            names.iter().map(|s| s.rsplit('.').next().unwrap_or("")).collect();
+        short.sort_unstable();
+        short.dedup();
+        obs.honey_hits = short.len();
+    }
+    by_script.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{self, Technique};
+    use openwpm::instrument::{honey, watch};
+    use openwpm::{Browser, BrowserConfig, VisitSpec};
+
+    /// Run a script under the scanning client and return observations.
+    fn scan_script(src: &str, script_url: &str) -> (Vec<ScriptObservation>, usize) {
+        let mut b = Browser::new(BrowserConfig::vanilla(77));
+        let spec = VisitSpec {
+            url: "https://site.test/".into(),
+            dwell_override_s: Some(61),
+            ..Default::default()
+        };
+        let (mut page, _stats) = b.open_page(&spec);
+        watch::install(&mut page, b.store(), "https://site.test/".into());
+        let names = honey::install(&mut page, b.store(), 77, 10);
+        let _ = page.run_script(src, script_url);
+        page.advance(61_000);
+        let store = b.take_store();
+        (observe(&store), names.len())
+    }
+
+    #[test]
+    fn plain_detector_classified_as_detector() {
+        let src = corpus::selenium_detector(Technique::Plain, "https://bd.test/v");
+        let (obs, honey_total) = scan_script(&src, "https://bd.test/detect.js");
+        let d = obs.iter().find(|o| o.script_url == "https://bd.test/detect.js").unwrap();
+        assert!(d.accessed_webdriver);
+        assert_eq!(d.classify(honey_total, false), DynamicClass::Detector);
+    }
+
+    #[test]
+    fn constructed_detector_still_caught_dynamically() {
+        let src = corpus::selenium_detector(Technique::Constructed, "https://bd.test/v");
+        let (obs, honey_total) = scan_script(&src, "https://bd.test/obf.js");
+        let d = obs.iter().find(|o| o.script_url == "https://bd.test/obf.js").unwrap();
+        assert_eq!(d.classify(honey_total, false), DynamicClass::Detector);
+    }
+
+    #[test]
+    fn hover_gated_detector_invisible_dynamically() {
+        let src = corpus::selenium_detector(Technique::HoverGated, "https://bd.test/v");
+        let (obs, _) = scan_script(&src, "https://bd.test/gated.js");
+        let gated = obs.iter().find(|o| o.script_url == "https://bd.test/gated.js");
+        assert!(gated.map(|o| !o.accessed_webdriver).unwrap_or(true));
+    }
+
+    #[test]
+    fn iterator_is_inconclusive_unless_statically_flagged() {
+        let src = corpus::fingerprint_iterator("https://fp.test/c");
+        let (obs, honey_total) = scan_script(&src, "https://fp.test/fp.js");
+        let d = obs.iter().find(|o| o.script_url == "https://fp.test/fp.js").unwrap();
+        assert!(d.accessed_webdriver, "iterating navigator reads webdriver");
+        assert!(d.is_iterator(honey_total), "honey hits: {}", d.honey_hits);
+        assert_eq!(d.classify(honey_total, false), DynamicClass::Inconclusive);
+        // With static confirmation it stays a detector.
+        assert_eq!(d.classify(honey_total, true), DynamicClass::Detector);
+    }
+
+    #[test]
+    fn openwpm_probe_flagged() {
+        let src = corpus::openwpm_detector(
+            &["jsInstruments"],
+            Technique::Plain,
+            "https://cheqzone.com/v",
+        );
+        let (obs, honey_total) = scan_script(&src, "https://cheqzone.com/d.js");
+        let d = obs.iter().find(|o| o.script_url == "https://cheqzone.com/d.js").unwrap();
+        assert!(d.probes_openwpm(), "props: {:?}", d.openwpm_props);
+        assert_eq!(d.classify(honey_total, false), DynamicClass::Detector);
+    }
+
+    #[test]
+    fn benign_script_not_a_detector() {
+        let src = corpus::benign_webdriver_mention();
+        let (obs, honey_total) = scan_script(&src, "https://ok.test/app.js");
+        if let Some(d) = obs.iter().find(|o| o.script_url == "https://ok.test/app.js") {
+            assert_eq!(d.classify(honey_total, false), DynamicClass::NotDetector);
+        }
+    }
+}

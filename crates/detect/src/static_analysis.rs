@@ -1,0 +1,330 @@
+//! Static analysis of collected scripts (paper Sec. 4.1 + Appx. B).
+//!
+//! Pipeline: preprocess (decode hex/unicode escapes, strip comments) then
+//! match the patterns of Table 13. The paper iterated on pattern design to
+//! kill false positives — the naive literal `webdriver` matches benign
+//! strings, while the context-aware `navigator.webdriver` /
+//! `navigator["webdriver"]` forms do not. All evaluated patterns are
+//! implemented so Table 13 can be regenerated.
+
+/// The patterns evaluated in Appx. B (Table 13), in paper order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StaticPattern {
+    /// Bare literal `webdriver` — false-positive prone.
+    WebdriverLiteral,
+    /// `instrumentFingerprintingApis`.
+    InstrumentFingerprintingApis,
+    /// `getInstrumentJS`.
+    GetInstrumentJs,
+    /// `jsInstruments`.
+    JsInstruments,
+    /// `webdriver` not adjacent to `_` or `-` — still false-positive prone.
+    WebdriverUndelimited,
+    /// `navigator.webdriver`.
+    NavigatorDotWebdriver,
+    /// `navigator["webdriver"]` / `navigator['webdriver']`.
+    NavigatorIndexedWebdriver,
+}
+
+impl StaticPattern {
+    pub fn all() -> &'static [StaticPattern] {
+        &[
+            StaticPattern::WebdriverLiteral,
+            StaticPattern::InstrumentFingerprintingApis,
+            StaticPattern::GetInstrumentJs,
+            StaticPattern::JsInstruments,
+            StaticPattern::WebdriverUndelimited,
+            StaticPattern::NavigatorDotWebdriver,
+            StaticPattern::NavigatorIndexedWebdriver,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            StaticPattern::WebdriverLiteral => "webdriver",
+            StaticPattern::InstrumentFingerprintingApis => "instrumentFingerprintingApis",
+            StaticPattern::GetInstrumentJs => "getInstrumentJS",
+            StaticPattern::JsInstruments => "jsInstruments",
+            StaticPattern::WebdriverUndelimited => "(?<!_|-)webdriver(?!_|-)",
+            StaticPattern::NavigatorDotWebdriver => "navigator.webdriver",
+            StaticPattern::NavigatorIndexedWebdriver => r#"navigator\[["']webdriver["']\]"#,
+        }
+    }
+
+    /// Whether the paper found this pattern to produce false positives.
+    pub fn fp_prone(&self) -> bool {
+        matches!(self, StaticPattern::WebdriverLiteral | StaticPattern::WebdriverUndelimited)
+    }
+
+    /// Match against *preprocessed* source.
+    pub fn matches(&self, src: &str) -> bool {
+        match self {
+            StaticPattern::WebdriverLiteral => src.contains("webdriver"),
+            StaticPattern::InstrumentFingerprintingApis => {
+                src.contains("instrumentFingerprintingApis")
+            }
+            StaticPattern::GetInstrumentJs => src.contains("getInstrumentJS"),
+            StaticPattern::JsInstruments => src.contains("jsInstruments"),
+            StaticPattern::WebdriverUndelimited => {
+                find_all(src, "webdriver").into_iter().any(|i| {
+                    let before = src[..i].chars().next_back();
+                    let after = src[i + "webdriver".len()..].chars().next();
+                    !matches!(before, Some('_') | Some('-'))
+                        && !matches!(after, Some('_') | Some('-'))
+                })
+            }
+            StaticPattern::NavigatorDotWebdriver => src.contains("navigator.webdriver"),
+            StaticPattern::NavigatorIndexedWebdriver => {
+                src.contains(r#"navigator["webdriver"]"#) || src.contains("navigator['webdriver']")
+            }
+        }
+    }
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(i) = haystack[start..].find(needle) {
+        out.push(start + i);
+        start += i + 1;
+    }
+    out
+}
+
+/// Preprocess a script: decode `\xNN` / `\uNNNN` escapes and strip
+/// comments, undoing the "straightforward obfuscation" the paper's
+/// pipeline handles (Sec. 4.1.3, *Preprocessing for static analysis*).
+pub fn preprocess(src: &str) -> String {
+    strip_comments(&decode_escapes(src))
+}
+
+/// Decode hex and unicode escapes wherever they appear.
+pub fn decode_escapes(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Only slice when the escape body is all ASCII hex digits — a `\x`
+    // followed by multi-byte UTF-8 must pass through untouched.
+    let hex_run = |start: usize, len: usize| -> Option<&str> {
+        let end = start + len;
+        if end <= bytes.len() && bytes[start..end].iter().all(u8::is_ascii_hexdigit) {
+            Some(&src[start..end])
+        } else {
+            None
+        }
+    };
+    while i < bytes.len() {
+        if bytes[i] == b'\\' && bytes.get(i + 1) == Some(&b'x') {
+            if let Some(hex) = hex_run(i + 2, 2) {
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    if v.is_ascii() {
+                        out.push(v as char);
+                        i += 4;
+                        continue;
+                    }
+                }
+            }
+        }
+        if bytes[i] == b'\\' && bytes.get(i + 1) == Some(&b'u') {
+            if let Some(hex) = hex_run(i + 2, 4) {
+                if let Ok(v) = u32::from_str_radix(hex, 16) {
+                    if let Some(c) = char::from_u32(v) {
+                        out.push(c);
+                        i += 6;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Copy one UTF-8 scalar.
+        let ch = src[i..].chars().next().unwrap();
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// Remove `//` and `/* */` comments, preserving string literals.
+pub fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let mut in_string: Option<u8> = None;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match in_string {
+            Some(q) => {
+                out.push(c as char);
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out.push(bytes[i + 1] as char);
+                    i += 2;
+                    continue;
+                }
+                if c == q {
+                    in_string = None;
+                }
+                i += 1;
+            }
+            None => {
+                if c == b'"' || c == b'\'' || c == b'`' {
+                    in_string = Some(c);
+                    out.push(c as char);
+                    i += 1;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    i += 2;
+                    while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                        i += 1;
+                    }
+                    i = (i + 2).min(bytes.len());
+                } else {
+                    // Non-ASCII bytes are copied through verbatim.
+                    let ch = src[i..].chars().next().unwrap();
+                    out.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Result of statically analysing one script with the final pattern set
+/// (the non-FP-prone patterns the paper settled on).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StaticFinding {
+    /// Script probes `navigator.webdriver` (Selenium detector).
+    pub selenium: bool,
+    /// OpenWPM-specific property names found.
+    pub openwpm_props: Vec<&'static str>,
+}
+
+impl StaticFinding {
+    pub fn is_detector(&self) -> bool {
+        self.selenium || !self.openwpm_props.is_empty()
+    }
+}
+
+/// Analyse one script with the production pattern set.
+pub fn analyse(src: &str) -> StaticFinding {
+    let pre = preprocess(src);
+    let selenium = StaticPattern::NavigatorDotWebdriver.matches(&pre)
+        || StaticPattern::NavigatorIndexedWebdriver.matches(&pre);
+    let mut openwpm_props = Vec::new();
+    for (pat, name) in [
+        (StaticPattern::GetInstrumentJs, "getInstrumentJS"),
+        (StaticPattern::InstrumentFingerprintingApis, "instrumentFingerprintingApis"),
+        (StaticPattern::JsInstruments, "jsInstruments"),
+    ] {
+        if pat.matches(&pre) {
+            openwpm_props.push(name);
+        }
+    }
+    StaticFinding { selenium, openwpm_props }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{self, Technique};
+
+    #[test]
+    fn plain_and_indexed_probes_found() {
+        for t in [Technique::Plain, Technique::Indexed] {
+            let src = corpus::selenium_detector(t, "https://bd.test/v");
+            assert!(analyse(&src).selenium, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn hex_escaped_probe_found_after_preprocessing() {
+        let src = corpus::selenium_detector(Technique::HexEscaped, "https://bd.test/v");
+        // Raw match fails…
+        assert!(!StaticPattern::NavigatorIndexedWebdriver.matches(&src));
+        // …the pipeline decodes it.
+        assert!(analyse(&src).selenium);
+    }
+
+    #[test]
+    fn constructed_probe_invisible_statically() {
+        let src = corpus::selenium_detector(Technique::Constructed, "https://bd.test/v");
+        assert!(!analyse(&src).selenium);
+    }
+
+    #[test]
+    fn hover_gated_probe_found_statically() {
+        // "Present but unexecuted" code is exactly what static analysis
+        // catches and dynamic analysis misses.
+        let src = corpus::selenium_detector(Technique::HoverGated, "https://bd.test/v");
+        assert!(analyse(&src).selenium);
+    }
+
+    #[test]
+    fn benign_webdriver_mentions_do_not_trip_precise_patterns() {
+        let src = corpus::benign_webdriver_mention();
+        let f = analyse(&src);
+        assert!(!f.is_detector());
+        // Naive patterns do trip — the Table 13 false positives.
+        let pre = preprocess(&src);
+        assert!(StaticPattern::WebdriverLiteral.matches(&pre));
+        assert!(StaticPattern::WebdriverUndelimited.matches(&src));
+    }
+
+    #[test]
+    fn underscore_delimited_webdriver_excluded_by_undelimited_pattern() {
+        assert!(!StaticPattern::WebdriverUndelimited.matches("var x = my_webdriver_flag;"));
+        assert!(StaticPattern::WebdriverUndelimited.matches("check(navigator.webdriver);"));
+    }
+
+    #[test]
+    fn openwpm_props_found() {
+        let src = corpus::openwpm_detector(
+            &["jsInstruments", "getInstrumentJS"],
+            Technique::Plain,
+            "https://cheqzone.com/v",
+        );
+        let f = analyse(&src);
+        assert_eq!(f.openwpm_props, vec!["getInstrumentJS", "jsInstruments"]);
+        assert!(f.is_detector());
+    }
+
+    #[test]
+    fn constructed_openwpm_probe_invisible() {
+        let src = corpus::openwpm_detector(
+            &["instrumentFingerprintingApis"],
+            Technique::Constructed,
+            "https://google.com/recaptcha/v",
+        );
+        assert!(analyse(&src).openwpm_props.is_empty());
+    }
+
+    #[test]
+    fn comment_stripping_preserves_strings() {
+        let src = "var a = 'http://x/*not a comment*/'; // real comment\nvar b = 1;";
+        let out = strip_comments(src);
+        assert!(out.contains("not a comment"));
+        assert!(!out.contains("real comment"));
+    }
+
+    #[test]
+    fn escape_decoding() {
+        assert_eq!(decode_escapes(r"\x77\x65\x62"), "web");
+        assert_eq!(decode_escapes(r"webdriver"), "webdriver");
+        assert_eq!(decode_escapes("plain"), "plain");
+        // Invalid escapes survive untouched.
+        assert_eq!(decode_escapes(r"\xZZ"), r"\xZZ");
+    }
+
+    #[test]
+    fn comments_hiding_probes_are_removed() {
+        // A probe inside a comment must NOT count…
+        let src = "// navigator.webdriver\nvar x = 1;";
+        assert!(!analyse(src).selenium);
+        // …but a commented file with a live probe still matches.
+        let src = "/* header */ if (navigator.webdriver) { flag(); }";
+        assert!(analyse(src).selenium);
+    }
+}

@@ -1,0 +1,53 @@
+//! Engine error types.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A thrown JavaScript value (any value can be thrown), carried through the
+/// Rust call stack as an `Err`. For `Error` objects the `.stack` property was
+/// already captured at construction time, mirroring SpiderMonkey.
+#[derive(Clone, Debug)]
+pub struct Thrown {
+    pub value: Value,
+    /// Human-readable rendering, for host-side diagnostics.
+    pub message: String,
+}
+
+impl Thrown {
+    pub fn new(value: Value, message: impl Into<String>) -> Thrown {
+        Thrown { value, message: message.into() }
+    }
+}
+
+/// Top-level engine failure: either a parse error or an uncaught exception.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// Syntax error with line number and description.
+    Parse { line: u32, message: String },
+    /// Exception propagated out of the top-level script.
+    Uncaught(Thrown),
+    /// Runaway script stopped by the step or recursion budget — the
+    /// engine-level equivalent of a watchdog kill.
+    Budget(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { line, message } => {
+                write!(f, "SyntaxError (line {line}): {message}")
+            }
+            EngineError::Uncaught(t) => write!(f, "Uncaught: {}", t.message),
+            EngineError::Budget(what) => write!(f, "script exceeded {what} budget"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<Thrown> for EngineError {
+    fn from(t: Thrown) -> EngineError {
+        EngineError::Uncaught(t)
+    }
+}

@@ -1,0 +1,525 @@
+//! Tokeniser for the MiniJS subset.
+//!
+//! Supports the token set needed by page scripts, detector scripts and the
+//! OpenWPM instrumentation wrappers: identifiers, number/string literals
+//! (with `\x`/`\u` escapes, since the static-analysis evaluation needs
+//! hex-obfuscated scripts to actually run), template-free strings, the
+//! operator set of ES5 expressions, and comments (line and block).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A lexical token with its source line (1-based), used for error reporting
+/// and for `Error.stack` line numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+    /// Byte offset of the token start in the source; function definitions
+    /// use spans to recover their exact source text for `toString`.
+    pub start: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // Literals and names
+    Num(f64),
+    Str(Rc<str>),
+    Ident(Rc<str>),
+    // Keywords
+    Var,
+    Let,
+    Const,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    For,
+    In,
+    Of,
+    Break,
+    Continue,
+    New,
+    Delete,
+    Typeof,
+    Instanceof,
+    Try,
+    Catch,
+    Finally,
+    Throw,
+    True,
+    False,
+    Null,
+    Undefined,
+    This,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    Arrow, // =>
+    // Operators
+    Assign,        // =
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    SlashAssign,   // /=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    EqEqEq,
+    NotEqEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+    Tilde,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Lexing failure with line info.
+#[derive(Clone, Debug)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Tokenise `src` into a vector ending with `Tok::Eof`.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments()?;
+            let start = self.pos;
+            let line = self.line;
+            let Some(&c) = self.src.get(self.pos) else {
+                out.push(Token { kind: Tok::Eof, line, start });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'"' | b'\'' => self.string(c)?,
+                b'`' => self.template_string()?,
+                c if is_ident_start(c) => self.ident(),
+                _ => self.punct()?,
+            };
+            out.push(Token { kind, line, start });
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { line: self.line, message: msg.into() }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b' ') | Some(b'\t') | Some(b'\r') => self.pos += 1,
+                Some(b'\\') if self.src.get(self.pos + 1) == Some(&b'\n') => {
+                    // Line continuation outside strings (appears in the
+                    // paper's Listing 1 wrapper source); treat as whitespace.
+                    self.line += 1;
+                    self.pos += 2;
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(&c) = self.src.get(self.pos) {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            self.line += 1;
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.pos += 2;
+                    loop {
+                        match self.src.get(self.pos) {
+                            Some(b'*') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(b'\n') => {
+                                self.line += 1;
+                                self.pos += 1;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, LexError> {
+        let start = self.pos;
+        // Hex literal.
+        if self.src[self.pos] == b'0'
+            && matches!(self.src.get(self.pos + 1), Some(b'x') | Some(b'X'))
+        {
+            self.pos += 2;
+            let hstart = self.pos;
+            while self.src.get(self.pos).is_some_and(u8::is_ascii_hexdigit) {
+                self.pos += 1;
+            }
+            if self.pos == hstart {
+                return Err(self.err("malformed hex literal"));
+            }
+            let text = std::str::from_utf8(&self.src[hstart..self.pos]).unwrap();
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|e| self.err(format!("hex literal: {e}")))?;
+            return Ok(Tok::Num(v as f64));
+        }
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.src.get(self.pos) == Some(&b'.')
+            && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
+        {
+            self.pos += 1;
+            while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.src.get(self.pos), Some(b'e') | Some(b'E')) {
+            let mut p = self.pos + 1;
+            if matches!(self.src.get(p), Some(b'+') | Some(b'-')) {
+                p += 1;
+            }
+            if self.src.get(p).is_some_and(u8::is_ascii_digit) {
+                self.pos = p;
+                while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Tok::Num).map_err(|e| self.err(format!("number: {e}")))
+    }
+
+    fn string(&mut self, quote: u8) -> Result<Tok, LexError> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(&c) if c == quote => {
+                    self.pos += 1;
+                    return Ok(Tok::Str(Rc::from(s)));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self.src.get(self.pos).ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'0' => s.push('\0'),
+                        b'\\' => s.push('\\'),
+                        b'\'' => s.push('\''),
+                        b'"' => s.push('"'),
+                        b'`' => s.push('`'),
+                        b'\n' => self.line += 1, // escaped newline: continuation
+                        b'x' => {
+                            let hex = self.take_hex(2)?;
+                            s.push(hex as u8 as char);
+                        }
+                        b'u' => {
+                            let hex = self.take_hex(4)?;
+                            s.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => s.push(other as char),
+                    }
+                }
+                Some(&c) => {
+                    // Copy a full UTF-8 sequence through.
+                    let ch_len = utf8_len(c);
+                    let bytes = &self.src[self.pos..self.pos + ch_len];
+                    s.push_str(std::str::from_utf8(bytes).map_err(|_| self.err("bad utf8"))?);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    /// Backtick strings without `${}` interpolation (enough for the corpus).
+    fn template_string(&mut self) -> Result<Tok, LexError> {
+        self.string(b'`')
+    }
+
+    fn take_hex(&mut self, n: usize) -> Result<u32, LexError> {
+        let end = self.pos + n;
+        if end > self.src.len() {
+            return Err(self.err("truncated hex escape"));
+        }
+        let text = std::str::from_utf8(&self.src[self.pos..end])
+            .map_err(|_| self.err("bad hex escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("bad hex escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(|&c| is_ident_part(c)) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match text {
+            "var" => Tok::Var,
+            "let" => Tok::Let,
+            "const" => Tok::Const,
+            "function" => Tok::Function,
+            "return" => Tok::Return,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "for" => Tok::For,
+            "in" => Tok::In,
+            "of" => Tok::Of,
+            "break" => Tok::Break,
+            "continue" => Tok::Continue,
+            "new" => Tok::New,
+            "delete" => Tok::Delete,
+            "typeof" => Tok::Typeof,
+            "instanceof" => Tok::Instanceof,
+            "try" => Tok::Try,
+            "catch" => Tok::Catch,
+            "finally" => Tok::Finally,
+            "throw" => Tok::Throw,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "null" => Tok::Null,
+            "undefined" => Tok::Undefined,
+            "this" => Tok::This,
+            _ => Tok::Ident(Rc::from(text)),
+        }
+    }
+
+    fn punct(&mut self) -> Result<Tok, LexError> {
+        let rest = &self.src[self.pos..];
+        // Longest-match over multi-byte operators first.
+        const THREE: &[(&[u8], Tok)] = &[
+            (b"===", Tok::EqEqEq),
+            (b"!==", Tok::NotEqEq),
+            (b">>>", Tok::UShr),
+        ];
+        const TWO: &[(&[u8], Tok)] = &[
+            (b"==", Tok::EqEq),
+            (b"!=", Tok::NotEq),
+            (b"<=", Tok::Le),
+            (b">=", Tok::Ge),
+            (b"&&", Tok::AndAnd),
+            (b"||", Tok::OrOr),
+            (b"++", Tok::PlusPlus),
+            (b"--", Tok::MinusMinus),
+            (b"+=", Tok::PlusAssign),
+            (b"-=", Tok::MinusAssign),
+            (b"*=", Tok::StarAssign),
+            (b"/=", Tok::SlashAssign),
+            (b"=>", Tok::Arrow),
+            (b"<<", Tok::Shl),
+            (b">>", Tok::Shr),
+        ];
+        for (pat, tok) in THREE {
+            if rest.starts_with(pat) {
+                self.pos += 3;
+                return Ok(tok.clone());
+            }
+        }
+        for (pat, tok) in TWO {
+            if rest.starts_with(pat) {
+                self.pos += 2;
+                return Ok(tok.clone());
+            }
+        }
+        let tok = match rest.first() {
+            Some(b'(') => Tok::LParen,
+            Some(b')') => Tok::RParen,
+            Some(b'{') => Tok::LBrace,
+            Some(b'}') => Tok::RBrace,
+            Some(b'[') => Tok::LBracket,
+            Some(b']') => Tok::RBracket,
+            Some(b';') => Tok::Semi,
+            Some(b',') => Tok::Comma,
+            Some(b'.') => Tok::Dot,
+            Some(b':') => Tok::Colon,
+            Some(b'?') => Tok::Question,
+            Some(b'=') => Tok::Assign,
+            Some(b'+') => Tok::Plus,
+            Some(b'-') => Tok::Minus,
+            Some(b'*') => Tok::Star,
+            Some(b'/') => Tok::Slash,
+            Some(b'%') => Tok::Percent,
+            Some(b'<') => Tok::Lt,
+            Some(b'>') => Tok::Gt,
+            Some(b'!') => Tok::Not,
+            Some(b'&') => Tok::BitAnd,
+            Some(b'|') => Tok::BitOr,
+            Some(b'^') => Tok::BitXor,
+            Some(b'~') => Tok::Tilde,
+            Some(&c) => return Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Tok::Eof,
+        };
+        self.pos += 1;
+        Ok(tok)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b'$'
+}
+
+fn is_ident_part(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'$'
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("var x = 1 + 2;"),
+            vec![
+                Tok::Var,
+                Tok::Ident(Rc::from("x")),
+                Tok::Assign,
+                Tok::Num(1.0),
+                Tok::Plus,
+                Tok::Num(2.0),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds(r#"'a\x41b'"#), vec![Tok::Str(Rc::from("aAb")), Tok::Eof]);
+        assert_eq!(kinds(r#""A""#), vec![Tok::Str(Rc::from("A")), Tok::Eof]);
+        assert_eq!(kinds("`tick`"), vec![Tok::Str(Rc::from("tick")), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("// line\n/* block\nmore */ 7"),
+            vec![Tok::Num(7.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0x10"), vec![Tok::Num(16.0), Tok::Eof]);
+        assert_eq!(kinds("3.5"), vec![Tok::Num(3.5), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Num(1000.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("a === b !== c && d || !e"),
+            vec![
+                Tok::Ident(Rc::from("a")),
+                Tok::EqEqEq,
+                Tok::Ident(Rc::from("b")),
+                Tok::NotEqEq,
+                Tok::Ident(Rc::from("c")),
+                Tok::AndAnd,
+                Tok::Ident(Rc::from("d")),
+                Tok::OrOr,
+                Tok::Not,
+                Tok::Ident(Rc::from("e")),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn arrow_and_updates() {
+        assert_eq!(
+            kinds("x => x++"),
+            vec![
+                Tok::Ident(Rc::from("x")),
+                Tok::Arrow,
+                Tok::Ident(Rc::from("x")),
+                Tok::PlusPlus,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # MiniJS — a small JavaScript-subset interpreter
+//!
+//! `jsengine` is the scripting substrate of the *gullible* reproduction of
+//! "How gullible are web measurement tools?" (CoNEXT '22). The paper's
+//! attacks and defences all live at the JavaScript layer of a browser:
+//! `Function.prototype.toString` leakage of instrumentation wrappers, stack
+//! traces that expose wrapper frames, prototype pollution, property probing
+//! and iteration, event-dispatcher hijacking, and `eval`-based silent code
+//! delivery. Rather than hard-coding the outcome of those techniques, this
+//! crate implements enough of JavaScript that they *emerge* from the
+//! semantics:
+//!
+//! * a full object model with prototype chains, data and accessor
+//!   properties, enumerability and property deletion;
+//! * closures, `this` binding, `new`, `arguments`, `call`/`apply`;
+//! * `try`/`catch`/`finally`, `throw`, and `Error` objects whose `.stack`
+//!   reflects the real interpreter call stack (so a wrapped API call really
+//!   does show the wrapper's frames);
+//! * `Function.prototype.toString` returning the original source text for
+//!   script functions and a `[native code]` body for native functions (so
+//!   wrapper detection via `toString` really works);
+//! * `eval` and a timer/job queue (so the silent-JS-delivery and delayed
+//!   iframe attacks can be expressed verbatim);
+//! * `for`-`in` iteration and `Object.getOwnPropertyNames` (so template
+//!   attacks and honey-property traps behave as in the paper).
+//!
+//! The engine is deliberately a tree-walking interpreter: the workloads are
+//! page scripts of a few hundred statements, and determinism plus
+//! debuggability matter far more than throughput (the `bench` crate
+//! quantifies the cost).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use jsengine::{Interp, Value};
+//!
+//! let mut interp = Interp::new();
+//! let v = interp.eval_script("var x = 2; x + 40", "inline").unwrap();
+//! assert_eq!(v, Value::Num(42.0));
+//! ```
+//!
+//! Host environments (the `browser` crate) install host objects such as
+//! `window`, `navigator` and `document` onto the global object and register
+//! native functions that close over host state.
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod object;
+pub mod parser;
+pub mod value;
+
+mod builtins;
+
+pub use error::{EngineError, Thrown};
+pub use interp::{Frame, Interp, NativeFn, ScopeRef};
+pub use object::{Callable, JsObject, ObjId, PropMap, Property, Slot};
+pub use value::Value;
+
+/// Convenience: parse and run a script in a fresh interpreter, returning the
+/// final expression value. Used heavily in tests.
+pub fn eval(src: &str) -> Result<Value, EngineError> {
+    let mut interp = Interp::new();
+    interp.eval_script(src, "eval")
+}

@@ -1,0 +1,265 @@
+//! The object model: heap, objects, properties, callables.
+//!
+//! Everything a detector script can observe about an object — own property
+//! names and their insertion order, prototype links, accessor vs data
+//! properties, callability, the `toString` source of functions — is
+//! represented here. The OpenWPM instrumentation (in the `openwpm` crate)
+//! manipulates objects exclusively through this model, which is what makes
+//! its artefacts observable to scripts in exactly the ways the paper
+//! describes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::FunctionDef;
+use crate::interp::{NativeFn, ScopeRef};
+use crate::value::Value;
+
+/// Index of an object in the interpreter heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// A property slot: plain data or accessor pair.
+#[derive(Clone, Debug)]
+pub enum Slot {
+    Data(Value),
+    Accessor {
+        /// Getter function object, if any.
+        get: Option<ObjId>,
+        /// Setter function object, if any.
+        set: Option<ObjId>,
+    },
+}
+
+/// A property with its attributes.
+#[derive(Clone, Debug)]
+pub struct Property {
+    pub slot: Slot,
+    pub enumerable: bool,
+    pub writable: bool,
+}
+
+impl Property {
+    pub fn data(v: Value) -> Property {
+        Property { slot: Slot::Data(v), enumerable: true, writable: true }
+    }
+
+    pub fn data_hidden(v: Value) -> Property {
+        Property { slot: Slot::Data(v), enumerable: false, writable: true }
+    }
+
+    pub fn accessor(get: Option<ObjId>, set: Option<ObjId>) -> Property {
+        Property { slot: Slot::Accessor { get, set }, enumerable: true, writable: true }
+    }
+}
+
+/// Insertion-ordered property map (the iteration order scripts see in
+/// `for`-`in` and `Object.getOwnPropertyNames`).
+#[derive(Clone, Debug, Default)]
+pub struct PropMap {
+    entries: Vec<(Rc<str>, Property)>,
+    index: HashMap<Rc<str>, usize>,
+}
+
+impl PropMap {
+    pub fn new() -> PropMap {
+        PropMap::default()
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Property> {
+        self.index.get(key).map(|&i| &self.entries[i].1)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Property> {
+        match self.index.get(key) {
+            Some(&i) => Some(&mut self.entries[i].1),
+            None => None,
+        }
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Insert or overwrite, preserving the original insertion position on
+    /// overwrite (as JavaScript engines do).
+    pub fn insert(&mut self, key: Rc<str>, prop: Property) {
+        if let Some(&i) = self.index.get(&key) {
+            self.entries[i].1 = prop;
+        } else {
+            self.index.insert(key.clone(), self.entries.len());
+            self.entries.push((key, prop));
+        }
+    }
+
+    /// Delete a property. Returns whether it existed. O(n) — deletes are
+    /// rare (only the instrumentation clean-up path uses them).
+    pub fn remove(&mut self, key: &str) -> bool {
+        if let Some(i) = self.index.remove(key) {
+            self.entries.remove(i);
+            // Reindex everything after the removed slot.
+            for (j, (k, _)) in self.entries.iter().enumerate().skip(i) {
+                self.index.insert(k.clone(), j);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &Rc<str>> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Rc<str>, &Property)> {
+        self.entries.iter().map(|(k, p)| (k, p))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What makes a function object callable.
+#[derive(Clone)]
+pub enum Callable {
+    /// A host function implemented in Rust. `name` feeds both `fn.name` and
+    /// the `function name() { [native code] }` rendering of `toString`, so a
+    /// native-backed hook is indistinguishable from a pristine builtin via
+    /// `toString` — the crux of the paper's stealth design (Sec. 6.1.1).
+    Native { name: Rc<str>, f: NativeFn },
+    /// A function defined in MiniJS source. `toString` returns the original
+    /// source slice, which is how scripts detect OpenWPM's script-level
+    /// wrappers (Listing 1 of the paper).
+    Script { def: Rc<FunctionDef>, env: ScopeRef },
+}
+
+impl std::fmt::Debug for Callable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Callable::Native { name, .. } => write!(f, "Callable::Native({name})"),
+            Callable::Script { def, .. } => write!(f, "Callable::Script({})", def.name),
+        }
+    }
+}
+
+/// A heap object.
+#[derive(Debug, Default)]
+pub struct JsObject {
+    /// Prototype link (`Object.getPrototypeOf`).
+    pub proto: Option<ObjId>,
+    /// Own properties in insertion order.
+    pub props: PropMap,
+    /// Set when the object is callable.
+    pub call: Option<Callable>,
+    /// Internal class tag: `"Object"`, `"Function"`, `"Array"`, `"Error"`,
+    /// and host classes such as `"Navigator"`, `"Window"`, `"HTMLElement"`.
+    /// Host accessors use it to validate `this` (illegal-invocation errors).
+    pub class: Rc<str>,
+    /// Dense backing store for arrays.
+    pub elements: Option<Vec<Value>>,
+    /// Host-attached opaque id; the browser crate uses it to link element
+    /// objects and child-frame windows back to host-side structures.
+    pub host_data: Option<u32>,
+}
+
+impl JsObject {
+    pub fn plain(proto: Option<ObjId>) -> JsObject {
+        JsObject { proto, class: Rc::from("Object"), ..Default::default() }
+    }
+
+    pub fn with_class(proto: Option<ObjId>, class: &str) -> JsObject {
+        JsObject { proto, class: Rc::from(class), ..Default::default() }
+    }
+
+    pub fn is_callable(&self) -> bool {
+        self.call.is_some()
+    }
+
+    pub fn is_array(&self) -> bool {
+        self.elements.is_some()
+    }
+}
+
+/// The object heap. A plain growing arena: pages are short-lived and the
+/// whole realm is dropped after a visit, so no GC is needed (this mirrors
+/// how the reproduction uses one realm per page load).
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<JsObject>,
+}
+
+impl Heap {
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    pub fn alloc(&mut self, obj: JsObject) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(obj);
+        id
+    }
+
+    pub fn get(&self, id: ObjId) -> &JsObject {
+        &self.objects[id.0 as usize]
+    }
+
+    pub fn get_mut(&mut self, id: ObjId) -> &mut JsObject {
+        &mut self.objects[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propmap_preserves_insertion_order() {
+        let mut m = PropMap::new();
+        for k in ["b", "a", "c"] {
+            m.insert(Rc::from(k), Property::data(Value::Num(1.0)));
+        }
+        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
+        assert_eq!(keys, vec!["b", "a", "c"]);
+        // Overwrite keeps position.
+        m.insert(Rc::from("a"), Property::data(Value::Num(2.0)));
+        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
+        assert_eq!(keys, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn propmap_remove_reindexes() {
+        let mut m = PropMap::new();
+        for k in ["x", "y", "z"] {
+            m.insert(Rc::from(k), Property::data(Value::Num(0.0)));
+        }
+        assert!(m.remove("y"));
+        assert!(!m.remove("y"));
+        assert!(m.contains("z"));
+        m.insert(Rc::from("w"), Property::data(Value::Num(3.0)));
+        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
+        assert_eq!(keys, vec!["x", "z", "w"]);
+        assert!(matches!(m.get("w").unwrap().slot, Slot::Data(Value::Num(n)) if n == 3.0));
+    }
+
+    #[test]
+    fn heap_alloc_get() {
+        let mut h = Heap::new();
+        let id = h.alloc(JsObject::plain(None));
+        assert_eq!(h.get(id).class.as_ref(), "Object");
+        h.get_mut(id).props.insert(Rc::from("k"), Property::data(Value::Bool(true)));
+        assert!(h.get(id).props.contains("k"));
+    }
+}

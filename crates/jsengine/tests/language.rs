@@ -1,0 +1,595 @@
+//! End-to-end language-semantics tests for the MiniJS engine.
+//!
+//! These exercise exactly the behaviours the reproduction's attack and
+//! detection code relies on, so regressions here would silently invalidate
+//! the higher-level experiments.
+
+use jsengine::{eval, Interp, Value};
+
+fn num(src: &str) -> f64 {
+    match eval(src).unwrap() {
+        Value::Num(n) => n,
+        other => panic!("expected number from {src:?}, got {other:?}"),
+    }
+}
+
+fn text(src: &str) -> String {
+    match eval(src).unwrap() {
+        Value::Str(s) => s.to_string(),
+        other => panic!("expected string from {src:?}, got {other:?}"),
+    }
+}
+
+fn boolean(src: &str) -> bool {
+    match eval(src).unwrap() {
+        Value::Bool(b) => b,
+        other => panic!("expected bool from {src:?}, got {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------- arithmetic
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(num("1 + 2 * 3"), 7.0);
+    assert_eq!(num("(1 + 2) * 3"), 9.0);
+    assert_eq!(num("10 % 3"), 1.0);
+    assert_eq!(num("7 / 2"), 3.5);
+    assert_eq!(num("-3 + 1"), -2.0);
+    assert_eq!(num("2 * 3 + 4 * 5"), 26.0);
+}
+
+#[test]
+fn string_concatenation() {
+    assert_eq!(text("'a' + 'b'"), "ab");
+    assert_eq!(text("'n=' + 42"), "n=42");
+    assert_eq!(text("1 + '2'"), "12");
+    assert_eq!(num("'3' - 1"), 2.0);
+    assert_eq!(text("'' + true"), "true");
+    assert_eq!(text("'' + null"), "null");
+    assert_eq!(text("'' + undefined"), "undefined");
+}
+
+#[test]
+fn comparisons() {
+    assert!(boolean("1 < 2"));
+    assert!(boolean("'a' < 'b'"));
+    assert!(boolean("2 >= 2"));
+    assert!(boolean("'10' == 10"));
+    assert!(!boolean("'10' === 10"));
+    assert!(boolean("null == undefined"));
+    assert!(!boolean("null === undefined"));
+    assert!(boolean("NaN !== NaN"));
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    assert_eq!(num("5 & 3"), 1.0);
+    assert_eq!(num("5 | 3"), 7.0);
+    assert_eq!(num("5 ^ 3"), 6.0);
+    assert_eq!(num("1 << 4"), 16.0);
+    assert_eq!(num("-8 >> 1"), -4.0);
+    assert_eq!(num("-1 >>> 28"), 15.0);
+    assert_eq!(num("~0"), -1.0);
+}
+
+#[test]
+fn logical_short_circuit() {
+    assert_eq!(num("0 || 5"), 5.0);
+    assert_eq!(num("3 && 4"), 4.0);
+    assert_eq!(num("var hit = 0; function f() { hit = 1; return 1; } 0 && f(); hit"), 0.0);
+    assert_eq!(num("var hit = 0; function f() { hit = 1; return 1; } 1 || f(); hit"), 0.0);
+}
+
+// ------------------------------------------------------------ control flow
+
+#[test]
+fn loops_and_break_continue() {
+    assert_eq!(num("var s = 0; for (var i = 0; i < 10; i++) s += i; s"), 45.0);
+    assert_eq!(num("var s = 0; var i = 0; while (i < 5) { i++; if (i === 3) continue; s += i; } s"), 12.0);
+    assert_eq!(num("var s = 0; for (var i = 0; ; i++) { if (i === 4) break; s += 1; } s"), 4.0);
+}
+
+#[test]
+fn for_in_enumerates_own_and_inherited() {
+    let src = r#"
+        var proto = { inherited: 1 };
+        var obj = Object.create(proto);
+        obj.own = 2;
+        var keys = [];
+        for (var k in obj) keys.push(k);
+        keys.join(',')
+    "#;
+    assert_eq!(text(src), "own,inherited");
+}
+
+#[test]
+fn for_of_arrays_and_strings() {
+    assert_eq!(num("var s = 0; for (var v of [1,2,3]) s += v; s"), 6.0);
+    assert_eq!(text("var out = ''; for (var c of 'ab') out += c + '.'; out"), "a.b.");
+}
+
+#[test]
+fn ternary_and_sequence() {
+    assert_eq!(num("true ? 1 : 2"), 1.0);
+    assert_eq!(num("(1, 2, 3)"), 3.0);
+}
+
+// -------------------------------------------------------------- functions
+
+#[test]
+fn closures_capture_environment() {
+    let src = r#"
+        function counter() {
+            var n = 0;
+            return function () { n = n + 1; return n; };
+        }
+        var c = counter();
+        c(); c(); c()
+    "#;
+    assert_eq!(num(src), 3.0);
+}
+
+#[test]
+fn arguments_object() {
+    assert_eq!(num("function f() { return arguments.length; } f(1, 2, 3)"), 3.0);
+    assert_eq!(num("function f() { return arguments[1]; } f(10, 20)"), 20.0);
+}
+
+#[test]
+fn this_binding_in_method_calls() {
+    let src = r#"
+        var obj = { x: 7, get: function () { return this.x; } };
+        obj.get()
+    "#;
+    assert_eq!(num(src), 7.0);
+}
+
+#[test]
+fn arrow_functions_bind_this_lexically() {
+    let src = r#"
+        var obj = {
+            x: 5,
+            make: function () { return () => this.x; }
+        };
+        var f = obj.make();
+        f()
+    "#;
+    assert_eq!(num(src), 5.0);
+}
+
+#[test]
+fn call_and_apply() {
+    assert_eq!(
+        num("function f(a, b) { return this.base + a + b; } f.call({ base: 100 }, 1, 2)"),
+        103.0
+    );
+    assert_eq!(
+        num("function f(a, b) { return this.base + a + b; } f.apply({ base: 10 }, [1, 2])"),
+        13.0
+    );
+}
+
+#[test]
+fn bind_creates_partially_applied_function() {
+    assert_eq!(
+        num("function f(a, b) { return this.x * (a + b); } var g = f.bind({ x: 2 }, 3); g(4)"),
+        14.0
+    );
+}
+
+#[test]
+fn new_constructs_with_prototype() {
+    let src = r#"
+        function Point(x, y) { this.x = x; this.y = y; }
+        Point.prototype.norm2 = function () { return this.x * this.x + this.y * this.y; };
+        var p = new Point(3, 4);
+        p.norm2()
+    "#;
+    assert_eq!(num(src), 25.0);
+    assert!(boolean(
+        "function A() {} var a = new A(); a instanceof A"
+    ));
+}
+
+#[test]
+fn function_hoisting() {
+    assert_eq!(num("var r = f(); function f() { return 9; } r"), 9.0);
+}
+
+#[test]
+fn recursion_depth_is_bounded() {
+    let r = eval("function f() { return f(); } f()");
+    assert!(r.is_err(), "unbounded recursion must be stopped");
+}
+
+// ------------------------------------------------------------- exceptions
+
+#[test]
+fn try_catch_finally() {
+    assert_eq!(num("var r = 0; try { throw 5; } catch (e) { r = e; } r"), 5.0);
+    assert_eq!(
+        num("var r = 0; try { r = 1; } finally { r += 10; } r"),
+        11.0
+    );
+    assert_eq!(
+        num("function f() { try { return 1; } finally { side = 2; } } var side = 0; f() + side"),
+        3.0
+    );
+}
+
+#[test]
+fn error_objects_have_name_message_stack() {
+    assert_eq!(text("var e = new Error('boom'); e.name + ': ' + e.message"), "Error: boom");
+    assert_eq!(text("var e = new TypeError('t'); e.name"), "TypeError");
+    assert!(boolean("typeof new Error('x').stack === 'string'"));
+}
+
+#[test]
+fn stack_trace_contains_function_and_script_names() {
+    let mut it = Interp::new();
+    let v = it
+        .eval_script(
+            r#"
+            function inner() { return new Error('x').stack; }
+            function outer() { return inner(); }
+            outer()
+            "#,
+            "myscript.js",
+        )
+        .unwrap();
+    let stack = v.as_str().unwrap().to_string();
+    assert!(stack.contains("inner@myscript.js"), "stack was: {stack}");
+    assert!(stack.contains("outer@myscript.js"), "stack was: {stack}");
+}
+
+#[test]
+fn uncaught_exceptions_surface_as_engine_error() {
+    assert!(eval("undefinedVariable").is_err());
+    assert!(eval("null.prop").is_err());
+    assert!(eval("(42)()").is_err());
+}
+
+#[test]
+fn typeof_missing_identifier_does_not_throw() {
+    assert_eq!(text("typeof notDefinedAnywhere"), "undefined");
+    assert_eq!(text("typeof 42"), "number");
+    assert_eq!(text("typeof 'x'"), "string");
+    assert_eq!(text("typeof {}"), "object");
+    assert_eq!(text("typeof function(){}"), "function");
+    assert_eq!(text("typeof null"), "object");
+}
+
+// ----------------------------------------------------------- object model
+
+#[test]
+fn object_literals_and_member_access() {
+    assert_eq!(num("var o = { a: 1, 'b-c': 2 }; o.a + o['b-c']"), 3.0);
+    assert_eq!(num("var o = {}; o.x = 5; o.x"), 5.0);
+}
+
+#[test]
+fn delete_removes_properties() {
+    assert!(boolean("var o = { a: 1 }; delete o.a; !('a' in o)"));
+    assert!(boolean("var o = { a: 1 }; delete o['a']; o.a === undefined"));
+}
+
+#[test]
+fn prototype_chain_lookup_and_shadowing() {
+    let src = r#"
+        var base = { v: 'base' };
+        var child = Object.create(base);
+        var before = child.v;
+        child.v = 'child';
+        before + '/' + child.v + '/' + base.v
+    "#;
+    assert_eq!(text(src), "base/child/base");
+}
+
+#[test]
+fn define_property_accessors() {
+    let src = r#"
+        var o = {};
+        var reads = 0;
+        Object.defineProperty(o, 'probe', {
+            get: function () { reads++; return 42; },
+            enumerable: true
+        });
+        o.probe + o.probe + reads
+    "#;
+    // 42 + 42 + 2 (reads counted *before* the final read of `reads`).
+    assert_eq!(num(src), 86.0);
+}
+
+#[test]
+fn getter_only_accessor_ignores_assignment() {
+    let src = r#"
+        var o = {};
+        Object.defineProperty(o, 'ro', { get: function () { return 1; } });
+        o.ro = 99;
+        o.ro
+    "#;
+    assert_eq!(num(src), 1.0);
+}
+
+#[test]
+fn setters_intercept_assignment_along_prototype_chain() {
+    let src = r#"
+        var proto = {};
+        var captured = null;
+        Object.defineProperty(proto, 'hook', {
+            set: function (v) { captured = v; }
+        });
+        var o = Object.create(proto);
+        o.hook = 'gotcha';
+        captured
+    "#;
+    assert_eq!(text(src), "gotcha");
+}
+
+#[test]
+fn get_own_property_names_in_insertion_order() {
+    assert_eq!(
+        text("var o = { z: 1, a: 2 }; o.m = 3; Object.getOwnPropertyNames(o).join(',')"),
+        "z,a,m"
+    );
+}
+
+#[test]
+fn has_own_property_vs_in_operator() {
+    let src = r#"
+        var base = { inh: 1 };
+        var o = Object.create(base);
+        o.own = 2;
+        [o.hasOwnProperty('own'), o.hasOwnProperty('inh'), 'inh' in o].join(',')
+    "#;
+    assert_eq!(text(src), "true,false,true");
+}
+
+#[test]
+fn get_own_property_descriptor_reports_accessors() {
+    let src = r#"
+        var o = {};
+        Object.defineProperty(o, 'g', { get: function () { return 1; } });
+        var d = Object.getOwnPropertyDescriptor(o, 'g');
+        typeof d.get
+    "#;
+    assert_eq!(text(src), "function");
+}
+
+#[test]
+fn object_to_string_uses_class() {
+    assert_eq!(text("({}).toString()"), "[object Object]");
+}
+
+// ------------------------------------------------------ function toString
+
+#[test]
+fn script_function_tostring_is_verbatim_source() {
+    let src = "function probe(a, b) {\n  return a + b;\n}\nprobe.toString()";
+    let out = text(src);
+    assert_eq!(out, "function probe(a, b) {\n  return a + b;\n}");
+}
+
+#[test]
+fn native_function_tostring_shows_native_code() {
+    let out = text("Object.keys.toString()");
+    assert_eq!(out, "function keys() {\n    [native code]\n}");
+    assert!(text("''.indexOf.toString()").contains("[native code]"));
+}
+
+// ----------------------------------------------------------------- arrays
+
+#[test]
+fn array_basics() {
+    assert_eq!(num("[1, 2, 3].length"), 3.0);
+    assert_eq!(num("var a = []; a.push(9); a.push(8); a[1]"), 8.0);
+    assert_eq!(text("[1, 2, 3].join('-')"), "1-2-3");
+    assert_eq!(num("[5, 6, 7].indexOf(6)"), 1.0);
+    assert_eq!(num("['a', 'b'].indexOf('z')"), -1.0);
+    assert!(boolean("[1, 2].includes(2)"));
+    assert_eq!(text("[3, 1, 2].sort().join('')"), "123");
+}
+
+#[test]
+fn array_higher_order_functions() {
+    assert_eq!(num("var s = 0; [1,2,3].forEach(function (v) { s += v; }); s"), 6.0);
+    assert_eq!(text("[1,2,3].map(function (v) { return v * 2; }).join(',')"), "2,4,6");
+    assert_eq!(text("[1,2,3,4].filter(function (v) { return v % 2 === 0; }).join(',')"), "2,4");
+    assert!(boolean("[1,2,3].some(function (v) { return v === 2; })"));
+}
+
+#[test]
+fn array_slice_and_concat() {
+    assert_eq!(text("[1,2,3,4].slice(1, 3).join(',')"), "2,3");
+    assert_eq!(text("[1,2,3].slice(-2).join(',')"), "2,3");
+    assert_eq!(text("[1].concat([2, 3], 4).join(',')"), "1,2,3,4");
+}
+
+#[test]
+fn array_length_assignment_truncates() {
+    assert_eq!(num("var a = [1,2,3,4]; a.length = 2; a.length"), 2.0);
+}
+
+// ---------------------------------------------------------------- strings
+
+#[test]
+fn string_methods() {
+    assert_eq!(num("'hello'.indexOf('ll')"), 2.0);
+    assert_eq!(num("'hello'.indexOf('z')"), -1.0);
+    assert!(boolean("'HeadlessChrome'.includes('Headless')"));
+    assert!(boolean("'mozilla'.startsWith('moz')"));
+    assert!(boolean("'file.js'.endsWith('.js')"));
+    assert_eq!(text("'AbC'.toLowerCase()"), "abc");
+    assert_eq!(text("'AbC'.toUpperCase()"), "ABC");
+    assert_eq!(text("'  x '.trim()"), "x");
+    assert_eq!(text("'abcdef'.slice(1, 3)"), "bc");
+    assert_eq!(text("'abcdef'.slice(-2)"), "ef");
+    assert_eq!(text("'abcdef'.substring(4, 2)"), "cd");
+    assert_eq!(text("'a,b,c'.split(',').join('|')"), "a|b|c");
+    assert_eq!(text("'aaa'.replace('a', 'b')"), "baa");
+    assert_eq!(num("'abc'.charCodeAt(1)"), 98.0);
+    assert_eq!(text("String.fromCharCode(104, 105)"), "hi");
+    assert_eq!(num("'abc'.length"), 3.0);
+    assert_eq!(text("'abc'[1]"), "b");
+}
+
+// ---------------------------------------------------------------- globals
+
+#[test]
+fn parse_int_and_float() {
+    assert_eq!(num("parseInt('42px')"), 42.0);
+    assert_eq!(num("parseInt('ff', 16)"), 255.0);
+    assert_eq!(num("parseInt('0x1A')"), 26.0);
+    assert!(boolean("isNaN(parseInt('zz'))"));
+    assert_eq!(num("parseFloat('2.5rem')"), 2.5);
+}
+
+#[test]
+fn json_stringify() {
+    assert_eq!(text("JSON.stringify({ a: 1, b: 'x' })"), r#"{"a":1,"b":"x"}"#);
+    assert_eq!(text("JSON.stringify([1, 'two', null])"), r#"[1,"two",null]"#);
+    assert_eq!(text("JSON.stringify('a\"b')"), r#""a\"b""#);
+}
+
+#[test]
+fn math_functions() {
+    assert_eq!(num("Math.floor(2.7)"), 2.0);
+    assert_eq!(num("Math.max(1, 9, 3)"), 9.0);
+    assert_eq!(num("Math.min(4, 2)"), 2.0);
+    assert_eq!(num("Math.pow(2, 10)"), 1024.0);
+    assert!(boolean("Math.random() >= 0 && Math.random() < 1"));
+}
+
+#[test]
+fn math_random_is_deterministic_across_realms() {
+    let mut a = Interp::new();
+    let mut b = Interp::new();
+    let va = a.eval_script("Math.random()", "t").unwrap();
+    let vb = b.eval_script("Math.random()", "t").unwrap();
+    assert!(va.strict_eq(&vb));
+}
+
+#[test]
+fn console_log_captured() {
+    let mut it = Interp::new();
+    it.eval_script("console.log('hello', 42)", "t").unwrap();
+    assert_eq!(it.console, vec!["hello 42"]);
+}
+
+// ------------------------------------------------------------------- eval
+
+#[test]
+fn direct_eval_runs_in_caller_scope() {
+    assert_eq!(num("var x = 1; function f() { var x = 5; return eval('x + 1'); } f()"), 6.0);
+    assert_eq!(num("eval('2 + 3')"), 5.0);
+}
+
+#[test]
+fn eval_defines_functions() {
+    assert_eq!(num("eval('function g() { return 7; }'); g()"), 7.0);
+}
+
+#[test]
+fn eval_syntax_error_is_catchable() {
+    assert!(boolean("var caught = false; try { eval('var = broken'); } catch (e) { caught = true; } caught"));
+}
+
+// ------------------------------------------------------------- timers/jobs
+
+#[test]
+fn set_timeout_runs_on_advance_time() {
+    let mut it = Interp::new();
+    it.eval_script("var fired = []; setTimeout(function () { fired.push('a'); }, 500);", "t")
+        .unwrap();
+    // Not yet due.
+    let errs = it.advance_time(100);
+    assert!(errs.is_empty());
+    assert_eq!(num_in(&mut it, "fired.length"), 0.0);
+    it.advance_time(400);
+    assert_eq!(num_in(&mut it, "fired.length"), 1.0);
+}
+
+#[test]
+fn timers_fire_in_due_then_seq_order() {
+    let mut it = Interp::new();
+    it.eval_script(
+        r#"
+        var order = [];
+        setTimeout(function () { order.push('late'); }, 50);
+        setTimeout(function () { order.push('early1'); }, 10);
+        setTimeout(function () { order.push('early2'); }, 10);
+        "#,
+        "t",
+    )
+    .unwrap();
+    it.advance_time(100);
+    assert_eq!(text_in(&mut it, "order.join(',')"), "early1,early2,late");
+}
+
+#[test]
+fn nested_timers_run_if_due() {
+    let mut it = Interp::new();
+    it.eval_script(
+        "var hits = 0; setTimeout(function () { hits++; setTimeout(function () { hits++; }, 1); }, 1);",
+        "t",
+    )
+    .unwrap();
+    it.advance_time(10);
+    assert_eq!(num_in(&mut it, "hits"), 2.0);
+}
+
+fn num_in(it: &mut Interp, src: &str) -> f64 {
+    match it.eval_script(src, "probe").unwrap() {
+        Value::Num(n) => n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn text_in(it: &mut Interp, src: &str) -> String {
+    match it.eval_script(src, "probe").unwrap() {
+        Value::Str(s) => s.to_string(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------ step budget
+
+#[test]
+fn infinite_loops_hit_step_budget() {
+    let mut it = Interp::new();
+    it.step_limit = 100_000;
+    let r = it.eval_script("while (true) {}", "t");
+    match r {
+        Err(jsengine::EngineError::Budget(_)) => {}
+        other => panic!("expected budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn step_budget_not_swallowed_by_try_catch() {
+    let mut it = Interp::new();
+    it.step_limit = 100_000;
+    let r = it.eval_script("try { while (true) {} } catch (e) { 'swallowed' }", "t");
+    assert!(matches!(r, Err(jsengine::EngineError::Budget(_))));
+}
+
+// ----------------------------------------------------------- host surface
+
+#[test]
+fn globals_are_window_properties() {
+    // `var` at top level creates global-object properties, and host lookups
+    // fall back to the global object — the browser crate depends on both.
+    assert_eq!(num("var shared = 3; globalThis.shared"), 3.0);
+    assert_eq!(num("globalThis.injected = 8; injected"), 8.0);
+}
+
+#[test]
+fn update_operators() {
+    assert_eq!(num("var i = 5; i++; i"), 6.0);
+    assert_eq!(num("var i = 5; i++"), 5.0);
+    assert_eq!(num("var i = 5; ++i"), 6.0);
+    assert_eq!(num("var i = 5; --i; i--; i"), 3.0);
+    assert_eq!(num("var a = [1]; a[0]++; a[0]"), 2.0);
+    assert_eq!(num("var o = { n: 1 }; o.n += 4; o.n"), 5.0);
+}

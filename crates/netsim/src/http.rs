@@ -1,0 +1,175 @@
+//! HTTP request/response records and the `webRequest` resource taxonomy.
+
+use std::fmt;
+
+use crate::url::Url;
+
+/// Resource types as exposed by Firefox's `webRequest` API — the grouping of
+/// Table 8 in the paper. `CspReport` is load-bearing: vanilla OpenWPM's DOM
+/// injection triggers `script-src` violations whose reports show up in this
+/// bucket, and the hardened client eliminates them (Sec. 6.3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceType {
+    MainFrame,
+    SubFrame,
+    Script,
+    Image,
+    ImageSet,
+    Stylesheet,
+    Font,
+    Media,
+    Object,
+    XmlHttpRequest,
+    Beacon,
+    WebSocket,
+    CspReport,
+    Other,
+}
+
+impl ResourceType {
+    /// The `webRequest` string name (used when printing Table 8).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResourceType::MainFrame => "main_frame",
+            ResourceType::SubFrame => "sub_frame",
+            ResourceType::Script => "script",
+            ResourceType::Image => "image",
+            ResourceType::ImageSet => "imageset",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Font => "font",
+            ResourceType::Media => "media",
+            ResourceType::Object => "object",
+            ResourceType::XmlHttpRequest => "xmlhttprequest",
+            ResourceType::Beacon => "beacon",
+            ResourceType::WebSocket => "websocket",
+            ResourceType::CspReport => "csp_report",
+            ResourceType::Other => "other",
+        }
+    }
+
+    /// All variants, in a stable order.
+    pub fn all() -> &'static [ResourceType] {
+        &[
+            ResourceType::CspReport,
+            ResourceType::Media,
+            ResourceType::Beacon,
+            ResourceType::WebSocket,
+            ResourceType::XmlHttpRequest,
+            ResourceType::ImageSet,
+            ResourceType::Font,
+            ResourceType::Object,
+            ResourceType::MainFrame,
+            ResourceType::Image,
+            ResourceType::Script,
+            ResourceType::SubFrame,
+            ResourceType::Other,
+            ResourceType::Stylesheet,
+        ]
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One observed HTTP request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    pub url: Url,
+    /// The top-level page the request belongs to.
+    pub page: Url,
+    pub resource_type: ResourceType,
+    pub method: &'static str,
+    /// Virtual time of the request (ms since crawl start).
+    pub time_ms: u64,
+}
+
+impl HttpRequest {
+    /// Third-party request: target eTLD+1 differs from the page's.
+    pub fn is_third_party(&self) -> bool {
+        !self.url.same_site(&self.page)
+    }
+}
+
+/// One observed HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    pub url: Url,
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body (script text for scripts; placeholder for media).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Does this response *look like* JavaScript to a filter that trusts
+    /// headers and extensions? The silent-delivery attack (paper Sec. 5.4.2,
+    /// Listing 4) serves JS that fails both checks.
+    pub fn looks_like_javascript(&self) -> bool {
+        self.content_type.contains("javascript") || self.url.path.ends_with(".js")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn resource_type_names_match_webrequest() {
+        assert_eq!(ResourceType::CspReport.as_str(), "csp_report");
+        assert_eq!(ResourceType::XmlHttpRequest.as_str(), "xmlhttprequest");
+        assert_eq!(ResourceType::all().len(), 14);
+    }
+
+    #[test]
+    fn third_party_detection() {
+        let req = HttpRequest {
+            url: url("https://tracker.io/pixel.gif"),
+            page: url("https://news.example.com/"),
+            resource_type: ResourceType::Image,
+            method: "GET",
+            time_ms: 0,
+        };
+        assert!(req.is_third_party());
+        let own = HttpRequest {
+            url: url("https://static.example.com/app.js"),
+            page: url("https://news.example.com/"),
+            resource_type: ResourceType::Script,
+            method: "GET",
+            time_ms: 0,
+        };
+        assert!(!own.is_third_party());
+    }
+
+    #[test]
+    fn javascript_detection_by_header_or_extension() {
+        let by_header = HttpResponse {
+            url: url("https://x.com/code"),
+            status: 200,
+            content_type: "text/javascript".into(),
+            body: String::new(),
+        };
+        assert!(by_header.looks_like_javascript());
+        let by_ext = HttpResponse {
+            url: url("https://x.com/lib.js"),
+            status: 200,
+            content_type: "text/plain".into(),
+            body: String::new(),
+        };
+        assert!(by_ext.looks_like_javascript());
+        let stealth = HttpResponse {
+            url: url("https://x.com/cheat"),
+            status: 200,
+            content_type: "text/plain".into(),
+            body: "window.secret()".into(),
+        };
+        assert!(!stealth.looks_like_javascript());
+    }
+}

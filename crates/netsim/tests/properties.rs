@@ -1,0 +1,80 @@
+//! Property-based tests for URL handling and blocklists.
+
+use netsim::url::etld1_of;
+use netsim::{Blocklist, BlocklistKind, HttpRequest, ResourceType, Url};
+use proptest::prelude::*;
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..4)
+        .prop_map(|labels| format!("{}.com", labels.join(".")))
+}
+
+proptest! {
+    /// Display → parse is the identity on well-formed URLs.
+    #[test]
+    fn url_roundtrip(host in host_strategy(), path in "(/[a-z0-9._-]{0,10}){0,3}", query in "[a-z=&0-9]{0,12}") {
+        let path = if path.is_empty() { "/".to_string() } else { path };
+        let s = if query.is_empty() {
+            format!("https://{host}{path}")
+        } else {
+            format!("https://{host}{path}?{query}")
+        };
+        let u = Url::parse(&s).unwrap();
+        prop_assert_eq!(u.to_string(), s);
+    }
+
+    /// eTLD+1 is idempotent and a suffix of the host.
+    #[test]
+    fn etld1_idempotent_and_suffix(host in host_strategy()) {
+        let e = etld1_of(&host);
+        prop_assert_eq!(etld1_of(&e), e.clone());
+        prop_assert!(host.ends_with(&e));
+    }
+
+    /// Subdomains never change the registrable domain.
+    #[test]
+    fn subdomains_preserve_etld1(host in host_strategy(), sub in "[a-z]{1,8}") {
+        prop_assert_eq!(etld1_of(&format!("{sub}.{host}")), etld1_of(&host));
+    }
+
+    /// same_site is an equivalence on hosts of the same registrable domain.
+    #[test]
+    fn same_site_equivalence(host in host_strategy(), s1 in "[a-z]{1,6}", s2 in "[a-z]{1,6}") {
+        let a = Url::parse(&format!("https://{s1}.{host}/")).unwrap();
+        let b = Url::parse(&format!("https://{s2}.{host}/x")).unwrap();
+        prop_assert!(a.same_site(&b));
+        prop_assert!(b.same_site(&a));
+        prop_assert!(a.same_site(&a));
+    }
+
+    /// A domain-anchored rule matches the domain and every subdomain, and
+    /// nothing else from an unrelated apex.
+    #[test]
+    fn blocklist_domain_anchor_semantics(domain in host_strategy(), sub in "[a-z]{1,6}") {
+        let list = Blocklist::parse(BlocklistKind::EasyList, &format!("||{domain}^\n"));
+        let req = |h: &str| HttpRequest {
+            url: Url::parse(&format!("https://{h}/x")).unwrap(),
+            page: Url::parse("https://page.org/").unwrap(),
+            resource_type: ResourceType::Script,
+            method: "GET",
+            time_ms: 0,
+        };
+        prop_assert!(list.matches(&req(&domain)));
+        let subdomain = format!("{sub}.{domain}");
+        prop_assert!(list.matches(&req(&subdomain)));
+        prop_assert!(!list.matches(&req("unrelated-apex.org")));
+    }
+
+    /// Parsing arbitrary text never panics.
+    #[test]
+    fn url_parse_total(s in ".{0,80}") {
+        let _ = Url::parse(&s);
+    }
+
+    /// Blocklist parsing never panics and ignores comments.
+    #[test]
+    fn blocklist_parse_total(text in "[!|a-z.^/\\n ]{0,200}") {
+        let list = Blocklist::parse(BlocklistKind::EasyPrivacy, &text);
+        let _ = list.rule_count();
+    }
+}

@@ -1,0 +1,57 @@
+//! Measurement instruments (one per OpenWPM instrument the paper studies).
+
+pub mod honey;
+pub mod http;
+pub mod stealth;
+pub mod vanilla;
+pub mod watch;
+
+use std::rc::Rc;
+
+/// Script-name marker of the vanilla injected instrument; stack frames from
+/// this script are skipped when attributing calls to an originating script
+/// (OpenWPM's `getOriginatingScriptContext`).
+pub const INSTRUMENT_SCRIPT_NAME: &str = "openwpm-instrument.js";
+
+/// Extract the originating (non-instrument) script from a stack string of
+/// `name@script:line` lines, innermost first.
+pub fn originating_script(stack: &str) -> String {
+    for line in stack.lines() {
+        if let Some((_, rest)) = line.split_once('@') {
+            let script = rest.rsplit_once(':').map(|(s, _)| s).unwrap_or(rest);
+            if !script.contains(INSTRUMENT_SCRIPT_NAME) {
+                return script.to_owned();
+            }
+        }
+    }
+    "unknown".to_owned()
+}
+
+/// Shared mutable handle to the record store used by instrument sinks.
+pub type StoreHandle = Rc<std::cell::RefCell<crate::records::RecordStore>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn originating_script_skips_instrument_frames() {
+        let stack = "getOriginatingScriptContext@openwpm-instrument.js:5\n\
+                     <anonymous>@openwpm-instrument.js:12\n\
+                     probe@https://site.test/detector.js:44\n\
+                     (toplevel)@https://site.test/detector.js:1\n";
+        assert_eq!(originating_script(stack), "https://site.test/detector.js");
+    }
+
+    #[test]
+    fn originating_script_handles_urls_with_colons() {
+        let stack = "f@https://cdn.x.com/a.js:9\n";
+        assert_eq!(originating_script(stack), "https://cdn.x.com/a.js");
+    }
+
+    #[test]
+    fn all_instrument_stack_returns_unknown() {
+        let stack = "a@openwpm-instrument.js:1\n";
+        assert_eq!(originating_script(stack), "unknown");
+    }
+}

@@ -1,0 +1,382 @@
+//! WPM_hide — the hardened JavaScript instrument (paper Sec. 6).
+//!
+//! Instead of injecting page-context wrapper scripts, hooks are installed
+//! from the privileged (content/native) context, the way `exportFunction`
+//! lets a Firefox extension export chrome functions into a page:
+//!
+//! * **`toString` preserved** (6.1.1): hooks are native functions carrying
+//!   the original property name, so `toString()` renders
+//!   `function <name>() { [native code] }` — byte-identical to the pristine
+//!   getter, and calling the prototype getter with a wrong receiver still
+//!   throws the original `TypeError`.
+//! * **Clean DOM** (6.1.2): nothing is added to `window`; no `<script>`
+//!   node ever enters the page, so CSP `script-src` cannot block the
+//!   instrumentation and no `csp_report` traffic is generated.
+//! * **Clean stack traces** (6.1.3): native hooks push no interpreter
+//!   frames, so `Error.stack` inside a wrapped call is exactly what an
+//!   un-instrumented browser would produce.
+//! * **No prototype pollution** (6.1.4): every property is redefined on the
+//!   prototype that owns it, never flattened onto the first prototype.
+//! * **Automation hidden** (6.1.5): `navigator.webdriver` reports `false`
+//!   (while still logging the access), and window geometry is configurable.
+//! * **Secure messaging** (6.2.1): records go straight into the store
+//!   (`browser.runtime`-style), not through `document.dispatchEvent` — the
+//!   dispatcher hijack of Listing 2 sees nothing.
+//! * **Frame protection** (6.2.2): a synchronous frame hook instruments
+//!   every new browsing context (iframes, `document.write`, `window.open`)
+//!   before page code can touch it.
+
+use std::rc::Rc;
+
+use browser::{Page, RealmWindow};
+use jsengine::{Callable, Interp, ObjId, Property, Slot, Value};
+
+use crate::config::StealthSettings;
+use crate::instrument::StoreHandle;
+use crate::records::{JsCallRecord, JsOperation};
+
+/// Accessor properties instrumented per prototype.
+const NAVIGATOR_PROPS: &[&str] =
+    &["userAgent", "webdriver", "platform", "language", "languages", "plugins", "appVersion"];
+const SCREEN_PROPS: &[&str] = &[
+    "width",
+    "height",
+    "availWidth",
+    "availHeight",
+    "availTop",
+    "availLeft",
+    "colorDepth",
+    "pixelDepth",
+];
+
+/// Methods instrumented, each on its *owning* prototype.
+const DOCUMENT_METHODS: &[&str] = &["createElement", "querySelector", "getElementById", "write"];
+const NODE_METHODS: &[&str] = &["appendChild", "removeChild"];
+const EVENT_TARGET_METHODS: &[&str] = &["addEventListener"];
+const NAVIGATOR_METHODS: &[&str] = &["sendBeacon"];
+const CANVAS_METHODS: &[&str] = &["getContext", "toDataURL"];
+
+/// Install the hardened instrument on the page's top realm and (when frame
+/// protection is enabled) on every future frame, synchronously at creation.
+pub fn install(page: &mut Page, cfg: &StealthSettings, store: StoreHandle, page_url: String) {
+    let top = page.top;
+    instrument_realm(&mut page.interp, top, cfg, &store, &page_url);
+    if cfg.frame_protection {
+        let cfg = cfg.clone();
+        let store = store.clone();
+        let page_url = page_url.clone();
+        let hook: browser::FrameHook = Rc::new(move |it, rw: RealmWindow| {
+            instrument_realm(it, rw, &cfg, &store, &page_url);
+        });
+        page.host.borrow_mut().frame_sync_hooks.push(hook);
+    }
+}
+
+/// Instrument one realm's prototypes in place.
+pub fn instrument_realm(
+    it: &mut Interp,
+    rw: RealmWindow,
+    cfg: &StealthSettings,
+    store: &StoreHandle,
+    page_url: &str,
+) {
+    for prop in NAVIGATOR_PROPS {
+        let mask = *prop == "webdriver" && cfg.mask_webdriver;
+        hook_accessor(it, rw.navigator_proto, prop, "window.navigator", store, page_url, mask);
+    }
+    for prop in SCREEN_PROPS {
+        hook_accessor(it, rw.screen_proto, prop, "window.screen", store, page_url, false);
+    }
+    for m in DOCUMENT_METHODS {
+        hook_method(it, rw.document_proto, m, "window.document", store, page_url);
+    }
+    for m in NODE_METHODS {
+        hook_method(it, rw.node_proto, m, "window.document", store, page_url);
+    }
+    for m in EVENT_TARGET_METHODS {
+        hook_method(it, rw.event_target_proto, m, "window.document", store, page_url);
+    }
+    for m in NAVIGATOR_METHODS {
+        hook_method(it, rw.navigator_proto, m, "window.navigator", store, page_url);
+    }
+    for m in CANVAS_METHODS {
+        hook_method(it, rw.canvas_proto, m, "window.HTMLCanvasElement", store, page_url);
+    }
+}
+
+/// Attribute a record to the innermost script frame. With native hooks
+/// there are no instrument frames to skip — the top of the stack *is* the
+/// caller.
+fn current_script(it: &Interp) -> String {
+    it.stack.last().map(|f| f.script.to_string()).unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn log(
+    store: &StoreHandle,
+    it: &Interp,
+    symbol: String,
+    operation: JsOperation,
+    value: String,
+    page_url: &str,
+) {
+    let mut value = value;
+    value.truncate(4096);
+    store.borrow_mut().js_calls.push(JsCallRecord {
+        symbol,
+        operation,
+        value,
+        script_url: current_script(it),
+        page_url: page_url.to_owned(),
+        time_ms: it.now_ms,
+    });
+}
+
+/// Replace the getter of an accessor property with a logging native that
+/// keeps the original's name (so `toString` and `.name` match) and defers
+/// to the original — including its receiver-validation error (Sec. 6.1.1).
+/// With `mask`, the hook reports `false` instead of the true value after the
+/// original getter has validated the receiver.
+fn hook_accessor(
+    it: &mut Interp,
+    proto: ObjId,
+    prop: &str,
+    object_name: &str,
+    store: &StoreHandle,
+    page_url: &str,
+    mask: bool,
+) {
+    let Some(existing) = it.heap.get(proto).props.get(prop).cloned() else { return };
+    let Slot::Accessor { get: Some(original), set } = existing.slot else { return };
+    // Preserve the original getter's public name.
+    let name = match &it.heap.get(original).call {
+        Some(Callable::Native { name, .. }) => name.to_string(),
+        Some(Callable::Script { def, .. }) => def.name.to_string(),
+        None => prop.to_owned(),
+    };
+    let symbol = format!("{object_name}.{prop}");
+    let store = store.clone();
+    let page_url = page_url.to_owned();
+    let hook = it.alloc_native_fn(&name, move |it, this, _args| {
+        // Call the original first: wrong receivers must produce the
+        // original TypeError with an unmodified stack.
+        let result = it.call(Value::Obj(original), this, &[])?;
+        let preview = it.to_string_value(&result).map(|s| s.to_string()).unwrap_or_default();
+        log(&store, it, symbol.clone(), JsOperation::Get, preview, &page_url);
+        if mask {
+            return Ok(Value::Bool(false));
+        }
+        Ok(result)
+    });
+    it.heap.get_mut(proto).props.insert(
+        Rc::from(prop),
+        Property {
+            slot: Slot::Accessor { get: Some(hook), set },
+            enumerable: existing.enumerable,
+            writable: existing.writable,
+        },
+    );
+}
+
+/// Replace a data-property method with a logging native of the same name
+/// that forwards to the original.
+fn hook_method(
+    it: &mut Interp,
+    proto: ObjId,
+    method: &str,
+    object_name: &str,
+    store: &StoreHandle,
+    page_url: &str,
+) {
+    let Some(existing) = it.heap.get(proto).props.get(method).cloned() else { return };
+    let Slot::Data(Value::Obj(original)) = existing.slot else { return };
+    if !it.heap.get(original).is_callable() {
+        return;
+    }
+    let name = match &it.heap.get(original).call {
+        Some(Callable::Native { name, .. }) => name.to_string(),
+        _ => method.to_owned(),
+    };
+    let symbol = format!("{object_name}.{method}");
+    let store = store.clone();
+    let page_url = page_url.to_owned();
+    let hook = it.alloc_native_fn(&name, move |it, this, args| {
+        log(
+            &store,
+            it,
+            symbol.clone(),
+            JsOperation::Call,
+            args.len().to_string(),
+            &page_url,
+        );
+        it.call(Value::Obj(original), this, args)
+    });
+    it.heap.get_mut(proto).props.insert(
+        Rc::from(method),
+        Property {
+            slot: Slot::Data(Value::Obj(hook)),
+            enumerable: existing.enumerable,
+            writable: existing.writable,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser::{CspPolicy, FingerprintProfile, Os, Page, RunMode};
+    use netsim::Url;
+    use std::cell::RefCell;
+
+    fn setup(csp: Option<CspPolicy>) -> (Page, StoreHandle) {
+        let mut page = Page::new(
+            FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+            Url::parse("https://site.test/").unwrap(),
+            csp,
+        );
+        let store: StoreHandle = Rc::new(RefCell::new(crate::records::RecordStore::new()));
+        install(
+            &mut page,
+            &StealthSettings::default(),
+            store.clone(),
+            "https://site.test/".into(),
+        );
+        (page, store)
+    }
+
+    #[test]
+    fn records_access_with_attribution() {
+        let (mut page, store) = setup(None);
+        page.run_script("navigator.userAgent;", "https://site.test/app.js").unwrap();
+        let recs = store.borrow();
+        assert_eq!(recs.js_calls.len(), 1);
+        assert_eq!(recs.js_calls[0].symbol, "window.navigator.userAgent");
+        assert_eq!(recs.js_calls[0].script_url, "https://site.test/app.js");
+    }
+
+    #[test]
+    fn webdriver_reports_false_but_access_is_logged() {
+        let (mut page, store) = setup(None);
+        let v = page.run_script("navigator.webdriver", "d.js").unwrap();
+        assert_eq!(v, Value::Bool(false));
+        assert_eq!(store.borrow().calls_to(".webdriver").count(), 1);
+    }
+
+    #[test]
+    fn tostring_preserved_exactly() {
+        let (mut page, _store) = setup(None);
+        let v = page
+            .run_script("document.createElement.toString()", "d.js")
+            .unwrap();
+        assert_eq!(v.as_str().unwrap(), "function createElement() {\n    [native code]\n}");
+        let g = page
+            .run_script(
+                "Object.getOwnPropertyDescriptor(Navigator.prototype, 'userAgent').get.toString()",
+                "d.js",
+            )
+            .unwrap();
+        assert!(g.as_str().unwrap().contains("[native code]"));
+    }
+
+    #[test]
+    fn no_window_pollution_and_no_prototype_pollution() {
+        let (mut page, _store) = setup(None);
+        let v = page.run_script("typeof window.getInstrumentJS", "d.js").unwrap();
+        assert_eq!(v.as_str().unwrap(), "undefined");
+        // appendChild stays on Node.prototype only.
+        let v = page
+            .run_script(
+                "Object.getOwnPropertyNames(Document.prototype).includes('appendChild')",
+                "d.js",
+            )
+            .unwrap();
+        assert_eq!(v, Value::Bool(false));
+        let v = page
+            .run_script(
+                "Object.getOwnPropertyNames(Node.prototype).includes('appendChild')",
+                "d.js",
+            )
+            .unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn prototype_getter_still_throws_illegal_invocation() {
+        let (mut page, _store) = setup(None);
+        // Goßen-style tamper check: calling the getter on the prototype
+        // itself must throw, like an unmodified browser.
+        let v = page
+            .run_script(
+                r#"
+                var desc = Object.getOwnPropertyDescriptor(Navigator.prototype, 'webdriver');
+                var threw = false;
+                try { desc.get.call({}); } catch (e) { threw = true; }
+                threw
+                "#,
+                "d.js",
+            )
+            .unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn immune_to_csp() {
+        let (mut page, store) = setup(Some(CspPolicy::strict("/csp")));
+        page.run_script("navigator.userAgent;", "a.js").unwrap();
+        assert_eq!(store.borrow().js_calls.len(), 1);
+        assert_eq!(page.host.borrow().csp_violations, 0);
+    }
+
+    #[test]
+    fn immune_to_dispatcher_hijack() {
+        // Listing 2 against the hardened client: shadowing
+        // document.dispatchEvent intercepts nothing and blocks nothing.
+        let (mut page, store) = setup(None);
+        page.run_script(
+            r#"
+            var seen = [];
+            document.dispatchEvent = function (ev) { seen.push(ev.type); };
+            navigator.userAgent;
+            window.__seenCount = seen.length;
+            "#,
+            "https://attacker.test/a.js",
+        )
+        .unwrap();
+        assert_eq!(store.borrow().calls_to(".userAgent").count(), 1);
+        let v = page.run_script("window.__seenCount", "probe").unwrap();
+        assert_eq!(v, Value::Num(0.0), "hijacker must capture no instrument events");
+    }
+
+    #[test]
+    fn frames_are_instrumented_synchronously() {
+        let (mut page, store) = setup(None);
+        // Immediate access after creation — the attack that beats vanilla.
+        page.run_script(
+            r#"
+            var f = document.createElement('iframe');
+            document.body.appendChild(f);
+            f.contentWindow.navigator.userAgent;
+            "#,
+            "https://site.test/attack.js",
+        )
+        .unwrap();
+        let ua_calls = store.borrow().calls_to(".userAgent").count();
+        assert_eq!(ua_calls, 1, "frame access must be recorded");
+    }
+
+    #[test]
+    fn stack_traces_clean_during_wrapped_calls() {
+        let (mut page, _store) = setup(None);
+        let v = page
+            .run_script(
+                r#"
+                function probe() { return new Error('x').stack; }
+                document.createElement('div');
+                probe()
+                "#,
+                "https://site.test/s.js",
+            )
+            .unwrap();
+        let stack = v.as_str().unwrap().to_string();
+        assert!(!stack.contains("openwpm"), "stack leaked instrument frames: {stack}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Watch properties: record page accesses to OpenWPM-specific window
+//! properties (`getInstrumentJS`, `instrumentFingerprintingApis`,
+//! `jsInstruments`).
+//!
+//! The paper's scan classifies a script as an OpenWPM-specific detector
+//! when it probes these names (Sec. 4.1.2 / Table 6). The scanning client
+//! therefore needs to *observe* those probes: existing properties are
+//! wrapped into logging accessors preserving their value; the names from
+//! older OpenWPM versions (which don't exist in the current client) get
+//! non-enumerable logging accessors yielding `undefined` — a probe sees
+//! exactly what it would see on a current client, but the access lands in
+//! the record store.
+
+use std::rc::Rc;
+
+use browser::Page;
+use jsengine::{Property, Slot, Value};
+
+use crate::instrument::StoreHandle;
+use crate::records::{JsCallRecord, JsOperation};
+
+/// The OpenWPM-specific property names the paper's scan watches.
+pub const WATCHED_PROPS: &[&str] =
+    &["getInstrumentJS", "instrumentFingerprintingApis", "jsInstruments"];
+
+/// Install watch accessors on the page's window.
+pub fn install(page: &mut Page, store: StoreHandle, page_url: String) {
+    let window = page.top.window;
+    let it = &mut page.interp;
+    for prop in WATCHED_PROPS {
+        // Preserve the current value (getInstrumentJS exists on a
+        // vanilla-instrumented client).
+        let existing = it.heap.get(window).props.get(prop).cloned();
+        let (current, enumerable) = match existing {
+            Some(p) => match p.slot {
+                Slot::Data(v) => (v, p.enumerable),
+                Slot::Accessor { .. } => continue, // already watched
+            },
+            None => (Value::Undefined, false),
+        };
+        let store = store.clone();
+        let page_url = page_url.clone();
+        let symbol = format!("window.{prop}");
+        let getter = it.alloc_native_fn(prop, move |it, _this, _args| {
+            let script = it
+                .stack
+                .last()
+                .map(|f| f.script.to_string())
+                .unwrap_or_else(|| "unknown".into());
+            store.borrow_mut().js_calls.push(JsCallRecord {
+                symbol: symbol.clone(),
+                operation: JsOperation::Get,
+                value: String::new(),
+                script_url: script,
+                page_url: page_url.clone(),
+                time_ms: it.now_ms,
+            });
+            Ok(current.clone())
+        });
+        it.heap.get_mut(window).props.insert(
+            Rc::from(*prop),
+            Property {
+                slot: Slot::Accessor { get: Some(getter), set: None },
+                enumerable,
+                writable: true,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BrowserConfig;
+    use crate::wpm_browser::{Browser, VisitSpec};
+
+    #[test]
+    fn probe_of_missing_prop_is_recorded_and_invisible() {
+        let mut b = Browser::new(BrowserConfig::vanilla(9));
+        let spec = VisitSpec {
+            url: "https://site.test/".into(),
+            dwell_override_s: Some(1),
+            ..Default::default()
+        };
+        let (mut page, _stats) = b.open_page(&spec);
+        install(&mut page, b.store(), "https://site.test/".into());
+        let v = page
+            .run_script("typeof window.jsInstruments", "https://cheqzone.com/d.js")
+            .unwrap();
+        assert_eq!(v.as_str().unwrap(), "undefined");
+        // `typeof window.jsInstruments` performs the property read → logged.
+        let store = b.take_store();
+        assert!(store
+            .js_calls
+            .iter()
+            .any(|r| r.symbol == "window.jsInstruments"
+                && r.script_url == "https://cheqzone.com/d.js"));
+    }
+
+    #[test]
+    fn get_instrument_js_keeps_value_when_wrapped() {
+        let mut b = Browser::new(BrowserConfig::vanilla(9));
+        let spec = VisitSpec {
+            url: "https://site.test/".into(),
+            dwell_override_s: Some(1),
+            ..Default::default()
+        };
+        let (mut page, _stats) = b.open_page(&spec);
+        install(&mut page, b.store(), "p".into());
+        // The vanilla instrument's leftover function is still a function
+        // (still detectable!), and the probe is now also recorded.
+        let v = page.run_script("typeof window.getInstrumentJS", "probe.js").unwrap();
+        assert_eq!(v.as_str().unwrap(), "function");
+        assert!(b
+            .take_store()
+            .js_calls
+            .iter()
+            .any(|r| r.symbol == "window.getInstrumentJS"));
+    }
+}

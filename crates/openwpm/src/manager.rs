@@ -1,0 +1,112 @@
+//! The task manager: parallel work distribution across browser workers.
+//!
+//! Real OpenWPM's TaskManager fans site visits out to browser processes,
+//! monitors liveliness and restarts crashed browsers. Interpreters here are
+//! `!Send` (single-threaded realms), so parallelism is per-worker: each
+//! worker thread builds its own state (browsers) via `init` and consumes
+//! work items from a shared queue. Results come back in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `items` through per-worker state machines on `workers` threads.
+///
+/// * `init(worker_index)` builds the per-thread state (e.g. a `Browser`);
+/// * `step(&mut state, item_index, item)` performs one visit.
+///
+/// Returns the results ordered by item index. Panics in workers propagate.
+pub fn run_parallel<W, R, S>(
+    items: Vec<W>,
+    workers: usize,
+    init: impl Fn(usize) -> S + Sync,
+    step: impl Fn(&mut S, usize, W) -> R + Sync,
+) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+{
+    let workers = workers.max(1);
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let results = Mutex::new(slots);
+    let cursor = AtomicUsize::new(0);
+    // Items are taken by index from a shared vector of Options.
+    let mut boxed: Vec<Mutex<Option<W>>> = Vec::with_capacity(n);
+    for item in items {
+        boxed.push(Mutex::new(Some(item)));
+    }
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let results = &results;
+            let cursor = &cursor;
+            let boxed = &boxed;
+            let init = &init;
+            let step = &step;
+            scope.spawn(move || {
+                let mut state = init(w);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = boxed[i].lock().unwrap().take().expect("item taken once");
+                    let r = step(&mut state, i, item);
+                    results.lock().unwrap()[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_all_items_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_parallel(items, 4, |_| 0u64, |state, _i, item| {
+            *state += 1;
+            item * 2
+        });
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let out = run_parallel(vec![1, 2, 3], 1, |_| (), |_, _, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = run_parallel(Vec::<i32>::new(), 8, |_| (), |_, _, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn per_worker_state_is_isolated() {
+        // Each worker counts its own processed items; totals must equal n.
+        let counts = Mutex::new(Vec::new());
+        run_parallel(
+            (0..50).collect::<Vec<_>>(),
+            3,
+            |_| 0usize,
+            |state, _, _| {
+                *state += 1;
+                counts.lock().unwrap().push(());
+            },
+        );
+        assert_eq!(counts.lock().unwrap().len(), 50);
+    }
+}

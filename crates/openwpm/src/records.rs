@@ -1,0 +1,282 @@
+//! The data-recording back-end ("SQLite" in real OpenWPM).
+//!
+//! Every instrument writes typed records into a [`RecordStore`]. Sec. 5.3 of
+//! the paper checked OpenWPM v0.20.0's back-end for SQL injection and found
+//! inputs properly sanitised; we model that by (a) keeping typed records and
+//! (b) exposing an SQL rendering used for persistence whose string escaping
+//! is tested against injection-shaped inputs.
+
+use netsim::{Cookie, HttpRequest, HttpResponse};
+
+/// What a JavaScript-instrument record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JsOperation {
+    Get,
+    Set,
+    Call,
+}
+
+impl JsOperation {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JsOperation::Get => "get",
+            JsOperation::Set => "set",
+            JsOperation::Call => "call",
+        }
+    }
+
+    pub fn parse(s: &str) -> JsOperation {
+        match s {
+            "set" => JsOperation::Set,
+            "call" => JsOperation::Call,
+            _ => JsOperation::Get,
+        }
+    }
+}
+
+/// One recorded JavaScript API access.
+#[derive(Clone, Debug)]
+pub struct JsCallRecord {
+    /// Symbol accessed, e.g. `window.navigator.userAgent`.
+    pub symbol: String,
+    pub operation: JsOperation,
+    /// Stringified value/arguments preview.
+    pub value: String,
+    /// Script the access originated from (stack-derived; instrument frames
+    /// skipped). Spoofable by the fake-data attack — unlike `page_url`.
+    pub script_url: String,
+    /// The visited page. Set host-side by OpenWPM, *not* from event data —
+    /// this is why the injection attack cannot spoof it (Sec. 5.2).
+    pub page_url: String,
+    pub time_ms: u64,
+}
+
+/// A saved JavaScript file (the HTTP instrument's script store).
+#[derive(Clone, Debug)]
+pub struct SavedScript {
+    pub url: String,
+    pub body: String,
+    pub page_url: String,
+}
+
+/// The embedded record store.
+#[derive(Clone, Debug, Default)]
+pub struct RecordStore {
+    pub js_calls: Vec<JsCallRecord>,
+    pub http_requests: Vec<HttpRequest>,
+    pub http_responses: Vec<HttpResponse>,
+    pub saved_scripts: Vec<SavedScript>,
+    pub cookies: Vec<Cookie>,
+}
+
+impl RecordStore {
+    pub fn new() -> RecordStore {
+        RecordStore::default()
+    }
+
+    /// Escape a string for inclusion in a single-quoted SQL literal.
+    /// Doubling `'` is the SQLite-correct quoting; control characters are
+    /// stripped so multi-statement smuggling via `\n;` is inert too.
+    pub fn sql_escape(s: &str) -> String {
+        s.chars()
+            .filter(|c| !c.is_control())
+            .collect::<String>()
+            .replace('\'', "''")
+    }
+
+    /// Render a `javascript` table INSERT for a record — the persistence
+    /// path whose sanitisation Sec. 5.3 validated.
+    pub fn render_js_insert(rec: &JsCallRecord) -> String {
+        format!(
+            "INSERT INTO javascript (symbol, operation, value, script_url, page_url, time_ms) \
+             VALUES ('{}', '{}', '{}', '{}', '{}', {});",
+            Self::sql_escape(&rec.symbol),
+            rec.operation.as_str(),
+            Self::sql_escape(&rec.value),
+            Self::sql_escape(&rec.script_url),
+            Self::sql_escape(&rec.page_url),
+            rec.time_ms
+        )
+    }
+
+    /// Number of distinct symbols recorded (used by coverage analyses).
+    pub fn distinct_symbols(&self) -> usize {
+        let mut set: Vec<&str> = self.js_calls.iter().map(|r| r.symbol.as_str()).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Records whose symbol matches a suffix (e.g. `.webdriver`).
+    pub fn calls_to<'a>(
+        &'a self,
+        symbol_suffix: &'a str,
+    ) -> impl Iterator<Item = &'a JsCallRecord> + 'a {
+        self.js_calls.iter().filter(move |r| r.symbol.ends_with(symbol_suffix))
+    }
+
+    /// Render the full crawl database as an SQL dump — schema plus one
+    /// INSERT per record, all string fields escaped. This is the
+    /// persistence surface whose injection-safety Sec. 5.3 verified.
+    pub fn render_sql_dump(&self) -> String {
+        let mut out = String::from(
+            "CREATE TABLE javascript (symbol TEXT, operation TEXT, value TEXT, \
+             script_url TEXT, page_url TEXT, time_ms INTEGER);\n\
+             CREATE TABLE http_requests (url TEXT, page_url TEXT, resource_type TEXT, \
+             method TEXT, time_ms INTEGER);\n\
+             CREATE TABLE javascript_files (url TEXT, page_url TEXT, body TEXT);\n\
+             CREATE TABLE cookies (name TEXT, value TEXT, domain TEXT, page_domain TEXT, \
+             expires_in_s INTEGER);\n",
+        );
+        for rec in &self.js_calls {
+            out.push_str(&Self::render_js_insert(rec));
+            out.push('\n');
+        }
+        for req in &self.http_requests {
+            out.push_str(&format!(
+                "INSERT INTO http_requests VALUES ('{}', '{}', '{}', '{}', {});\n",
+                Self::sql_escape(&req.url.to_string()),
+                Self::sql_escape(&req.page.to_string()),
+                req.resource_type.as_str(),
+                req.method,
+                req.time_ms
+            ));
+        }
+        for s in &self.saved_scripts {
+            out.push_str(&format!(
+                "INSERT INTO javascript_files VALUES ('{}', '{}', '{}');\n",
+                Self::sql_escape(&s.url),
+                Self::sql_escape(&s.page_url),
+                Self::sql_escape(&s.body)
+            ));
+        }
+        for c in &self.cookies {
+            out.push_str(&format!(
+                "INSERT INTO cookies VALUES ('{}', '{}', '{}', '{}', {});\n",
+                Self::sql_escape(&c.name),
+                Self::sql_escape(&c.value),
+                Self::sql_escape(&c.domain),
+                Self::sql_escape(&c.page_domain),
+                c.expires_in_s.map(|e| e as i64).unwrap_or(-1)
+            ));
+        }
+        out
+    }
+
+    /// Merge another store (after subpage visits).
+    pub fn merge(&mut self, other: RecordStore) {
+        self.js_calls.extend(other.js_calls);
+        self.http_requests.extend(other.http_requests);
+        self.http_responses.extend(other.http_responses);
+        self.saved_scripts.extend(other.saved_scripts);
+        self.cookies.extend(other.cookies);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(value: &str) -> JsCallRecord {
+        JsCallRecord {
+            symbol: "window.navigator.userAgent".into(),
+            operation: JsOperation::Get,
+            value: value.into(),
+            script_url: "https://site.test/app.js".into(),
+            page_url: "https://site.test/".into(),
+            time_ms: 12,
+        }
+    }
+
+    /// Count semicolons that appear *outside* string literals — i.e.
+    /// statement terminators an injection would need to smuggle in.
+    fn terminators_outside_literals(sql: &str) -> usize {
+        let mut chars = sql.chars().peekable();
+        let mut in_literal = false;
+        let mut terminators = 0;
+        while let Some(c) = chars.next() {
+            match c {
+                '\'' => {
+                    if in_literal && chars.peek() == Some(&'\'') {
+                        chars.next(); // doubled quote: still inside literal
+                    } else {
+                        in_literal = !in_literal;
+                    }
+                }
+                ';' if !in_literal => terminators += 1,
+                _ => {}
+            }
+        }
+        assert!(!in_literal, "unterminated literal in: {sql}");
+        terminators
+    }
+
+    #[test]
+    fn sql_injection_inputs_are_inert() {
+        let evil = rec("x'); DROP TABLE javascript; --");
+        let sql = RecordStore::render_js_insert(&evil);
+        // The payload stays data inside one literal: exactly one statement
+        // terminator survives outside literals.
+        assert_eq!(terminators_outside_literals(&sql), 1);
+        assert!(sql.contains("x''); DROP TABLE"));
+        assert!(sql.ends_with(");"));
+    }
+
+    #[test]
+    fn benign_insert_has_single_terminator() {
+        let sql = RecordStore::render_js_insert(&rec("plain value"));
+        assert_eq!(terminators_outside_literals(&sql), 1);
+    }
+
+    #[test]
+    fn control_characters_stripped() {
+        let evil = rec("a\n; DELETE FROM javascript\rb");
+        let sql = RecordStore::render_js_insert(&evil);
+        assert!(!sql.contains('\n'));
+        assert!(!sql.contains('\r'));
+    }
+
+    #[test]
+    fn distinct_symbols_and_filters() {
+        let mut store = RecordStore::new();
+        store.js_calls.push(rec("a"));
+        store.js_calls.push(rec("b"));
+        store.js_calls.push(JsCallRecord {
+            symbol: "window.navigator.webdriver".into(),
+            ..rec("c")
+        });
+        assert_eq!(store.distinct_symbols(), 2);
+        assert_eq!(store.calls_to(".webdriver").count(), 1);
+        assert_eq!(store.calls_to(".userAgent").count(), 2);
+    }
+
+    #[test]
+    fn sql_dump_contains_schema_and_rows() {
+        let mut store = RecordStore::new();
+        store.js_calls.push(rec("v'); DROP TABLE cookies; --"));
+        store.cookies.push(netsim::Cookie {
+            name: "uid".into(),
+            value: "x'y".into(),
+            domain: "t.io".into(),
+            page_domain: "a.com".into(),
+            expires_in_s: Some(100),
+        });
+        let dump = store.render_sql_dump();
+        assert!(dump.contains("CREATE TABLE javascript"));
+        assert!(dump.contains("INSERT INTO javascript "));
+        assert!(dump.contains("INSERT INTO cookies"));
+        // Escaping holds across every table.
+        assert!(dump.contains("x''y"));
+        assert!(dump.contains("v''); DROP TABLE"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = RecordStore::new();
+        a.js_calls.push(rec("x"));
+        let mut b = RecordStore::new();
+        b.js_calls.push(rec("y"));
+        a.merge(b);
+        assert_eq!(a.js_calls.len(), 2);
+    }
+}

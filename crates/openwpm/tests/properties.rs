@@ -1,0 +1,75 @@
+//! Property-based tests for the record store's injection safety and the
+//! instrument's id generation.
+
+use openwpm::instrument::vanilla::event_id;
+use openwpm::{JsCallRecord, JsOperation, RecordStore};
+use proptest::prelude::*;
+
+/// Count semicolons outside single-quoted literals (with `''` escapes) —
+/// extra ones would be smuggled statement terminators.
+fn terminators_outside_literals(sql: &str) -> Option<usize> {
+    let mut chars = sql.chars().peekable();
+    let mut in_literal = false;
+    let mut terminators = 0;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                if in_literal && chars.peek() == Some(&'\'') {
+                    chars.next();
+                } else {
+                    in_literal = !in_literal;
+                }
+            }
+            ';' if !in_literal => terminators += 1,
+            _ => {}
+        }
+    }
+    if in_literal {
+        None // unterminated literal: the escaping failed
+    } else {
+        Some(terminators)
+    }
+}
+
+proptest! {
+    /// No input — however hostile — can smuggle a second SQL statement or
+    /// leave a literal unterminated (the Sec. 5.3 guarantee).
+    #[test]
+    fn sql_rendering_is_injection_proof(
+        symbol in ".{0,60}",
+        value in ".{0,120}",
+        script in ".{0,60}",
+    ) {
+        let rec = JsCallRecord {
+            symbol,
+            operation: JsOperation::Get,
+            value,
+            script_url: script,
+            page_url: "https://site.test/".into(),
+            time_ms: 1,
+        };
+        let sql = RecordStore::render_js_insert(&rec);
+        prop_assert_eq!(terminators_outside_literals(&sql), Some(1), "sql: {}", sql);
+        prop_assert!(sql.starts_with("INSERT INTO javascript"));
+        prop_assert!(sql.ends_with(");"));
+    }
+
+    /// Event ids are deterministic per seed and collision-free across a
+    /// dense seed range.
+    #[test]
+    fn event_ids_deterministic_and_distinct(seed in any::<u64>()) {
+        prop_assert_eq!(event_id(seed), event_id(seed));
+        prop_assert_ne!(event_id(seed), event_id(seed.wrapping_add(1)));
+        prop_assert!(event_id(seed).starts_with("owpm"));
+    }
+
+    /// Escaping round-trips: un-escaping the doubled quotes of the escaped
+    /// string recovers the control-character-stripped input.
+    #[test]
+    fn sql_escape_roundtrip(s in "[ -~]{0,100}") {
+        let escaped = RecordStore::sql_escape(&s);
+        let unescaped = escaped.replace("''", "'");
+        let stripped: String = s.chars().filter(|c| !c.is_control()).collect();
+        prop_assert_eq!(unescaped, stripped);
+    }
+}

@@ -1,0 +1,80 @@
+//! Small descriptive-statistics helpers used by the table renderers.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median; 0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+/// Percentage change from `base` to `new` (the `Diff.` columns of
+/// Tables 8–10): `+4.82%` style semantics.
+pub fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Format a percentage change the way the paper's tables do (`+4.82%`,
+/// `-76.02%`, `0.00%`).
+pub fn fmt_pct(change: f64) -> String {
+    if change.is_infinite() {
+        "+inf%".to_owned()
+    } else if change > 0.0 {
+        format!("+{change:.2}%")
+    } else {
+        format!("{change:.2}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn pct_change_matches_table_semantics() {
+        assert!((pct_change(784.0, 188.0) - -76.02).abs() < 0.01); // Table 8 csp_report
+        assert!((pct_change(100.0, 105.0) - 5.0).abs() < 1e-9);
+        assert_eq!(pct_change(0.0, 0.0), 0.0);
+        assert!(pct_change(0.0, 5.0).is_infinite());
+    }
+
+    #[test]
+    fn fmt_pct_signs() {
+        assert_eq!(fmt_pct(4.824), "+4.82%");
+        assert_eq!(fmt_pct(-76.02), "-76.02%");
+        assert_eq!(fmt_pct(0.0), "0.00%");
+    }
+}

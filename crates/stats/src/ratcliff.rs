@@ -1,0 +1,106 @@
+//! Ratcliff-Obershelp pattern-matching similarity.
+//!
+//! Criterion (5) of the tracking-cookie classifier (Englehardt et al.,
+//! refined by Chen et al.; paper Sec. 6.3.3) requires that a tracking
+//! cookie's value "differ significantly based on the Ratcliff-Obershelp
+//! algorithm among all runs" — i.e. the values are per-client identifiers,
+//! not shared constants. The algorithm recursively finds the longest common
+//! substring and sums matches on both sides; similarity is
+//! `2*matches / (len_a + len_b)`.
+
+/// Ratcliff-Obershelp similarity in `[0, 1]`.
+pub fn ratcliff_obershelp(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let matches = matching_chars(&a, &b);
+    2.0 * matches as f64 / (a.len() + b.len()) as f64
+}
+
+fn matching_chars(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (ai, bi, len) = longest_common_substring(a, b);
+    if len == 0 {
+        return 0;
+    }
+    len + matching_chars(&a[..ai], &b[..bi]) + matching_chars(&a[ai + len..], &b[bi + len..])
+}
+
+/// Returns (start_in_a, start_in_b, length) of the longest common substring.
+/// Classic O(n·m) dynamic program with a rolling row.
+fn longest_common_substring(a: &[char], b: &[char]) -> (usize, usize, usize) {
+    let mut best = (0, 0, 0);
+    let mut prev = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![0usize; b.len() + 1];
+        for (j, cb) in b.iter().enumerate() {
+            if ca == cb {
+                let len = prev[j] + 1;
+                row[j + 1] = len;
+                if len > best.2 {
+                    best = (i + 1 - len, j + 1 - len, len);
+                }
+            }
+        }
+        prev = row;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_are_1() {
+        assert_eq!(ratcliff_obershelp("abcdef", "abcdef"), 1.0);
+        assert_eq!(ratcliff_obershelp("", ""), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_are_0() {
+        assert_eq!(ratcliff_obershelp("aaa", "bbb"), 0.0);
+        assert_eq!(ratcliff_obershelp("x", ""), 0.0);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // WIKIMEDIA/WIKIMANIA: anchor "WIKIM" (5) + "IA" (2) = 7 matches,
+        // 2*7/18.
+        let s = ratcliff_obershelp("WIKIMEDIA", "WIKIMANIA");
+        assert!((s - 7.0 * 2.0 / 18.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn near_symmetric() {
+        // Ratcliff-Obershelp is order-dependent when longest-substring
+        // choices are ambiguous (a well-known property, shared by difflib);
+        // the classifier only thresholds it, so bounded asymmetry is fine.
+        let a = "GESTALT PATTERN MATCHING";
+        let b = "GESTALT PRACTICE";
+        let ab = ratcliff_obershelp(a, b);
+        let ba = ratcliff_obershelp(b, a);
+        assert!((ab - ba).abs() < 0.1, "ab={ab} ba={ba}");
+    }
+
+    #[test]
+    fn random_ids_have_low_similarity() {
+        // Two realistic tracking-cookie values: mostly random hex.
+        let a = "7f3c9a1be2d84056aa10";
+        let b = "0d45e7c2913fb6a8ee42";
+        assert!(ratcliff_obershelp(a, b) < 0.66);
+    }
+
+    #[test]
+    fn shared_prefix_counts() {
+        let s = ratcliff_obershelp("sess-AAAA", "sess-BBBB");
+        assert!((s - 5.0 * 2.0 / 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Wilcoxon signed-rank test (paired, two-sided), normal approximation.
+//!
+//! Used for Tables 9 and 10 of the paper: "As the data sets are not normally
+//! distributed, we use the Wilcoxon signed-rank test with a confidence
+//! interval of 95%." With n = 1,487 paired sites the normal approximation
+//! (with tie correction and continuity correction) is the standard choice.
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Clone, Copy, Debug)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero paired differences actually ranked.
+    pub n_used: usize,
+    /// Standard normal test statistic.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl WilcoxonResult {
+    /// Significant at the 95% confidence level (the paper's criterion)?
+    pub fn significant_at_95(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Two-sided Wilcoxon signed-rank test over paired samples.
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); tied
+/// absolute differences receive mid-ranks and the variance gets the usual
+/// tie correction. Returns `None` when fewer than 5 non-zero pairs remain
+/// (the approximation would be meaningless).
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(a.len(), b.len(), "paired test requires equal-length samples");
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 5 {
+        return None;
+    }
+    // Rank by absolute value with mid-ranks for ties.
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        // Mid-rank of positions i..=j (1-based ranks).
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = mid;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_correction += t * t * t - t;
+        }
+        i = j + 1;
+    }
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        return None;
+    }
+    let w = w_plus.min(w_minus);
+    // Continuity correction of 0.5 toward the mean.
+    let z = (w - mean + 0.5) / var.sqrt();
+    let p = 2.0 * std_normal_cdf(z);
+    Some(WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_used: n,
+        z,
+        p_value: p.min(1.0),
+    })
+}
+
+/// Standard normal CDF via the Abramowitz-Stegun erf approximation
+/// (max abs error ~1.5e-7 — ample for significance testing).
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(wilcoxon_signed_rank(&a, &a).is_none(), "all-zero diffs drop below n=5");
+    }
+
+    #[test]
+    fn clearly_shifted_samples_are_significant() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 10.0).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.significant_at_95(), "p={} z={}", r.p_value, r.z);
+        assert_eq!(r.w_plus, 0.0); // a < b everywhere
+        assert_eq!(r.n_used, 100);
+    }
+
+    #[test]
+    fn symmetric_noise_is_not_significant() {
+        // Alternating ±1 differences: perfectly symmetric.
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(!r.significant_at_95(), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn small_samples_return_none() {
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn tie_handling_mid_ranks() {
+        // Many equal absolute differences: must not panic, must rank fairly.
+        let a = vec![0.0; 20];
+        let b: Vec<f64> = (0..20).map(|i| if i < 15 { 1.0 } else { -1.0 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        // 15 negative diffs (a-b = -1) vs 5 positive: skewed but with equal
+        // mid-ranks; w_minus gets 15 ranks of 10.5 = 157.5.
+        assert_eq!(r.w_minus, 157.5);
+        assert_eq!(r.w_plus, 52.5);
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(std_normal_cdf(-8.0) < 1e-10);
+    }
+}

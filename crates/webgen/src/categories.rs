@@ -1,0 +1,134 @@
+//! Website categories (the Symantec-sitereview taxonomy the paper uses for
+//! Fig. 5), with distributions conditioned on detector deployment.
+
+/// The categories appearing in Fig. 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    News,
+    Technology,
+    Business,
+    Shopping,
+    Finance,
+    Travel,
+    Entertainment,
+    Education,
+    Government,
+    Health,
+    Sports,
+    Social,
+    Gambling,
+    Adult,
+    Gaming,
+    Other,
+}
+
+impl Category {
+    pub fn all() -> &'static [Category] {
+        &[
+            Category::News,
+            Category::Technology,
+            Category::Business,
+            Category::Shopping,
+            Category::Finance,
+            Category::Travel,
+            Category::Entertainment,
+            Category::Education,
+            Category::Government,
+            Category::Health,
+            Category::Sports,
+            Category::Social,
+            Category::Gambling,
+            Category::Adult,
+            Category::Gaming,
+            Category::Other,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::News => "News",
+            Category::Technology => "Technology",
+            Category::Business => "Business",
+            Category::Shopping => "Shopping",
+            Category::Finance => "Finance",
+            Category::Travel => "Travel",
+            Category::Entertainment => "Entertainment",
+            Category::Education => "Education",
+            Category::Government => "Government",
+            Category::Health => "Health",
+            Category::Sports => "Sports",
+            Category::Social => "Social",
+            Category::Gambling => "Gambling",
+            Category::Adult => "Adult",
+            Category::Gaming => "Gaming",
+            Category::Other => "Other",
+        }
+    }
+}
+
+/// Per-mille weights over [`Category::all`] for sites that include
+/// *third-party* detectors (Fig. 5: News 18.4%, Technology 9%, Business 7%,
+/// Shopping 5%…).
+pub const THIRD_PARTY_WEIGHTS: &[u32] =
+    &[184, 90, 70, 50, 30, 20, 95, 60, 25, 45, 55, 65, 30, 35, 46, 100];
+
+/// Weights for sites with *first-party* detectors (Fig. 5: Shopping 16.4%,
+/// Finance 8%, Travel 7%, News 5% — the rank switch the paper highlights).
+pub const FIRST_PARTY_WEIGHTS: &[u32] =
+    &[50, 80, 75, 164, 80, 70, 60, 40, 30, 40, 50, 45, 40, 26, 50, 100];
+
+/// Background distribution for sites without detectors.
+pub const BASE_WEIGHTS: &[u32] =
+    &[60, 80, 90, 80, 40, 40, 90, 70, 40, 60, 60, 60, 20, 40, 50, 120];
+
+/// Pick a category from weights using a uniform draw.
+pub fn pick(weights: &[u32], draw: u32) -> Category {
+    let total: u32 = weights.iter().sum();
+    let mut x = draw % total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return Category::all()[i];
+        }
+        x -= w;
+    }
+    Category::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_cover_all_categories() {
+        assert_eq!(THIRD_PARTY_WEIGHTS.len(), Category::all().len());
+        assert_eq!(FIRST_PARTY_WEIGHTS.len(), Category::all().len());
+        assert_eq!(BASE_WEIGHTS.len(), Category::all().len());
+    }
+
+    #[test]
+    fn news_dominates_third_party_distribution() {
+        let mut counts = std::collections::HashMap::new();
+        for draw in 0..1000 {
+            *counts.entry(pick(THIRD_PARTY_WEIGHTS, draw)).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&Category::News], 184);
+        assert!(counts[&Category::News] > counts[&Category::Shopping]);
+    }
+
+    #[test]
+    fn shopping_dominates_first_party_distribution() {
+        let mut counts = std::collections::HashMap::new();
+        for draw in 0..1000 {
+            *counts.entry(pick(FIRST_PARTY_WEIGHTS, draw)).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&Category::Shopping], 164);
+        assert!(counts[&Category::Shopping] > counts[&Category::News]);
+    }
+
+    #[test]
+    fn pick_is_total_over_draw_space() {
+        for draw in (0..5000).step_by(7) {
+            let _ = pick(BASE_WEIGHTS, draw);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Detector providers: who serves bot-detection scripts in the synthetic
+//! web, calibrated to Tables 6, 7 and 12 of the paper.
+
+use detect::Technique;
+
+/// A third-party domain hosting Selenium-detector scripts (Table 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ThirdPartyProvider {
+    pub domain: &'static str,
+    /// Share of the 21,325 third-party inclusions (per mille).
+    pub weight_per_mille: u32,
+    /// WhoTracks.me-style purpose label.
+    pub purpose: &'static str,
+}
+
+/// The top-10 hosting domains of Table 7 (shares rounded to per-mille of
+/// all third-party inclusions); the long tail of 704 further domains is
+/// modelled by [`minor_provider_domain`].
+pub const TOP_THIRD_PARTY: &[ThirdPartyProvider] = &[
+    ThirdPartyProvider { domain: "yandex.ru", weight_per_mille: 180, purpose: "advertising" },
+    ThirdPartyProvider { domain: "adsafeprotected.com", weight_per_mille: 108, purpose: "advertising" },
+    ThirdPartyProvider { domain: "moatads.com", weight_per_mille: 102, purpose: "advertising" },
+    ThirdPartyProvider { domain: "webgains.io", weight_per_mille: 98, purpose: "advertising" },
+    ThirdPartyProvider { domain: "crazyegg.com", weight_per_mille: 73, purpose: "site analytics" },
+    ThirdPartyProvider { domain: "intercomcdn.com", weight_per_mille: 50, purpose: "live chat" },
+    ThirdPartyProvider { domain: "teads.tv", weight_per_mille: 40, purpose: "advertising" },
+    ThirdPartyProvider { domain: "jsdelivr.net", weight_per_mille: 20, purpose: "cdn" },
+    ThirdPartyProvider { domain: "mxcdn.net", weight_per_mille: 20, purpose: "advertising" },
+    ThirdPartyProvider { domain: "mgid.com", weight_per_mille: 19, purpose: "advertising" },
+];
+
+/// Number of long-tail third-party detector domains (Table 7 row "11+").
+pub const MINOR_PROVIDER_COUNT: u32 = 704;
+
+/// Deterministic long-tail provider domain. Each index is its own
+/// registrable domain (eTLD+1), as in the paper's "remaining 704 domains".
+pub fn minor_provider_domain(index: u32) -> String {
+    format!("tp{:03}-adtail.net", index % MINOR_PROVIDER_COUNT)
+}
+
+/// Pick a third-party provider domain from a uniform draw in `[0, 1000)`.
+/// Top-10 domains take their Table 7 shares; the remainder spreads over the
+/// long tail.
+pub fn third_party_for_draw(draw: u32) -> String {
+    let mut acc = 0;
+    for p in TOP_THIRD_PARTY {
+        acc += p.weight_per_mille;
+        if draw % 1000 < acc {
+            return p.domain.to_owned();
+        }
+    }
+    minor_provider_domain(draw)
+}
+
+/// First-party bot-management originators (Table 12 / Sec. 4.3.2) with the
+/// URL-path patterns their embedded scripts follow and the number of sites
+/// they appear on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FirstPartyOrigin {
+    Akamai,
+    Incapsula,
+    Unknown,
+    Cloudflare,
+    PerimeterX,
+    /// Self-built or unattributed detectors (the remaining 12%).
+    SelfBuilt,
+}
+
+impl FirstPartyOrigin {
+    pub fn all() -> &'static [FirstPartyOrigin] {
+        &[
+            FirstPartyOrigin::Akamai,
+            FirstPartyOrigin::Incapsula,
+            FirstPartyOrigin::Unknown,
+            FirstPartyOrigin::Cloudflare,
+            FirstPartyOrigin::PerimeterX,
+            FirstPartyOrigin::SelfBuilt,
+        ]
+    }
+
+    /// Calibrated number of sites (Table 12; SelfBuilt absorbs the rest of
+    /// the 3,867 first-party detector sites).
+    pub fn site_count(&self) -> u32 {
+        match self {
+            FirstPartyOrigin::Akamai => 1004,
+            FirstPartyOrigin::Incapsula => 998,
+            FirstPartyOrigin::Unknown => 659,
+            FirstPartyOrigin::Cloudflare => 486,
+            FirstPartyOrigin::PerimeterX => 134,
+            FirstPartyOrigin::SelfBuilt => 586,
+        }
+    }
+
+    /// Total first-party detector sites (3,867 in the paper).
+    pub fn total_sites() -> u32 {
+        FirstPartyOrigin::all().iter().map(|o| o.site_count()).sum()
+    }
+
+    /// URL path of the embedded detector on a given site (Table 12's
+    /// similarity patterns — these are what the attribution clustering in
+    /// the scan recovers).
+    pub fn script_path(&self, site_hash: u64) -> String {
+        match self {
+            FirstPartyOrigin::Akamai => "/akam/11/pixel".to_owned(),
+            FirstPartyOrigin::Incapsula => "/_Incapsula_Resource".to_owned(),
+            FirstPartyOrigin::Unknown => format!("/assets/{:032x}", site_hash),
+            FirstPartyOrigin::Cloudflare => "/cdn-cgi/bm/cv/2172558837/api.js".to_owned(),
+            FirstPartyOrigin::PerimeterX => {
+                let alphabet = b"abcdefghjkmnpqrstuvwxyz0";
+                let mut s = String::new();
+                let mut h = site_hash | 1;
+                for _ in 0..8 {
+                    s.push(alphabet[(h % 24) as usize] as char);
+                    h /= 24;
+                }
+                format!("/{s}/init.js")
+            }
+            FirstPartyOrigin::SelfBuilt => "/js/bot-check.js".to_owned(),
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            FirstPartyOrigin::Akamai => "Akamai",
+            FirstPartyOrigin::Incapsula => "Incapsula",
+            FirstPartyOrigin::Unknown => "Unknown",
+            FirstPartyOrigin::Cloudflare => "Cloudflare",
+            FirstPartyOrigin::PerimeterX => "PerimeterX",
+            FirstPartyOrigin::SelfBuilt => "SelfBuilt",
+        }
+    }
+}
+
+/// OpenWPM-specific detector providers (Table 6): domain, number of
+/// including sites, which properties their scripts probe, and the technique
+/// (CHEQ is plain — found statically *and* dynamically; the others are
+/// obfuscated/dynamic — dynamic-only).
+#[derive(Clone, Copy, Debug)]
+pub struct OpenWpmProvider {
+    pub domain: &'static str,
+    pub sites: u32,
+    pub props: &'static [&'static str],
+    pub technique: Technique,
+}
+
+pub const OPENWPM_PROVIDERS: &[OpenWpmProvider] = &[
+    OpenWpmProvider {
+        domain: "cheqzone.com",
+        sites: 331,
+        props: &["jsInstruments"],
+        technique: Technique::Plain,
+    },
+    OpenWpmProvider {
+        domain: "googlesyndication.com",
+        sites: 14,
+        props: &["instrumentFingerprintingApis", "jsInstruments", "getInstrumentJS"],
+        technique: Technique::Constructed,
+    },
+    OpenWpmProvider {
+        domain: "google.com",
+        sites: 9,
+        props: &["instrumentFingerprintingApis", "getInstrumentJS", "jsInstruments"],
+        technique: Technique::Constructed,
+    },
+    OpenWpmProvider {
+        domain: "adzouk1tag.com",
+        sites: 2,
+        props: &["jsInstruments"],
+        technique: Technique::Constructed,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn third_party_weights_cover_table7_shares() {
+        let top_sum: u32 = TOP_THIRD_PARTY.iter().map(|p| p.weight_per_mille).sum();
+        // Top-10 account for ~71% of inclusions (Table 7: 70.9%).
+        assert!((700..=720).contains(&top_sum), "sum = {top_sum}");
+    }
+
+    #[test]
+    fn draws_map_to_domains_deterministically() {
+        assert_eq!(third_party_for_draw(0), "yandex.ru");
+        assert_eq!(third_party_for_draw(179), "yandex.ru");
+        assert_eq!(third_party_for_draw(180), "adsafeprotected.com");
+        let tail = third_party_for_draw(999);
+        assert!(tail.contains("adtail.net"));
+    }
+
+    #[test]
+    fn first_party_totals_match_paper() {
+        assert_eq!(FirstPartyOrigin::total_sites(), 3867);
+        assert_eq!(FirstPartyOrigin::Akamai.site_count(), 1004);
+    }
+
+    #[test]
+    fn first_party_paths_follow_table12_patterns() {
+        assert!(FirstPartyOrigin::Akamai.script_path(1).starts_with("/akam/11/"));
+        assert!(FirstPartyOrigin::Incapsula.script_path(1).contains("_Incapsula_Resource"));
+        assert!(FirstPartyOrigin::Cloudflare.script_path(1).contains("/cdn-cgi/bm/cv/"));
+        let px = FirstPartyOrigin::PerimeterX.script_path(12345);
+        assert!(px.ends_with("/init.js"));
+        assert_eq!(px.split('/').nth(1).unwrap().len(), 8);
+        // Unknown uses a long per-site hash.
+        let u1 = FirstPartyOrigin::Unknown.script_path(1);
+        let u2 = FirstPartyOrigin::Unknown.script_path(2);
+        assert_ne!(u1, u2);
+        assert!(u1.starts_with("/assets/"));
+    }
+
+    #[test]
+    fn openwpm_provider_totals() {
+        let total: u32 = OPENWPM_PROVIDERS.iter().map(|p| p.sites).sum();
+        assert_eq!(total, 356);
+        assert_eq!(OPENWPM_PROVIDERS[0].domain, "cheqzone.com");
+        assert_eq!(OPENWPM_PROVIDERS[0].sites, 331);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fingerprint-surface analysis: how recognisable is each OpenWPM run mode,
+//! and does the hardened client blend in? (Paper Sec. 3.)
+//!
+//! Run with: `cargo run --release --example fingerprint_surface -p gullible`
+
+use browser::{Os, RunMode};
+use gullible::surface::{surface, validate, ClientKind};
+
+fn main() {
+    println!("fingerprint surface vs a stock Firefox of the same version\n");
+    let setups = [
+        (Os::Ubuntu1804, RunMode::Regular),
+        (Os::Ubuntu1804, RunMode::Headless),
+        (Os::Ubuntu1804, RunMode::Xvfb),
+        (Os::Ubuntu1804, RunMode::Docker),
+        (Os::MacOs1015, RunMode::Regular),
+        (Os::MacOs1015, RunMode::Headless),
+    ];
+    for (os, mode) in setups {
+        let report = surface(ClientKind::OpenWpm, os, mode);
+        println!(
+            "{:<14} {:<9} probes deviating: {:>2}  template deviations: {:>5}  (webgl: {})",
+            os.name(),
+            mode.name(),
+            report.probe_deviations.len(),
+            report.template.total(),
+            report.webgl_deviations()
+        );
+    }
+
+    println!("\nfour-strategy validator (Sec. 3.3):");
+    for (label, kind, os, mode) in [
+        ("OpenWPM regular", ClientKind::OpenWpm, Os::Ubuntu1804, RunMode::Regular),
+        ("OpenWPM headless", ClientKind::OpenWpm, Os::Ubuntu1804, RunMode::Headless),
+        ("OpenWPM docker", ClientKind::OpenWpm, Os::Ubuntu1804, RunMode::Docker),
+        ("OpenWPM instrumented", ClientKind::OpenWpmInstrumented, Os::Ubuntu1804, RunMode::Regular),
+        ("WPM_hide", ClientKind::Hidden, Os::Ubuntu1804, RunMode::Regular),
+        ("stock Firefox", ClientKind::StockFirefox, Os::Ubuntu1804, RunMode::Regular),
+        ("stock Chrome", ClientKind::StockChrome, Os::Ubuntu1804, RunMode::Regular),
+    ] {
+        let (hit, evidence) = validate(kind, os, mode);
+        println!(
+            "  {:<22} {}  {}",
+            label,
+            if hit { "IDENTIFIED " } else { "clean      " },
+            evidence
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: crawl a page with OpenWPM, watch a bot detector catch it,
+//! then crawl again with the hardened client and slip past.
+//!
+//! Run with: `cargo run --example quickstart -p gullible`
+
+use detect::corpus::{self, Technique};
+use openwpm::{Browser, BrowserConfig, PageScript, SiteResponse, VisitSpec};
+
+fn main() {
+    // A page that ships a webdriver-probing detector alongside its app
+    // code, and throttles clients the detector flags.
+    let spec = VisitSpec {
+        url: "https://shop.example.com/".into(),
+        scripts: vec![
+            PageScript {
+                url: "https://shop.example.com/js/app.js".into(),
+                source: "var cart = []; cart.push('item');".into(),
+                content_type: "text/javascript".into(),
+            },
+            PageScript {
+                url: "https://botwall.example.net/bd/detect.js".into(),
+                source: corpus::selenium_detector(
+                    Technique::Plain,
+                    "https://botwall.example.net/bd/verdict",
+                ),
+                content_type: "text/javascript".into(),
+            },
+        ],
+        dwell_override_s: Some(5),
+        ..Default::default()
+    };
+
+    for (label, config) in [
+        ("vanilla OpenWPM", BrowserConfig::vanilla(7)),
+        ("WPM_hide (hardened)", BrowserConfig::stealth(7)),
+    ] {
+        let mut browser = Browser::new(config);
+        let mut verdict = None;
+        browser.visit(&spec, |traffic| {
+            verdict = traffic
+                .iter()
+                .find(|r| r.url.path == "/bd/verdict")
+                .map(|r| r.url.query.clone());
+            SiteResponse::default()
+        });
+        let store = browser.take_store();
+        println!("— {label} —");
+        println!("  detector verdict beacon: {}", verdict.as_deref().unwrap_or("(none)"));
+        println!(
+            "  requests recorded: {}, scripts saved: {}, JS calls recorded: {}",
+            store.http_requests.len(),
+            store.saved_scripts.len(),
+            store.js_calls.len()
+        );
+        for call in store.js_calls.iter().take(4) {
+            println!(
+                "    {} {} by {}",
+                call.operation.as_str(),
+                call.symbol,
+                call.script_url
+            );
+        }
+        println!();
+    }
+    println!(
+        "the vanilla client is flagged (bot=1) because navigator.webdriver is true;\n\
+         the hardened client reports false while still logging every access."
+    );
+}

@@ -1,0 +1,65 @@
+//! Determinism guarantees: the whole reproduction derives from a single
+//! seed, so identical configurations must produce identical results.
+
+use gullible::scan::{run_scan, ScanConfig};
+use gullible::{run_compare, CompareConfig};
+use webgen::Population;
+
+#[test]
+fn population_is_pure() {
+    let a = Population::new(5_000, 123);
+    let b = Population::new(5_000, 123);
+    for rank in (0..5_000).step_by(37) {
+        let pa = a.plan(rank);
+        let pb = b.plan(rank);
+        assert_eq!(pa.domain, pb.domain);
+        assert_eq!(pa.front.third_party, pb.front.third_party);
+        assert_eq!(pa.strict_csp, pb.strict_csp);
+        assert_eq!(pa.site_seed, pb.site_seed);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_webs() {
+    let a = Population::new(5_000, 1);
+    let b = Population::new(5_000, 2);
+    let differing = (0..200).filter(|r| a.plan(*r).site_seed != b.plan(*r).site_seed).count();
+    assert!(differing > 190);
+}
+
+#[test]
+fn scans_are_reproducible() {
+    let cfg = ScanConfig { workers: 3, ..ScanConfig::new(400, 55) };
+    let r1 = run_scan(cfg);
+    let r2 = run_scan(cfg);
+    assert_eq!(r1.table5(), r2.table5());
+    assert_eq!(r1.table7(), r2.table7());
+    for (a, b) in r1.sites.iter().zip(&r2.sites) {
+        assert_eq!(a.third_party_domains, b.third_party_domains, "rank {}", a.rank);
+        assert_eq!(a.front.static_true, b.front.static_true);
+        assert_eq!(a.front.dynamic_true, b.front.dynamic_true);
+    }
+}
+
+#[test]
+fn comparisons_are_reproducible() {
+    let cfg = CompareConfig { n_sites: 2_000, seed: 55, runs: 2, workers: 2 };
+    let r1 = run_compare(cfg);
+    let r2 = run_compare(cfg);
+    assert_eq!(r1.compare_set, r2.compare_set);
+    for ((w1, h1), (w2, h2)) in r1.runs.iter().zip(&r2.runs) {
+        assert_eq!(w1.total_requests(), w2.total_requests());
+        assert_eq!(h1.total_requests(), h2.total_requests());
+        assert_eq!(w1.easylist_total(), w2.easylist_total());
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let base = ScanConfig { workers: 1, ..ScanConfig::new(300, 77) };
+    let par = ScanConfig { workers: 4, ..base };
+    let r1 = run_scan(base);
+    let r4 = run_scan(par);
+    assert_eq!(r1.table5(), r4.table5());
+    assert_eq!(r1.table12(), r4.table12());
+}

