@@ -5,9 +5,9 @@
 //! * honey properties on vs off — cost of the iterator filter;
 //! * instrumented vs bare page — total instrumentation tax.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use bench::timeit;
 use openwpm::{Browser, BrowserConfig, SiteResponse, VisitSpec};
 
 fn workload_spec() -> VisitSpec {
@@ -38,40 +38,17 @@ fn visit_with(config: BrowserConfig) -> usize {
     b.take_store().js_calls.len()
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    c.bench_function("ablation/instrument_off", |b| {
-        b.iter_batched(
-            || BrowserConfig::bare(42),
-            |cfg| black_box(visit_with(cfg)),
-            BatchSize::SmallInput,
-        )
+fn main() {
+    timeit("ablation/instrument_off", 20, || {
+        black_box(visit_with(BrowserConfig::bare(42)));
     });
-    c.bench_function("ablation/instrument_vanilla", |b| {
-        b.iter_batched(
-            || BrowserConfig::vanilla(42),
-            |cfg| black_box(visit_with(cfg)),
-            BatchSize::SmallInput,
-        )
+    timeit("ablation/instrument_vanilla", 20, || {
+        black_box(visit_with(BrowserConfig::vanilla(42)));
     });
-    c.bench_function("ablation/instrument_stealth", |b| {
-        b.iter_batched(
-            || BrowserConfig::stealth(42),
-            |cfg| black_box(visit_with(cfg)),
-            BatchSize::SmallInput,
-        )
+    timeit("ablation/instrument_stealth", 20, || {
+        black_box(visit_with(BrowserConfig::stealth(42)));
     });
-    c.bench_function("ablation/scanner_with_honey", |b| {
-        b.iter_batched(
-            || BrowserConfig::scanner(42),
-            |cfg| black_box(visit_with(cfg)),
-            BatchSize::SmallInput,
-        )
+    timeit("ablation/scanner_with_honey", 20, || {
+        black_box(visit_with(BrowserConfig::scanner(42)));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ablation
-}
-criterion_main!(benches);

@@ -2,78 +2,61 @@
 //! template capture. Quantifies the "tree-walking interpreter vs bytecode"
 //! design decision from DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::timeit;
 use browser::{FingerprintProfile, Os, Page, RunMode};
 use jsengine::Interp;
 use netsim::Url;
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("interp/arith_loop_10k", |b| {
-        b.iter(|| {
-            let mut it = Interp::new();
-            let v = it
-                .eval_script(
-                    "var s = 0; for (var i = 0; i < 10000; i++) { s += i % 7; } s",
-                    "bench",
-                )
-                .unwrap();
-            black_box(v)
-        })
+fn main() {
+    timeit("interp/arith_loop_10k", 20, || {
+        let mut it = Interp::new();
+        let v = it
+            .eval_script(
+                "var s = 0; for (var i = 0; i < 10000; i++) { s += i % 7; } s",
+                "bench",
+            )
+            .unwrap();
+        black_box(v);
     });
 
-    c.bench_function("interp/realm_creation", |b| {
-        b.iter(|| black_box(Interp::new()))
+    timeit("interp/realm_creation", 50, || {
+        black_box(Interp::new());
     });
 
-    c.bench_function("interp/parse_detector_script", |b| {
-        let src = detect::corpus::selenium_detector(
-            detect::Technique::Plain,
-            "https://bd.test/v",
+    let src =
+        detect::corpus::selenium_detector(detect::Technique::Plain, "https://bd.test/v");
+    timeit("interp/parse_detector_script", 50, || {
+        black_box(jsengine::parser::parse(&src, "bench")).unwrap();
+    });
+
+    let url = Url::parse("https://bench.test/").unwrap();
+    timeit("browser/page_creation", 50, || {
+        black_box(Page::new(
+            FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+            url.clone(),
+            None,
+        ));
+    });
+
+    timeit("browser/template_capture", 20, || {
+        let mut page = Page::new(
+            FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+            Url::parse("https://bench.test/").unwrap(),
+            None,
         );
-        b.iter(|| black_box(jsengine::parser::parse(&src, "bench")).unwrap())
+        black_box(browser::capture_template(&mut page));
     });
 
-    c.bench_function("browser/page_creation", |b| {
-        let url = Url::parse("https://bench.test/").unwrap();
-        b.iter(|| {
-            black_box(Page::new(
-                FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
-                url.clone(),
-                None,
-            ))
-        })
-    });
-
-    c.bench_function("browser/template_capture", |b| {
-        b.iter(|| {
-            let mut page = Page::new(
-                FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
-                Url::parse("https://bench.test/").unwrap(),
-                None,
-            );
-            black_box(browser::capture_template(&mut page))
-        })
-    });
-
-    c.bench_function("browser/detector_script_execution", |b| {
-        let src = detect::corpus::first_party_detector("https://bench.test/v");
-        b.iter(|| {
-            let mut page = Page::new(
-                FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
-                Url::parse("https://bench.test/").unwrap(),
-                None,
-            );
-            page.run_script(&src, "bench.js").unwrap();
-            black_box(page.traffic().len())
-        })
+    let detector = detect::corpus::first_party_detector("https://bench.test/v");
+    timeit("browser/detector_script_execution", 20, || {
+        let mut page = Page::new(
+            FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Regular),
+            Url::parse("https://bench.test/").unwrap(),
+            None,
+        );
+        page.run_script(&detector, "bench.js").unwrap();
+        black_box(page.traffic().len());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_engine
-}
-criterion_main!(benches);

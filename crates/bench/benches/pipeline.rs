@@ -1,76 +1,57 @@
 //! Pipeline benchmarks: scan and comparison throughput per site, static
 //! analysis over scripts — the costs that bound paper-scale runs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use bench::timeit;
 use detect::static_analysis::analyse;
 use gullible::compare::visit_one;
 use gullible::scan::scan_site;
 use openwpm::{Browser, BrowserConfig};
 use webgen::Population;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let pop = Population::new(100_000, 42);
 
-    c.bench_function("scan/site_with_detector", |b| {
-        // A site guaranteed to carry a first-party detector.
-        let plan = (0..100_000).map(|r| pop.plan(r)).find(|p| p.first_party.is_some()).unwrap();
-        b.iter_batched(
-            || Browser::new(BrowserConfig::scanner(42)),
-            |mut browser| black_box(scan_site(&mut browser, &plan, true)),
-            BatchSize::SmallInput,
-        )
+    // A site guaranteed to carry a first-party detector.
+    let with_detector =
+        (0..100_000).map(|r| pop.plan(r)).find(|p| p.first_party.is_some()).unwrap();
+    timeit("scan/site_with_detector", 20, || {
+        let mut browser = Browser::new(BrowserConfig::scanner(42));
+        black_box(scan_site(&mut browser, &with_detector, true));
     });
 
-    c.bench_function("scan/site_without_detector", |b| {
-        let plan = (0..100_000)
-            .map(|r| pop.plan(r))
-            .find(|p| !p.site_has_detector() && !p.benign_mention && !p.iterator)
-            .unwrap();
-        b.iter_batched(
-            || Browser::new(BrowserConfig::scanner(42)),
-            |mut browser| black_box(scan_site(&mut browser, &plan, true)),
-            BatchSize::SmallInput,
-        )
+    let without_detector = (0..100_000)
+        .map(|r| pop.plan(r))
+        .find(|p| !p.site_has_detector() && !p.benign_mention && !p.iterator)
+        .unwrap();
+    timeit("scan/site_without_detector", 20, || {
+        let mut browser = Browser::new(BrowserConfig::scanner(42));
+        black_box(scan_site(&mut browser, &without_detector, true));
     });
 
-    c.bench_function("compare/visit_wpm", |b| {
-        let plan = (0..100_000)
-            .map(|r| pop.plan(r))
-            .find(|p| p.first_party.is_some() && p.cloak.reidentifies)
-            .unwrap();
-        b.iter_batched(
-            || Browser::new(BrowserConfig::vanilla(42)),
-            |mut browser| black_box(visit_one(&mut browser, &plan, 1, 0xAAAA, false)),
-            BatchSize::SmallInput,
-        )
+    let compare_plan = (0..100_000)
+        .map(|r| pop.plan(r))
+        .find(|p| p.first_party.is_some() && p.cloak.reidentifies)
+        .unwrap();
+    timeit("compare/visit_wpm", 20, || {
+        let mut browser = Browser::new(BrowserConfig::vanilla(42));
+        black_box(visit_one(&mut browser, &compare_plan, 1, 0xAAAA, false));
     });
 
-    c.bench_function("static/analyse_detector_corpus", |b| {
-        let scripts: Vec<String> = detect::Technique::all()
-            .iter()
-            .map(|t| detect::corpus::selenium_detector(*t, "https://bd.test/v"))
-            .collect();
-        b.iter(|| {
-            for s in &scripts {
-                black_box(analyse(s));
-            }
-        })
+    let scripts: Vec<String> = detect::Technique::all()
+        .iter()
+        .map(|t| detect::corpus::selenium_detector(*t, "https://bd.test/v"))
+        .collect();
+    timeit("static/analyse_detector_corpus", 20, || {
+        for s in &scripts {
+            black_box(analyse(s));
+        }
     });
 
-    c.bench_function("webgen/plan_generation_1k", |b| {
-        b.iter(|| {
-            for rank in 0..1000 {
-                black_box(pop.plan(rank));
-            }
-        })
+    timeit("webgen/plan_generation_1k", 20, || {
+        for rank in 0..1000 {
+            black_box(pop.plan(rank));
+        }
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pipeline
-}
-criterion_main!(benches);

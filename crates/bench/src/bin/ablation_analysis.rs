@@ -37,4 +37,6 @@ fn main() {
          removes iterator false positives from the dynamic pipeline; simulated interaction\n\
          recovers hover-gated detectors that are otherwise static-only."
     );
+    println!("passive   {}", gullible::report::coverage_note(&passive.completion));
+    println!("interactive {}", gullible::report::coverage_note(&interactive.completion));
 }

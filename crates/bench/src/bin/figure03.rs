@@ -31,4 +31,5 @@ fn main() {
         pct(report.count(|s| s.site.union_true()) as u64, report.n_sites as u64),
         thousands(report.n_sites as u64),
     );
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

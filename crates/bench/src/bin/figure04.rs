@@ -28,4 +28,5 @@ fn main() {
         thousands(d as u64),
         thousands(u as u64)
     );
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

@@ -40,4 +40,5 @@ fn main() {
         "News leads third-party inclusions; Shopping leads first-party (the rank switch of \
          Sec. 4.3)."
     );
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

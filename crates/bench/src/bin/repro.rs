@@ -6,6 +6,12 @@
 //! ```text
 //! GULLIBLE_SITES=100000 cargo run --release -p bench --bin repro
 //! ```
+//!
+//! Set `GULLIBLE_CHECKPOINT=/path/to/file` to journal per-site scan results;
+//! an interrupted run resumes from the checkpoint and produces aggregates
+//! identical to an uninterrupted one. `GULLIBLE_FAULT_*` injects crawl
+//! faults (see `bench` crate docs); the coverage line under the scan tables
+//! reports the resulting completion rate.
 
 use gullible::report::{pct, thousands};
 use gullible::{run_compare, run_scan, Client};
@@ -18,8 +24,19 @@ fn main() {
 
     // ---------- scan-based experiments ----------
     println!("--- running the Tranco scan (Sec. 4) ---");
-    let scan = run_scan(bench::scan_config());
-    println!("scan finished in {:.1?}\n", t0.elapsed());
+    let scan = match std::env::var("GULLIBLE_CHECKPOINT") {
+        Ok(path) => gullible::run_scan_with_checkpoint(
+            bench::scan_config(),
+            std::path::Path::new(&path),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: checkpoint file {path}: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => run_scan(bench::scan_config()),
+    };
+    println!("scan finished in {:.1?}", t0.elapsed());
+    println!("{}\n", scan.coverage_line());
 
     let [(si, st), (di, dt), (ui, ut)] = scan.table5();
     println!("[Table 5] sites with Selenium detectors (front + subpages)");
@@ -84,7 +101,8 @@ fn main() {
     for (origin, count) in scan.table12() {
         println!("  {origin:<12} {}", thousands(count as u64));
     }
-    println!("  paper: Akamai 1,004 Incapsula 998 Unknown 659 Cloudflare 486 PerimeterX 134\n");
+    println!("  paper: Akamai 1,004 Incapsula 998 Unknown 659 Cloudflare 486 PerimeterX 134");
+    println!("  all scan tables above: {}\n", gullible::report::coverage_note(&scan.completion));
 
     // ---------- comparison-based experiments ----------
     println!("--- running the WPM vs WPM_hide comparison (Sec. 6.3) ---");

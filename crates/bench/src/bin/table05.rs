@@ -39,4 +39,5 @@ fn main() {
         pct(ut as u64, n),
         thousands(bench::scale_target(18_714)),
     );
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

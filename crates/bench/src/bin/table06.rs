@@ -39,4 +39,5 @@ fn main() {
          target ≈ {})",
         bench::scale_target(356)
     );
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

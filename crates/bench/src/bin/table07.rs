@@ -48,4 +48,5 @@ fn main() {
         thousands(first as u64),
         thousands(third as u64)
     );
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

@@ -41,4 +41,5 @@ fn main() {
         pct(front_dynamic as u64, n),
     ]);
     println!("{}", table.render());
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

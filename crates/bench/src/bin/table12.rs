@@ -18,7 +18,7 @@ fn main() {
         ("SelfBuilt", 586),
     ];
     let mut rows: Vec<(&str, u32)> = t12.iter().map(|(k, v)| (*k, *v)).collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     for (origin, count) in rows {
         let target = paper.iter().find(|(o, _)| *o == origin).map(|(_, c)| *c).unwrap_or(0);
         table.row(&[
@@ -28,4 +28,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    println!("{}", gullible::report::coverage_note(&report.completion));
 }

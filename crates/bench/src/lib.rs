@@ -8,8 +8,24 @@
 //! * `GULLIBLE_SITES`   — population size (default 20,000; paper scale 100,000)
 //! * `GULLIBLE_SEED`    — population seed (default 42)
 //! * `GULLIBLE_WORKERS` — worker threads (default: available parallelism)
+//!
+//! Fault injection (all default to 0, i.e. a perfectly reliable crawl):
+//!
+//! * `GULLIBLE_FAULT_CRASH_PM` — browser-crash probability per visit, in
+//!   per-mille (the paper's headline failure mode)
+//! * `GULLIBLE_FAULT_HANG_PM`  — visit-hang probability (caught by the
+//!   watchdog timeout)
+//! * `GULLIBLE_FAULT_NAV_PM`   — navigation-error probability
+//! * `GULLIBLE_FAULT_TAB_PM`   — mid-visit tab-crash probability
+//! * `GULLIBLE_FAULT_HTTP_PM`  — transient-HTTP-failure probability
+//! * `GULLIBLE_FAULT_BOOST_PM` — failure multiplier (per-mille, 1000 = ×1)
+//!   applied on flaky-flagged sites
+//! * `GULLIBLE_FAULT_SEED`     — fault-plan seed (independent of the
+//!   population seed, so the same population can be crawled under
+//!   different weather)
 
 use gullible::{CompareConfig, ScanConfig};
+use openwpm::FaultPlan;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -31,10 +47,12 @@ pub fn workers() -> usize {
     ) as usize
 }
 
-/// Standard scan configuration from the environment.
+/// Standard scan configuration from the environment, including the
+/// `GULLIBLE_FAULT_*` fault plan.
 pub fn scan_config() -> ScanConfig {
     let mut cfg = ScanConfig::new(n_sites(), seed());
     cfg.workers = workers();
+    cfg.faults = FaultPlan::from_env();
     cfg
 }
 
@@ -47,8 +65,18 @@ pub fn compare_config() -> CompareConfig {
 
 /// Print the run header every binary starts with.
 pub fn banner(what: &str) {
+    let faults = FaultPlan::from_env();
+    let weather = if faults.is_inert() {
+        String::new()
+    } else {
+        format!(
+            ", faults {}‰/visit (seed {})",
+            faults.total_per_mille(),
+            faults.seed
+        )
+    };
     println!(
-        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers\n",
+        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}\n",
         n_sites(),
         seed(),
         workers()
@@ -59,4 +87,16 @@ pub fn banner(what: &str) {
 /// (for side-by-side target columns).
 pub fn scale_target(paper_count: u64) -> u64 {
     paper_count * n_sites() as u64 / 100_000
+}
+
+/// Minimal self-timed benchmark runner (the offline build environment has
+/// no criterion): one warm-up call, then `iters` timed iterations.
+pub fn timeit(name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("{name:<40} {per:>12.2?}/iter ({iters} iters)");
 }

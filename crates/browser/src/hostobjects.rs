@@ -271,7 +271,7 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
             let spec = string_arg(it, args, 0)?;
             let name = spec.split_once(' ').map(|(_, n)| n).unwrap_or(&spec);
             let name = name.trim_matches(['"', '\''].as_ref());
-            Ok(Value::Bool(h.borrow().profile.fonts.iter().any(|f| *f == name)))
+            Ok(Value::Bool(h.borrow().profile.fonts.contains(&name)))
         });
         let h = host.clone();
         let count = h.borrow().profile.fonts.len();
@@ -473,7 +473,7 @@ fn install_event_target(it: &mut Interp, host: &PageShared, proto: ObjId) {
                 .unwrap_or_default();
             for l in listeners {
                 if matches!(&l, Value::Obj(id) if it.heap.get(*id).is_callable()) {
-                    it.call(l, this.clone(), &[event.clone()])?;
+                    it.call(l, this.clone(), std::slice::from_ref(&event))?;
                 }
             }
         }
@@ -583,7 +583,7 @@ pub fn make_thenable(it: &mut Interp, resolved: Value) -> Value {
             let cb = args.first().cloned().unwrap_or(Value::Undefined);
             let next = match &cb {
                 Value::Obj(id) if it.heap.get(*id).is_callable() => {
-                    it.call(cb.clone(), Value::Undefined, &[resolved.clone()])?
+                    it.call(cb.clone(), Value::Undefined, std::slice::from_ref(&resolved))?
                 }
                 _ => resolved.clone(),
             };

@@ -153,7 +153,6 @@ pub fn run_compare(cfg: CompareConfig) -> CompareReport {
                 .filter(|r| memory.get(&(client_id, *r)).copied().unwrap_or(false))
                 .collect();
             let seed = cfg.seed;
-            let pop = pop;
             let summaries = run_parallel(
                 set.clone(),
                 cfg.workers,

@@ -42,5 +42,8 @@ pub mod scan;
 pub mod surface;
 
 pub use compare::{run_compare, Client, CompareConfig, CompareReport};
-pub use scan::{run_scan, ScanConfig, ScanReport};
+pub use scan::{
+    run_scan, run_scan_supervised, run_scan_with_checkpoint, ScanConfig, ScanReport,
+    SiteScanRecord,
+};
 pub use surface::{surface, validate, ClientKind, SurfaceReport};

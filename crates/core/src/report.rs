@@ -67,12 +67,19 @@ impl TextTable {
     }
 }
 
+/// The coverage footnote printed under every scan-derived table: every count
+/// in the paper's tables is implicitly "out of the sites the crawl actually
+/// completed", so the denominator travels with the table.
+pub fn coverage_note(summary: &openwpm::CrawlSummary) -> String {
+    format!("[{}]", summary.coverage_line())
+}
+
 /// Format a count with thousands separators (paper style: `13,989`).
 pub fn thousands(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -121,5 +128,17 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(pct(13989, 100000), "14.0%");
         assert_eq!(pct(0, 0), "0.0%");
+    }
+
+    #[test]
+    fn coverage_note_wraps_summary_line() {
+        let summary = openwpm::CrawlSummary {
+            total: 100,
+            completed: 97,
+            ..openwpm::CrawlSummary::default()
+        };
+        let note = coverage_note(&summary);
+        assert!(note.starts_with('[') && note.ends_with(']'));
+        assert!(note.contains("97/100"));
     }
 }

@@ -8,12 +8,17 @@
 //! Figures 3–5.
 
 use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
 
 use detect::{analyse, preprocess, DynamicClass, StaticPattern};
 use netsim::url::etld1_of;
 use netsim::Url;
-use openwpm::manager::run_parallel;
-use openwpm::{Browser, BrowserConfig, SiteResponse};
+use openwpm::{
+    run_supervised, Browser, BrowserConfig, CrawlHistoryRecord, CrawlSummary, FailureReason,
+    FaultPlan, ItemMeta, RetryPolicy, SiteResponse, SupervisorConfig, VisitOutcome,
+};
 use webgen::{visit_spec, Category, PageKind, Population, SitePlan};
 
 /// Scan configuration.
@@ -29,6 +34,21 @@ pub struct ScanConfig {
     /// and become dynamically visible (an ablation of Sec. 4.1's
     /// "code that happens not to be executed" limitation).
     pub simulate_interaction: bool,
+    /// Injected crawl weather (crashes, hangs, …). Inert by default, so a
+    /// plain scan behaves exactly as an unsupervised one.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for failed visits.
+    pub retry: RetryPolicy,
+    /// Watchdog limit per visit on the simulated clock.
+    pub visit_timeout_ms: u64,
+    /// Chronically flaky sites per 100K in the population (see
+    /// `webgen::Targets::flaky_per_100k`); the fault injector boosts its
+    /// rates on these.
+    pub flaky_sites_per_100k: u32,
+    /// Visit only the first N not-yet-completed sites, marking the rest
+    /// interrupted — the deterministic "crawl killed midway" model used
+    /// by checkpoint/resume tests.
+    pub visit_budget: Option<usize>,
 }
 
 impl ScanConfig {
@@ -39,12 +59,32 @@ impl ScanConfig {
             workers: 4,
             include_subpages: true,
             simulate_interaction: false,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            visit_timeout_ms: 60_000,
+            flaky_sites_per_100k: 0,
+            visit_budget: None,
+        }
+    }
+
+    fn population(&self) -> Population {
+        let mut pop = Population::new(self.n_sites, self.seed);
+        pop.targets.flaky_per_100k = self.flaky_sites_per_100k;
+        pop
+    }
+
+    fn supervisor(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            retry: self.retry,
+            visit_timeout_ms: self.visit_timeout_ms,
+            faults: self.faults,
+            visit_budget: self.visit_budget,
         }
     }
 }
 
 /// Per-page detection flags.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PageFlags {
     /// Naive static pattern matched some script (includes false positives).
     pub static_identified: bool,
@@ -75,7 +115,7 @@ impl PageFlags {
 }
 
 /// One site's scan outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SiteScanRecord {
     pub rank: u32,
     pub domain: String,
@@ -239,12 +279,25 @@ pub fn first_party_origin_of(url: &str) -> &'static str {
 #[derive(Clone, Debug, Default)]
 pub struct ScanReport {
     pub n_sites: u32,
+    /// Records of sites whose visits completed. Failed or interrupted
+    /// sites contribute no record — they are accounted in `completion`
+    /// and `history` instead, and every printed table must carry the
+    /// coverage denominator (the paper's completeness lesson).
     pub sites: Vec<SiteScanRecord>,
+    /// Crawl completeness rollup.
+    pub completion: CrawlSummary,
+    /// Per-site `crawl_history` rows (ok / failed / interrupted).
+    pub history: Vec<CrawlHistoryRecord>,
 }
 
 impl ScanReport {
     pub fn count(&self, f: impl Fn(&SiteScanRecord) -> bool) -> u32 {
         self.sites.iter().filter(|s| f(s)).count() as u32
+    }
+
+    /// The coverage statement printed under every table.
+    pub fn coverage_line(&self) -> String {
+        self.completion.coverage_line()
     }
 
     /// Table 5 rows: (static, dynamic, union) × (identified, true), over
@@ -368,27 +421,295 @@ impl ScanReport {
     }
 }
 
-/// Run the full scan.
+/// Run the full scan under the supervised executor (no checkpointing).
 pub fn run_scan(cfg: ScanConfig) -> ScanReport {
-    let pop = Population::new(cfg.n_sites, cfg.seed);
+    run_scan_supervised(cfg, Vec::new(), &[], &|_, _, _| {})
+}
+
+/// Supervised scan with explicit resume state and a completion callback.
+///
+/// * `prior[rank] = Some(outcome)` replays a checkpointed outcome without
+///   re-visiting; `prior_attempts[rank]` carries its attempt count.
+/// * `on_complete(rank, outcome, attempts)` fires for each
+///   newly-determined site, from worker threads.
+pub fn run_scan_supervised(
+    cfg: ScanConfig,
+    prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
+    prior_attempts: &[u32],
+    on_complete: &(impl Fn(usize, &VisitOutcome<SiteScanRecord>, u32) + Sync),
+) -> ScanReport {
+    let pop = cfg.population();
     let ranks: Vec<u32> = (0..cfg.n_sites).collect();
     let include_subpages = cfg.include_subpages;
     let seed = cfg.seed;
     let interact = cfg.simulate_interaction;
-    let sites = run_parallel(
+    let crawl = run_supervised(
         ranks,
         cfg.workers,
+        cfg.supervisor(),
+        |rank: &u32| {
+            let plan = pop.plan(*rank);
+            ItemMeta {
+                label: plan.front_url().to_string(),
+                fault_key: *rank as u64,
+                flaky: plan.flaky,
+            }
+        },
         move |worker| {
             let mut config = BrowserConfig::scanner(seed ^ worker as u64);
             config.simulate_interaction = interact;
             Browser::new(config).with_instance(worker as u32)
         },
-        move |browser, _idx, rank| {
-            let plan = pop.plan(rank);
+        move |browser, _idx, rank: &u32| {
+            let plan = pop.plan(*rank);
             scan_site(browser, &plan, include_subpages)
         },
+        prior,
+        on_complete,
     );
-    ScanReport { n_sites: cfg.n_sites, sites }
+    let mut sites = Vec::new();
+    let mut history = Vec::with_capacity(crawl.outcomes.len());
+    for (i, outcome) in crawl.outcomes.into_iter().enumerate() {
+        let rank = i as u32;
+        let url = pop.plan(rank).front_url().to_string();
+        // Replayed priors report 0 attempts this run; fall back to the
+        // checkpointed count so a resumed history matches the original.
+        let attempts = if crawl.attempts[i] > 0 {
+            crawl.attempts[i]
+        } else {
+            prior_attempts.get(i).copied().unwrap_or(1)
+        };
+        match outcome {
+            VisitOutcome::Completed(rec) => {
+                history.push(CrawlHistoryRecord::ok(rank as u64, &url, attempts));
+                sites.push(rec);
+            }
+            VisitOutcome::Failed { reason, attempts } => {
+                history.push(CrawlHistoryRecord::failed(
+                    rank as u64,
+                    &url,
+                    reason.as_str(),
+                    attempts,
+                ));
+            }
+            VisitOutcome::Interrupted => {
+                history.push(CrawlHistoryRecord::interrupted(rank as u64, &url));
+            }
+        }
+    }
+    ScanReport { n_sites: cfg.n_sites, sites, completion: crawl.summary, history }
+}
+
+// --- checkpoint serialisation ---------------------------------------------
+//
+// One line per determined site, ASCII control characters as separators
+// (they cannot occur in generated domains, URLs or property names):
+// US (\x1f) between top-level fields, RS (\x1e) between record fields,
+// GS (\x1d) between list elements, FS (\x1c) inside pairs.
+//
+//   <rank> US ok     US <attempts> US <encoded SiteScanRecord>
+//   <rank> US failed US <attempts> US <failure reason>
+//
+// Interrupted sites are not written — resuming re-visits them. A torn
+// final line (crawl killed mid-write) fails to parse and is skipped, so
+// that site is simply re-visited too.
+
+const US: char = '\x1f';
+const RS: char = '\x1e';
+const GS: char = '\x1d';
+const FS: char = '\x1c';
+
+fn flags_encode(f: &PageFlags) -> String {
+    [f.static_identified, f.static_true, f.dynamic_identified, f.dynamic_true]
+        .iter()
+        .map(|b| if *b { '1' } else { '0' })
+        .collect()
+}
+
+fn flags_decode(s: &str) -> Option<PageFlags> {
+    let b: Vec<bool> = s
+        .chars()
+        .map(|c| match c {
+            '1' => Some(true),
+            '0' => Some(false),
+            _ => None,
+        })
+        .collect::<Option<Vec<bool>>>()?;
+    if b.len() != 4 {
+        return None;
+    }
+    Some(PageFlags {
+        static_identified: b[0],
+        static_true: b[1],
+        dynamic_identified: b[2],
+        dynamic_true: b[3],
+    })
+}
+
+fn join_list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+    items.iter().map(f).collect::<Vec<String>>().join(&GS.to_string())
+}
+
+fn split_list(s: &str) -> Vec<&str> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(GS).collect()
+    }
+}
+
+/// Serialise a completed site record for the checkpoint file.
+pub fn encode_site_record(r: &SiteScanRecord) -> String {
+    let fields = [
+        r.rank.to_string(),
+        r.domain.clone(),
+        join_list(&r.categories, |c| c.name().to_string()),
+        flags_encode(&r.front),
+        flags_encode(&r.site),
+        join_list(&r.openwpm_probes, |(p, n)| format!("{p}{FS}{n}")),
+        join_list(&r.third_party_domains, |d| d.clone()),
+        join_list(&r.first_party_urls, |u| u.clone()),
+        join_list(&r.script_hashes, |h| format!("{h:x}")),
+    ];
+    fields.join(&RS.to_string())
+}
+
+/// Inverse of [`encode_site_record`]. `None` on any malformed input.
+pub fn decode_site_record(s: &str) -> Option<SiteScanRecord> {
+    let f: Vec<&str> = s.split(RS).collect();
+    if f.len() != 9 {
+        return None;
+    }
+    Some(SiteScanRecord {
+        rank: f[0].parse().ok()?,
+        domain: f[1].to_string(),
+        categories: split_list(f[2])
+            .into_iter()
+            .map(Category::from_name)
+            .collect::<Option<Vec<Category>>>()?,
+        front: flags_decode(f[3])?,
+        site: flags_decode(f[4])?,
+        openwpm_probes: split_list(f[5])
+            .into_iter()
+            .map(|pair| {
+                let (p, n) = pair.split_once(FS)?;
+                Some((p.to_string(), n.to_string()))
+            })
+            .collect::<Option<Vec<(String, String)>>>()?,
+        third_party_domains: split_list(f[6]).into_iter().map(String::from).collect(),
+        first_party_urls: split_list(f[7]).into_iter().map(String::from).collect(),
+        script_hashes: split_list(f[8])
+            .into_iter()
+            .map(|h| u64::from_str_radix(h, 16).ok())
+            .collect::<Option<Vec<u64>>>()?,
+    })
+}
+
+/// FNV-1a over a checkpoint line body. A torn write can truncate a line at
+/// a point where the prefix still *parses* (e.g. mid-way through the final
+/// hash list), so every line carries its own checksum.
+fn line_checksum(body: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in body.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One checkpoint line for a determined outcome (`None` for interrupted
+/// sites, which must be re-visited on resume).
+pub fn checkpoint_line(
+    rank: u32,
+    outcome: &VisitOutcome<SiteScanRecord>,
+    attempts: u32,
+) -> Option<String> {
+    let body = match outcome {
+        VisitOutcome::Completed(rec) => {
+            format!("{rank}{US}ok{US}{attempts}{US}{}", encode_site_record(rec))
+        }
+        VisitOutcome::Failed { reason, attempts } => {
+            format!("{rank}{US}failed{US}{attempts}{US}{}", reason.as_str())
+        }
+        VisitOutcome::Interrupted => return None,
+    };
+    let sum = line_checksum(&body);
+    Some(format!("{body}{US}{sum:016x}"))
+}
+
+/// Parse one checkpoint line into `(rank, outcome, attempts)`.
+pub fn parse_checkpoint_line(
+    line: &str,
+) -> Option<(u32, VisitOutcome<SiteScanRecord>, u32)> {
+    let (body, sum) = line.rsplit_once(US)?;
+    if u64::from_str_radix(sum, 16).ok()? != line_checksum(body) {
+        return None;
+    }
+    let mut parts = body.splitn(4, US);
+    let rank: u32 = parts.next()?.parse().ok()?;
+    let status = parts.next()?;
+    let attempts: u32 = parts.next()?.parse().ok()?;
+    let payload = parts.next()?;
+    let outcome = match status {
+        "ok" => VisitOutcome::Completed(decode_site_record(payload)?),
+        "failed" => {
+            VisitOutcome::Failed { reason: FailureReason::parse(payload)?, attempts }
+        }
+        _ => return None,
+    };
+    Some((rank, outcome, attempts))
+}
+
+/// Load checkpoint file contents into resume state for an `n_sites` scan.
+/// Malformed lines (e.g. a torn final write) and out-of-range ranks are
+/// skipped — those sites are simply re-visited.
+pub fn load_checkpoint(
+    contents: &str,
+    n_sites: u32,
+) -> (Vec<Option<VisitOutcome<SiteScanRecord>>>, Vec<u32>) {
+    let mut prior: Vec<Option<VisitOutcome<SiteScanRecord>>> =
+        (0..n_sites).map(|_| None).collect();
+    let mut attempts = vec![0u32; n_sites as usize];
+    for line in contents.lines() {
+        if let Some((rank, outcome, att)) = parse_checkpoint_line(line) {
+            if (rank as usize) < prior.len() {
+                attempts[rank as usize] = att;
+                prior[rank as usize] = Some(outcome);
+            }
+        }
+    }
+    (prior, attempts)
+}
+
+/// Run a scan with durable checkpointing: previously-determined sites are
+/// loaded from `path` and replayed, and every newly-determined site is
+/// appended to `path` as soon as it completes. Interrupt the process (or
+/// set `cfg.visit_budget`) and call again with the same `path` to resume;
+/// the final aggregates are identical to an uninterrupted run.
+pub fn run_scan_with_checkpoint(
+    cfg: ScanConfig,
+    path: &Path,
+) -> std::io::Result<ScanReport> {
+    let (prior, prior_attempts) = match std::fs::read_to_string(path) {
+        Ok(contents) => load_checkpoint(&contents, cfg.n_sites),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            ((0..cfg.n_sites).map(|_| None).collect(), vec![0u32; cfg.n_sites as usize])
+        }
+        Err(e) => return Err(e),
+    };
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let writer = Mutex::new(std::io::BufWriter::new(file));
+    let report = run_scan_supervised(cfg, prior, &prior_attempts, &|rank, outcome, attempts| {
+        if let Some(line) = checkpoint_line(rank as u32, outcome, attempts) {
+            let mut w = writer.lock().unwrap();
+            // Write-and-flush per site keeps the checkpoint durable at
+            // the cost of one syscall per site — negligible next to a
+            // visit, and a kill loses at most the in-flight line.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    });
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -531,5 +852,137 @@ mod tests {
         assert_eq!(buckets.len(), 8);
         let front_static_total: u32 = buckets.iter().map(|b| b[0]).sum();
         assert_eq!(front_static_total, report.count(|s| s.front.static_true));
+    }
+
+    #[test]
+    fn clean_scan_has_full_coverage_and_ok_history() {
+        let report = small_scan();
+        assert_eq!(report.completion.completed, 800);
+        assert_eq!(report.completion.failed, 0);
+        assert_eq!(report.completion.completion_rate(), 1.0);
+        assert_eq!(report.history.len(), 800);
+        assert!(report
+            .history
+            .iter()
+            .all(|h| h.status == openwpm::CrawlStatus::Ok && h.attempts == 1));
+        assert!(report.coverage_line().contains("800/800"));
+    }
+
+    #[test]
+    fn faulty_scan_degrades_gracefully_and_reports_failures() {
+        let cfg = ScanConfig {
+            faults: FaultPlan::adversarial(21),
+            ..ScanConfig::new(400, 55)
+        };
+        let report = run_scan(cfg);
+        assert_eq!(report.completion.total, 400);
+        assert_eq!(report.sites.len(), report.completion.completed);
+        assert_eq!(report.history.len(), 400);
+        // Failed sites appear in history with a typed reason.
+        for h in &report.history {
+            if h.status == openwpm::CrawlStatus::Failed {
+                assert!(FailureReason::parse(&h.error).is_some(), "reason {:?}", h.error);
+                assert_eq!(h.attempts, cfg.retry.max_attempts);
+            }
+        }
+        assert!(report.completion.completion_rate() > 0.9);
+    }
+
+    #[test]
+    fn faulty_scan_is_deterministic_across_worker_counts() {
+        let base = ScanConfig {
+            faults: FaultPlan::adversarial(5),
+            ..ScanConfig::new(300, 9)
+        };
+        let a = run_scan(ScanConfig { workers: 1, ..base });
+        let b = run_scan(ScanConfig { workers: 4, ..base });
+        assert_eq!(a.completion, b.completion);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.table5(), b.table5());
+        assert_eq!(a.table12(), b.table12());
+        // The surviving record set is identical site-for-site in the
+        // fields the aggregates read (event-id seeds may differ with
+        // worker count; classification flags are robust to that).
+        assert_eq!(a.sites.len(), b.sites.len());
+        for (x, y) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.front, y.front);
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.third_party_domains, y.third_party_domains);
+            assert_eq!(x.first_party_urls, y.first_party_urls);
+        }
+    }
+
+    #[test]
+    fn site_record_roundtrips_through_checkpoint_encoding() {
+        let report = small_scan();
+        // Exercise a spread of records including detector-rich ones.
+        for rec in report.sites.iter().take(200) {
+            let enc = encode_site_record(rec);
+            let dec = decode_site_record(&enc).expect("roundtrip decode");
+            assert_eq!(dec, *rec);
+        }
+    }
+
+    #[test]
+    fn checkpoint_lines_roundtrip_and_reject_garbage() {
+        let rec = SiteScanRecord {
+            rank: 17,
+            domain: "w000017.io".into(),
+            categories: vec![Category::News, Category::Other],
+            front: PageFlags { static_true: true, ..PageFlags::default() },
+            site: PageFlags {
+                static_identified: true,
+                static_true: true,
+                ..PageFlags::default()
+            },
+            openwpm_probes: vec![("cheqzone.com".into(), "jsInstruments".into())],
+            third_party_domains: vec!["yandex.ru".into()],
+            first_party_urls: vec!["https://w000017.io/akam/11/x".into()],
+            script_hashes: vec![1, 0xDEAD_BEEF],
+        };
+        let ok_line =
+            checkpoint_line(17, &VisitOutcome::Completed(rec.clone()), 2).unwrap();
+        let (rank, outcome, attempts) = parse_checkpoint_line(&ok_line).unwrap();
+        assert_eq!(rank, 17);
+        assert_eq!(attempts, 2);
+        assert_eq!(outcome.completed().unwrap().domain, rec.domain);
+
+        let fail_line = checkpoint_line(
+            3,
+            &VisitOutcome::Failed { reason: FailureReason::Timeout, attempts: 3 },
+            3,
+        )
+        .unwrap();
+        let (rank, outcome, _) = parse_checkpoint_line(&fail_line).unwrap();
+        assert_eq!(rank, 3);
+        assert_eq!(
+            outcome,
+            VisitOutcome::Failed { reason: FailureReason::Timeout, attempts: 3 }
+        );
+
+        assert!(checkpoint_line(5, &VisitOutcome::Interrupted, 0).is_none());
+        assert!(parse_checkpoint_line("").is_none());
+        assert!(parse_checkpoint_line("garbage").is_none());
+        // A torn ok-line (payload truncated mid-record) fails cleanly.
+        let torn = &ok_line[..ok_line.len() - 20];
+        assert!(parse_checkpoint_line(torn).is_none());
+    }
+
+    #[test]
+    fn load_checkpoint_skips_bad_lines_and_out_of_range_ranks() {
+        let rec = run_scan(ScanConfig::new(20, 3)).sites[4].clone();
+        let good = checkpoint_line(4, &VisitOutcome::Completed(rec), 1).unwrap();
+        let out_of_range = checkpoint_line(
+            500,
+            &VisitOutcome::Failed { reason: FailureReason::Panic, attempts: 3 },
+            3,
+        )
+        .unwrap();
+        let contents = format!("{good}\nnot a line\n{out_of_range}\n");
+        let (prior, attempts) = load_checkpoint(&contents, 20);
+        assert_eq!(prior.iter().filter(|p| p.is_some()).count(), 1);
+        assert!(prior[4].is_some());
+        assert_eq!(attempts[4], 1);
     }
 }

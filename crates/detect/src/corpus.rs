@@ -259,6 +259,23 @@ fetch(stealth_code)
     )
 }
 
+/// A canvas-fingerprinting script (render-hash collection): accesses the
+/// canvas APIs OpenWPM instruments but draws no bot verdict — another
+/// benign-but-surface-touching class, like the iterator.
+pub fn canvas_fingerprinter(report_url: &str) -> String {
+    format!(
+        r#"(function () {{
+  var c = document.createElement('canvas');
+  var ctx = c.getContext('2d');
+  var hash = '' + c.toDataURL();
+  var gl = c.getContext('webgl');
+  var vendor = gl === null ? 'none' : ('' + gl.getParameter(37445));
+  navigator.sendBeacon('{report_url}?h=' + hash.length + '&v=' + vendor.length);
+}})();
+"#
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,21 +369,4 @@ mod tests {
         assert!(beacons[0].1.contains("via=iframe"));
         assert!(beacons[0].1.starts_with("bot=1"));
     }
-}
-
-/// A canvas-fingerprinting script (render-hash collection): accesses the
-/// canvas APIs OpenWPM instruments but draws no bot verdict — another
-/// benign-but-surface-touching class, like the iterator.
-pub fn canvas_fingerprinter(report_url: &str) -> String {
-    format!(
-        r#"(function () {{
-  var c = document.createElement('canvas');
-  var ctx = c.getContext('2d');
-  var hash = '' + c.toDataURL();
-  var gl = c.getContext('webgl');
-  var vendor = gl === null ? 'none' : ('' + gl.getParameter(37445));
-  navigator.sendBeacon('{report_url}?h=' + hash.length + '&v=' + vendor.length);
-}})();
-"#
-    )
 }

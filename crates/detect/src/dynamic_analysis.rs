@@ -74,10 +74,9 @@ pub fn observe(store: &RecordStore) -> Vec<ScriptObservation> {
             && openwpm::instrument::watch::WATCHED_PROPS
                 .iter()
                 .any(|p| rec.symbol == format!("window.{p}"))
+            && !obs.openwpm_props.contains(&rec.symbol)
         {
-            if !obs.openwpm_props.contains(&rec.symbol) {
-                obs.openwpm_props.push(rec.symbol.clone());
-            }
+            obs.openwpm_props.push(rec.symbol.clone());
         }
     }
     // Honey hits counted above are raw accesses; dedupe per honey name.

@@ -1188,10 +1188,11 @@ impl Interp {
             for stmt in &program.body {
                 match stmt {
                     Stmt::Expr(e) => last = self.eval_expr(e, scope)?,
-                    other => match self.exec_stmt(other, scope)? {
-                        Flow::Return(v) => return Ok(v),
-                        _ => {}
-                    },
+                    other => {
+                        if let Flow::Return(v) = self.exec_stmt(other, scope)? {
+                            return Ok(v);
+                        }
+                    }
                 }
             }
             Ok(last)
@@ -1375,6 +1376,7 @@ impl Interp {
         })
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn to_primitive(&mut self, v: &Value) -> Result<Value, Thrown> {
         match v {
             Value::Obj(_) => {

@@ -1,7 +1,7 @@
 //! Property-based tests for engine invariants.
 
 use jsengine::{Interp, Value};
-use proptest::prelude::*;
+use proplite::{run_cases, Rng};
 
 /// Evaluate a numeric expression in a fresh realm.
 fn eval_num(src: &str) -> f64 {
@@ -11,33 +11,48 @@ fn eval_num(src: &str) -> f64 {
     }
 }
 
-proptest! {
-    /// Integer arithmetic in MiniJS matches Rust f64 arithmetic.
-    #[test]
-    fn addition_matches_f64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+/// Integer arithmetic in MiniJS matches Rust f64 arithmetic.
+#[test]
+fn addition_matches_f64() {
+    run_cases(256, 0x15E1, |rng: &mut Rng| {
+        let a = rng.i64_in(-1_000_000, 1_000_000);
+        let b = rng.i64_in(-1_000_000, 1_000_000);
         let got = eval_num(&format!("({a}) + ({b})"));
-        prop_assert_eq!(got, (a + b) as f64);
-    }
+        assert_eq!(got, (a + b) as f64);
+    });
+}
 
-    #[test]
-    fn multiplication_matches_f64(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+#[test]
+fn multiplication_matches_f64() {
+    run_cases(256, 0x15E2, |rng: &mut Rng| {
+        let a = rng.i64_in(-10_000, 10_000);
+        let b = rng.i64_in(-10_000, 10_000);
         let got = eval_num(&format!("({a}) * ({b})"));
-        prop_assert_eq!(got, (a * b) as f64);
-    }
+        assert_eq!(got, (a * b) as f64);
+    });
+}
 
-    /// String literals round-trip through the lexer/parser/interpreter for
-    /// arbitrary alphanumeric content.
-    #[test]
-    fn string_literal_roundtrip(s in "[a-zA-Z0-9 _.-]{0,40}") {
+/// String literals round-trip through the lexer/parser/interpreter for
+/// arbitrary alphanumeric content.
+#[test]
+fn string_literal_roundtrip() {
+    run_cases(256, 0x15E3, |rng: &mut Rng| {
+        let s = rng.string_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.-",
+            0,
+            40,
+        );
         let got = Interp::new().eval_script(&format!("'{s}'"), "prop").unwrap();
-        prop_assert_eq!(got.as_str().unwrap(), s.as_str());
-    }
+        assert_eq!(got.as_str().unwrap(), s.as_str());
+    });
+}
 
-    /// Property insertion order is observation order via
-    /// `Object.getOwnPropertyNames`, for any set of distinct keys.
-    #[test]
-    fn property_insertion_order_preserved(keys in proptest::collection::hash_set("[a-z]{1,8}", 1..10)) {
-        let keys: Vec<String> = keys.into_iter().collect();
+/// Property insertion order is observation order via
+/// `Object.getOwnPropertyNames`, for any set of distinct keys.
+#[test]
+fn property_insertion_order_preserved() {
+    run_cases(128, 0x15E4, |rng: &mut Rng| {
+        let keys = rng.distinct_strings("abcdefghijklmnopqrstuvwxyz", 1, 8, 1, 9);
         let mut src = String::from("var o = {};\n");
         for k in &keys {
             src.push_str(&format!("o['{k}'] = 1;\n"));
@@ -45,61 +60,78 @@ proptest! {
         src.push_str("Object.getOwnPropertyNames(o).join(',')");
         let got = Interp::new().eval_script(&src, "prop").unwrap();
         let expected = keys.join(",");
-        prop_assert_eq!(got.as_str().unwrap(), expected.as_str());
-    }
+        assert_eq!(got.as_str().unwrap(), expected.as_str());
+    });
+}
 
-    /// `delete` then `in` is always false; re-adding restores it.
-    #[test]
-    fn delete_then_in_is_false(k in "[a-z]{1,10}") {
+/// `delete` then `in` is always false; re-adding restores it.
+#[test]
+fn delete_then_in_is_false() {
+    run_cases(128, 0x15E5, |rng: &mut Rng| {
+        let k = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 10);
         let src = format!(
             "var o = {{}}; o['{k}'] = 1; delete o['{k}']; ('{k}' in o) ? 1 : 0"
         );
-        prop_assert_eq!(eval_num(&src), 0.0);
-    }
+        assert_eq!(eval_num(&src), 0.0);
+    });
+}
 
-    /// Array push/length invariant.
-    #[test]
-    fn push_increments_length(n in 0usize..50) {
+/// Array push/length invariant.
+#[test]
+fn push_increments_length() {
+    run_cases(64, 0x15E6, |rng: &mut Rng| {
+        let n = rng.usize_in(0, 50);
         let mut src = String::from("var a = [];\n");
         for i in 0..n {
             src.push_str(&format!("a.push({i});\n"));
         }
         src.push_str("a.length");
-        prop_assert_eq!(eval_num(&src), n as f64);
-    }
+        assert_eq!(eval_num(&src), n as f64);
+    });
+}
 
-    /// indexOf finds every element pushed at the position it was pushed.
-    #[test]
-    fn index_of_finds_unique_elements(vals in proptest::collection::hash_set(0i64..1000, 1..20)) {
-        let vals: Vec<i64> = vals.into_iter().collect();
+/// indexOf finds every element pushed at the position it was pushed.
+#[test]
+fn index_of_finds_unique_elements() {
+    run_cases(32, 0x15E7, |rng: &mut Rng| {
+        let vals = rng.distinct_i64(0, 1000, 1, 19);
         let list = vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
         for (i, v) in vals.iter().enumerate() {
             let src = format!("[{list}].indexOf({v})");
-            prop_assert_eq!(eval_num(&src), i as f64);
+            assert_eq!(eval_num(&src), i as f64);
         }
-    }
+    });
+}
 
-    /// JSON.stringify always produces output containing every string value.
-    #[test]
-    fn json_stringify_contains_values(s in "[a-z]{1,10}") {
+/// JSON.stringify always produces output containing every string value.
+#[test]
+fn json_stringify_contains_values() {
+    run_cases(128, 0x15E8, |rng: &mut Rng| {
+        let s = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 10);
         let got = Interp::new()
             .eval_script(&format!("JSON.stringify({{ k: '{s}' }})"), "prop")
             .unwrap();
-        prop_assert!(got.as_str().unwrap().contains(&s));
-    }
+        assert!(got.as_str().unwrap().contains(&s));
+    });
+}
 
-    /// Strict equality is reflexive for numbers (except NaN, excluded).
-    #[test]
-    fn strict_eq_reflexive(n in -1e9f64..1e9) {
+/// Strict equality is reflexive for numbers (except NaN, excluded).
+#[test]
+fn strict_eq_reflexive() {
+    run_cases(256, 0x15E9, |rng: &mut Rng| {
+        let n = rng.f64_in(-1e9, 1e9);
         let src = format!("var x = {n}; x === x");
         let got = Interp::new().eval_script(&src, "prop").unwrap();
-        prop_assert_eq!(got, Value::Bool(true));
-    }
+        assert_eq!(got, Value::Bool(true));
+    });
+}
 
-    /// typeof never throws regardless of declared/undeclared identifiers.
-    #[test]
-    fn typeof_total(name in "[a-z]{1,12}") {
+/// typeof never throws regardless of declared/undeclared identifiers.
+#[test]
+fn typeof_total() {
+    run_cases(256, 0x15EA, |rng: &mut Rng| {
+        let name = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 12);
         let got = Interp::new().eval_script(&format!("typeof {name}"), "prop");
-        prop_assert!(got.is_ok());
-    }
+        assert!(got.is_ok());
+    });
 }

@@ -111,6 +111,64 @@ impl HttpResponse {
     pub fn looks_like_javascript(&self) -> bool {
         self.content_type.contains("javascript") || self.url.path.ends_with(".js")
     }
+
+    /// 2xx success — the only responses whose data a crawler should treat
+    /// as a completed page load.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// A transient `503 Service Unavailable` answer — what the fault
+    /// injector's flaky-HTTP mode serves in place of the real page.
+    pub fn service_unavailable(url: Url) -> HttpResponse {
+        HttpResponse {
+            url,
+            status: 503,
+            content_type: "text/html".into(),
+            body: "<html><body>503 Service Unavailable</body></html>".into(),
+        }
+    }
+}
+
+/// Deterministic transient-failure model for the simulated transport: a
+/// per-mille rate and a seed decide, per `(url, attempt)`, whether a fetch
+/// answers 503 instead of its real response. Stateless, so outcomes never
+/// depend on request ordering or worker scheduling.
+#[derive(Clone, Copy, Debug)]
+pub struct FlakyNetwork {
+    pub per_mille: u32,
+    pub seed: u64,
+}
+
+impl FlakyNetwork {
+    pub fn new(per_mille: u32, seed: u64) -> FlakyNetwork {
+        FlakyNetwork { per_mille, seed }
+    }
+
+    /// Does the fetch of `url` fail transiently on this attempt?
+    pub fn fails(&self, url: &Url, attempt: u32) -> bool {
+        if self.per_mille == 0 {
+            return false;
+        }
+        let mut h = self.seed ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        for b in url.to_string().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h % 1000) < self.per_mille as u64
+    }
+
+    /// The response for `url`: `real` on success, a 503 on failure.
+    pub fn respond(&self, url: &Url, attempt: u32, real: HttpResponse) -> HttpResponse {
+        if self.fails(url, attempt) {
+            HttpResponse::service_unavailable(url.clone())
+        } else {
+            real
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +229,58 @@ mod tests {
             body: "window.secret()".into(),
         };
         assert!(!stealth.looks_like_javascript());
+    }
+
+    #[test]
+    fn service_unavailable_is_not_success() {
+        let resp = HttpResponse::service_unavailable(url("https://w000001.com/"));
+        assert_eq!(resp.status, 503);
+        assert!(!resp.is_success());
+        let ok = HttpResponse {
+            url: url("https://w000001.com/"),
+            status: 200,
+            content_type: "text/html".into(),
+            body: String::new(),
+        };
+        assert!(ok.is_success());
+    }
+
+    #[test]
+    fn flaky_network_is_deterministic_and_rate_bound() {
+        let net = FlakyNetwork::new(100, 7);
+        let mut failures = 0;
+        for i in 0..10_000 {
+            let u = url(&format!("https://w{i:06}.com/"));
+            assert_eq!(net.fails(&u, 1), net.fails(&u, 1));
+            if net.fails(&u, 1) {
+                failures += 1;
+            }
+        }
+        // 10% ± generous tolerance.
+        assert!((800..=1200).contains(&failures), "failures = {failures}");
+        // Zero rate never fails; retries can clear a failure.
+        let quiet = FlakyNetwork::new(0, 7);
+        assert!(!quiet.fails(&url("https://a.com/"), 1));
+        let some_recovers = (0..1000).any(|i| {
+            let u = url(&format!("https://w{i:06}.com/"));
+            net.fails(&u, 1) && !net.fails(&u, 2)
+        });
+        assert!(some_recovers);
+    }
+
+    #[test]
+    fn flaky_network_respond_swaps_in_503() {
+        let net = FlakyNetwork::new(1000, 1); // always fails
+        let u = url("https://w000001.com/");
+        let real = HttpResponse {
+            url: u.clone(),
+            status: 200,
+            content_type: "text/html".into(),
+            body: "hello".into(),
+        };
+        let got = net.respond(&u, 1, real.clone());
+        assert_eq!(got.status, 503);
+        let calm = FlakyNetwork::new(0, 1);
+        assert_eq!(calm.respond(&u, 1, real).status, 200);
     }
 }

@@ -24,5 +24,5 @@ pub mod url;
 
 pub use blocklist::{Blocklist, BlocklistKind};
 pub use cookies::{Cookie, CookieJar, CookieParty};
-pub use http::{HttpRequest, HttpResponse, ResourceType};
+pub use http::{FlakyNetwork, HttpRequest, HttpResponse, ResourceType};
 pub use url::Url;

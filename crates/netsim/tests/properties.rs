@@ -2,55 +2,88 @@
 
 use netsim::url::etld1_of;
 use netsim::{Blocklist, BlocklistKind, HttpRequest, ResourceType, Url};
-use proptest::prelude::*;
+use proplite::{run_cases, Rng};
 
-fn host_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..4)
-        .prop_map(|labels| format!("{}.com", labels.join(".")))
+/// A random host of 1–3 lowercase labels under `.com`.
+fn host(rng: &mut Rng) -> String {
+    let labels = rng.usize_in(1, 4);
+    let mut parts = Vec::new();
+    for _ in 0..labels {
+        let first = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 1);
+        let rest = rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789", 0, 8);
+        parts.push(format!("{first}{rest}"));
+    }
+    format!("{}.com", parts.join("."))
 }
 
-proptest! {
-    /// Display → parse is the identity on well-formed URLs.
-    #[test]
-    fn url_roundtrip(host in host_strategy(), path in "(/[a-z0-9._-]{0,10}){0,3}", query in "[a-z=&0-9]{0,12}") {
-        let path = if path.is_empty() { "/".to_string() } else { path };
+/// Display → parse is the identity on well-formed URLs.
+#[test]
+fn url_roundtrip() {
+    run_cases(256, 0x4E51, |rng: &mut Rng| {
+        let host = host(rng);
+        let segments = rng.usize_in(0, 4);
+        let mut path = String::new();
+        for _ in 0..segments {
+            path.push('/');
+            path.push_str(&rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789._-", 0, 10));
+        }
+        if path.is_empty() {
+            path.push('/');
+        }
+        let query = rng.string_of("abcdefghijklmnopqrstuvwxyz=&0123456789", 0, 12);
         let s = if query.is_empty() {
             format!("https://{host}{path}")
         } else {
             format!("https://{host}{path}?{query}")
         };
         let u = Url::parse(&s).unwrap();
-        prop_assert_eq!(u.to_string(), s);
-    }
+        assert_eq!(u.to_string(), s);
+    });
+}
 
-    /// eTLD+1 is idempotent and a suffix of the host.
-    #[test]
-    fn etld1_idempotent_and_suffix(host in host_strategy()) {
+/// eTLD+1 is idempotent and a suffix of the host.
+#[test]
+fn etld1_idempotent_and_suffix() {
+    run_cases(256, 0x4E52, |rng: &mut Rng| {
+        let host = host(rng);
         let e = etld1_of(&host);
-        prop_assert_eq!(etld1_of(&e), e.clone());
-        prop_assert!(host.ends_with(&e));
-    }
+        assert_eq!(etld1_of(&e), e.clone());
+        assert!(host.ends_with(&e));
+    });
+}
 
-    /// Subdomains never change the registrable domain.
-    #[test]
-    fn subdomains_preserve_etld1(host in host_strategy(), sub in "[a-z]{1,8}") {
-        prop_assert_eq!(etld1_of(&format!("{sub}.{host}")), etld1_of(&host));
-    }
+/// Subdomains never change the registrable domain.
+#[test]
+fn subdomains_preserve_etld1() {
+    run_cases(256, 0x4E53, |rng: &mut Rng| {
+        let host = host(rng);
+        let sub = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 8);
+        assert_eq!(etld1_of(&format!("{sub}.{host}")), etld1_of(&host));
+    });
+}
 
-    /// same_site is an equivalence on hosts of the same registrable domain.
-    #[test]
-    fn same_site_equivalence(host in host_strategy(), s1 in "[a-z]{1,6}", s2 in "[a-z]{1,6}") {
+/// same_site is an equivalence on hosts of the same registrable domain.
+#[test]
+fn same_site_equivalence() {
+    run_cases(256, 0x4E54, |rng: &mut Rng| {
+        let host = host(rng);
+        let s1 = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 6);
+        let s2 = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 6);
         let a = Url::parse(&format!("https://{s1}.{host}/")).unwrap();
         let b = Url::parse(&format!("https://{s2}.{host}/x")).unwrap();
-        prop_assert!(a.same_site(&b));
-        prop_assert!(b.same_site(&a));
-        prop_assert!(a.same_site(&a));
-    }
+        assert!(a.same_site(&b));
+        assert!(b.same_site(&a));
+        assert!(a.same_site(&a));
+    });
+}
 
-    /// A domain-anchored rule matches the domain and every subdomain, and
-    /// nothing else from an unrelated apex.
-    #[test]
-    fn blocklist_domain_anchor_semantics(domain in host_strategy(), sub in "[a-z]{1,6}") {
+/// A domain-anchored rule matches the domain and every subdomain, and
+/// nothing else from an unrelated apex.
+#[test]
+fn blocklist_domain_anchor_semantics() {
+    run_cases(256, 0x4E55, |rng: &mut Rng| {
+        let domain = host(rng);
+        let sub = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 6);
         let list = Blocklist::parse(BlocklistKind::EasyList, &format!("||{domain}^\n"));
         let req = |h: &str| HttpRequest {
             url: Url::parse(&format!("https://{h}/x")).unwrap(),
@@ -59,22 +92,28 @@ proptest! {
             method: "GET",
             time_ms: 0,
         };
-        prop_assert!(list.matches(&req(&domain)));
+        assert!(list.matches(&req(&domain)));
         let subdomain = format!("{sub}.{domain}");
-        prop_assert!(list.matches(&req(&subdomain)));
-        prop_assert!(!list.matches(&req("unrelated-apex.org")));
-    }
+        assert!(list.matches(&req(&subdomain)));
+        assert!(!list.matches(&req("unrelated-apex.org")));
+    });
+}
 
-    /// Parsing arbitrary text never panics.
-    #[test]
-    fn url_parse_total(s in ".{0,80}") {
+/// Parsing arbitrary text never panics.
+#[test]
+fn url_parse_total() {
+    run_cases(256, 0x4E56, |rng: &mut Rng| {
+        let s = rng.any_string(0, 80);
         let _ = Url::parse(&s);
-    }
+    });
+}
 
-    /// Blocklist parsing never panics and ignores comments.
-    #[test]
-    fn blocklist_parse_total(text in "[!|a-z.^/\\n ]{0,200}") {
+/// Blocklist parsing never panics and ignores comments.
+#[test]
+fn blocklist_parse_total() {
+    run_cases(256, 0x4E57, |rng: &mut Rng| {
+        let text = rng.string_of("!|abcdefghijklmnopqrstuvwxyz.^/\n ", 0, 200);
         let list = Blocklist::parse(BlocklistKind::EasyPrivacy, &text);
         let _ = list.rule_count();
-    }
+    });
 }

@@ -166,9 +166,19 @@ pub fn register_sink(page: &mut Page, event_id: String, store: StoreHandle, page
             s.truncate(4096);
             s
         };
+        // An unknown operation string means the event payload was forged
+        // or corrupted; drop the record and count it rather than coercing
+        // it into a plausible-looking `get`.
+        let operation = match JsOperation::parse(&operation) {
+            Some(op) => op,
+            None => {
+                store.borrow_mut().malformed_events += 1;
+                return;
+            }
+        };
         store.borrow_mut().js_calls.push(JsCallRecord {
             symbol: clamp(symbol),
-            operation: JsOperation::parse(&operation),
+            operation,
             value: clamp(value),
             script_url: clamp(originating_script(&call_context)),
             page_url: page_url.clone(),

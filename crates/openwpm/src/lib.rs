@@ -22,13 +22,29 @@
 //! The HTTP instrument ([`instrument::http`]) supports full-body and
 //! JavaScript-only saving (the latter evadable per Listing 4), and the
 //! cookie instrument records served cookies host-side.
+//!
+//! Crawl reliability (the paper's central concern) is handled by two
+//! layers on top of the task manager: [`fault`] injects deterministic,
+//! seeded failures (crashes, hangs, navigation errors, tab crashes,
+//! flaky HTTP) and [`supervisor`] survives them — watchdog timeouts,
+//! retry with exponential backoff, browser restarts, typed failure
+//! records and checkpoint/resume hooks.
 
 pub mod config;
+pub mod fault;
 pub mod instrument;
 pub mod manager;
 pub mod records;
+pub mod supervisor;
 pub mod wpm_browser;
 
 pub use config::{BrowserConfig, HttpSaveMode, JsInstrumentKind, StealthSettings};
-pub use records::{JsCallRecord, JsOperation, RecordStore, SavedScript};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use records::{
+    CrawlHistoryRecord, CrawlStatus, JsCallRecord, JsOperation, RecordStore, SavedScript,
+};
+pub use supervisor::{
+    run_supervised, CrawlOutcome, CrawlSummary, FailureReason, ItemMeta, RetryPolicy,
+    SupervisorConfig, VisitOutcome,
+};
 pub use wpm_browser::{Browser, PageScript, SiteResponse, VisitSpec, VisitStats};

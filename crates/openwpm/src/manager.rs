@@ -6,15 +6,33 @@
 //! worker thread builds its own state (browsers) via `init` and consumes
 //! work items from a shared queue. Results come back in input order.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Render a panic payload (the `Box<dyn Any>` from `catch_unwind`) as text.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Run `items` through per-worker state machines on `workers` threads.
 ///
 /// * `init(worker_index)` builds the per-thread state (e.g. a `Browser`);
 /// * `step(&mut state, item_index, item)` performs one visit.
 ///
-/// Returns the results ordered by item index. Panics in workers propagate.
+/// Returns the results ordered by item index.
+///
+/// A panic inside `init` or `step` does not leave the other workers to
+/// finish and then die on a secondary "all items processed" expect with the
+/// real cause lost on another thread's stderr: the first panic is captured
+/// with the item index it occurred on, remaining work is abandoned, and
+/// `run_parallel` re-panics with a message naming the failing item.
 pub fn run_parallel<W, R, S>(
     items: Vec<W>,
     workers: usize,
@@ -31,6 +49,8 @@ where
     slots.resize_with(n, || None);
     let results = Mutex::new(slots);
     let cursor = AtomicUsize::new(0);
+    // First captured panic: (item index if inside `step`, message).
+    let first_panic: Mutex<Option<(Option<usize>, String)>> = Mutex::new(None);
     // Items are taken by index from a shared vector of Options.
     let mut boxed: Vec<Mutex<Option<W>>> = Vec::with_capacity(n);
     for item in items {
@@ -43,20 +63,52 @@ where
             let boxed = &boxed;
             let init = &init;
             let step = &step;
+            let first_panic = &first_panic;
             scope.spawn(move || {
-                let mut state = init(w);
+                let mut state = match catch_unwind(AssertUnwindSafe(|| init(w))) {
+                    Ok(s) => s,
+                    Err(payload) => {
+                        let mut slot = first_panic.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some((None, panic_message(payload.as_ref())));
+                        }
+                        // Poison the cursor so other workers stop taking
+                        // items for a run that can no longer complete.
+                        cursor.store(n, Ordering::Relaxed);
+                        return;
+                    }
+                };
                 loop {
+                    if first_panic.lock().unwrap().is_some() {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let item = boxed[i].lock().unwrap().take().expect("item taken once");
-                    let r = step(&mut state, i, item);
-                    results.lock().unwrap()[i] = Some(r);
+                    match catch_unwind(AssertUnwindSafe(|| step(&mut state, i, item))) {
+                        Ok(r) => {
+                            results.lock().unwrap()[i] = Some(r);
+                        }
+                        Err(payload) => {
+                            let mut slot = first_panic.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some((Some(i), panic_message(payload.as_ref())));
+                            }
+                            break;
+                        }
+                    }
                 }
             });
         }
     });
+    if let Some((item, msg)) = first_panic.into_inner().unwrap() {
+        match item {
+            Some(i) => panic!("worker panicked on item {i}: {msg}"),
+            None => panic!("worker init panicked: {msg}"),
+        }
+    }
     results
         .into_inner()
         .unwrap()
@@ -92,6 +144,43 @@ mod tests {
     fn empty_input() {
         let out: Vec<i32> = run_parallel(Vec::<i32>::new(), 8, |_| (), |_, _, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_reports_item_index() {
+        let caught = std::panic::catch_unwind(|| {
+            run_parallel(
+                (0..20).collect::<Vec<u32>>(),
+                2,
+                |_| (),
+                |_, i, x: u32| {
+                    if x == 7 {
+                        panic!("synthetic failure");
+                    }
+                    i
+                },
+            )
+        });
+        let payload = caught.expect_err("panic should propagate");
+        let msg = super::panic_message(payload.as_ref());
+        assert!(msg.contains("item 7"), "message was: {msg}");
+        assert!(msg.contains("synthetic failure"), "message was: {msg}");
+    }
+
+    #[test]
+    fn init_panic_reports_init() {
+        let caught = std::panic::catch_unwind(|| {
+            run_parallel(
+                vec![1, 2, 3],
+                1,
+                |_| -> () { panic!("bad init") },
+                |_, _, x: i32| x,
+            )
+        });
+        let payload = caught.expect_err("panic should propagate");
+        let msg = super::panic_message(payload.as_ref());
+        assert!(msg.contains("init"), "message was: {msg}");
+        assert!(msg.contains("bad init"), "message was: {msg}");
     }
 
     #[test]

@@ -25,11 +25,92 @@ impl JsOperation {
         }
     }
 
-    pub fn parse(s: &str) -> JsOperation {
+    /// Parse an operation string from event data. Returns `None` for
+    /// anything unknown: event payloads come from page-reachable
+    /// channels, and silently coercing garbage to `Get` would let a
+    /// hostile page fabricate plausible-looking read records (the
+    /// fake-data attack of Sec. 5.2). Callers drop the record and count
+    /// it in [`RecordStore::malformed_events`] instead.
+    pub fn parse(s: &str) -> Option<JsOperation> {
         match s {
-            "set" => JsOperation::Set,
-            "call" => JsOperation::Call,
-            _ => JsOperation::Get,
+            "get" => Some(JsOperation::Get),
+            "set" => Some(JsOperation::Set),
+            "call" => Some(JsOperation::Call),
+            _ => None,
+        }
+    }
+}
+
+/// Terminal status of one site visit, as persisted to `crawl_history`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrawlStatus {
+    /// Visit completed and its data was committed.
+    Ok,
+    /// All retries exhausted; the site contributed no data.
+    Failed,
+    /// The crawl stopped before this site was visited.
+    Interrupted,
+}
+
+impl CrawlStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CrawlStatus::Ok => "ok",
+            CrawlStatus::Failed => "failed",
+            CrawlStatus::Interrupted => "interrupted",
+        }
+    }
+}
+
+/// One row of OpenWPM's `crawl_history` table: what happened to each
+/// commanded visit. Sites with a non-`Ok` status also land in
+/// `incomplete_visits` — the paper's point is that these denominators
+/// must be reported alongside every measurement table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrawlHistoryRecord {
+    /// Stable visit identifier (the site's rank in the crawl list).
+    pub visit_id: u64,
+    pub site_url: String,
+    pub status: CrawlStatus,
+    /// Failure reason string (e.g. `browser_crash`); empty when `Ok`.
+    pub error: String,
+    /// Visit attempts consumed (0 for interrupted sites).
+    pub attempts: u32,
+}
+
+impl CrawlHistoryRecord {
+    pub fn ok(visit_id: u64, site_url: &str, attempts: u32) -> CrawlHistoryRecord {
+        CrawlHistoryRecord {
+            visit_id,
+            site_url: site_url.to_string(),
+            status: CrawlStatus::Ok,
+            error: String::new(),
+            attempts,
+        }
+    }
+
+    pub fn failed(
+        visit_id: u64,
+        site_url: &str,
+        error: &str,
+        attempts: u32,
+    ) -> CrawlHistoryRecord {
+        CrawlHistoryRecord {
+            visit_id,
+            site_url: site_url.to_string(),
+            status: CrawlStatus::Failed,
+            error: error.to_string(),
+            attempts,
+        }
+    }
+
+    pub fn interrupted(visit_id: u64, site_url: &str) -> CrawlHistoryRecord {
+        CrawlHistoryRecord {
+            visit_id,
+            site_url: site_url.to_string(),
+            status: CrawlStatus::Interrupted,
+            error: String::new(),
+            attempts: 0,
         }
     }
 }
@@ -67,6 +148,12 @@ pub struct RecordStore {
     pub http_responses: Vec<HttpResponse>,
     pub saved_scripts: Vec<SavedScript>,
     pub cookies: Vec<Cookie>,
+    /// Visit-level completion accounting (`crawl_history` rows).
+    pub crawl_history: Vec<CrawlHistoryRecord>,
+    /// Instrument events dropped because their payload was malformed
+    /// (e.g. an unknown operation string). A non-zero count flags either
+    /// an instrument bug or a page tampering with the event channel.
+    pub malformed_events: u64,
 }
 
 impl RecordStore {
@@ -126,7 +213,10 @@ impl RecordStore {
              method TEXT, time_ms INTEGER);\n\
              CREATE TABLE javascript_files (url TEXT, page_url TEXT, body TEXT);\n\
              CREATE TABLE cookies (name TEXT, value TEXT, domain TEXT, page_domain TEXT, \
-             expires_in_s INTEGER);\n",
+             expires_in_s INTEGER);\n\
+             CREATE TABLE crawl_history (visit_id INTEGER, site_url TEXT, \
+             command_status TEXT, error TEXT, retry_number INTEGER);\n\
+             CREATE TABLE incomplete_visits (visit_id INTEGER);\n",
         );
         for rec in &self.js_calls {
             out.push_str(&Self::render_js_insert(rec));
@@ -160,6 +250,33 @@ impl RecordStore {
                 c.expires_in_s.map(|e| e as i64).unwrap_or(-1)
             ));
         }
+        out.push_str(&Self::render_crawl_history(&self.crawl_history));
+        out
+    }
+
+    /// Render `crawl_history` INSERTs plus `incomplete_visits` rows for
+    /// every non-ok visit — the same completeness bookkeeping OpenWPM
+    /// keeps, through the same escaped-literal persistence path.
+    pub fn render_crawl_history(records: &[CrawlHistoryRecord]) -> String {
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&format!(
+                "INSERT INTO crawl_history VALUES ({}, '{}', '{}', '{}', {});\n",
+                r.visit_id,
+                Self::sql_escape(&r.site_url),
+                r.status.as_str(),
+                Self::sql_escape(&r.error),
+                r.attempts
+            ));
+        }
+        for r in records {
+            if r.status != CrawlStatus::Ok {
+                out.push_str(&format!(
+                    "INSERT INTO incomplete_visits VALUES ({});\n",
+                    r.visit_id
+                ));
+            }
+        }
         out
     }
 
@@ -170,6 +287,8 @@ impl RecordStore {
         self.http_responses.extend(other.http_responses);
         self.saved_scripts.extend(other.saved_scripts);
         self.cookies.extend(other.cookies);
+        self.crawl_history.extend(other.crawl_history);
+        self.malformed_events += other.malformed_events;
     }
 }
 
@@ -274,9 +393,73 @@ mod tests {
     fn merge_concatenates() {
         let mut a = RecordStore::new();
         a.js_calls.push(rec("x"));
+        a.malformed_events = 2;
         let mut b = RecordStore::new();
         b.js_calls.push(rec("y"));
+        b.malformed_events = 3;
+        b.crawl_history.push(CrawlHistoryRecord::ok(1, "https://a.test/", 1));
         a.merge(b);
         assert_eq!(a.js_calls.len(), 2);
+        assert_eq!(a.malformed_events, 5);
+        assert_eq!(a.crawl_history.len(), 1);
+    }
+
+    #[test]
+    fn js_operation_parse_rejects_unknown_strings() {
+        assert_eq!(JsOperation::parse("get"), Some(JsOperation::Get));
+        assert_eq!(JsOperation::parse("set"), Some(JsOperation::Set));
+        assert_eq!(JsOperation::parse("call"), Some(JsOperation::Call));
+        assert_eq!(JsOperation::parse(""), None);
+        assert_eq!(JsOperation::parse("GET"), None);
+        assert_eq!(JsOperation::parse("delete"), None);
+        assert_eq!(JsOperation::parse("get'); DROP TABLE javascript; --"), None);
+    }
+
+    #[test]
+    fn crawl_history_renders_with_incomplete_visits() {
+        let records = vec![
+            CrawlHistoryRecord::ok(0, "https://w000000.com/", 1),
+            CrawlHistoryRecord::failed(1, "https://w000001.com/", "browser_crash", 3),
+            CrawlHistoryRecord::interrupted(2, "https://w000002.com/"),
+        ];
+        let sql = RecordStore::render_crawl_history(&records);
+        assert!(sql.contains(
+            "INSERT INTO crawl_history VALUES (0, 'https://w000000.com/', 'ok', '', 1);"
+        ));
+        assert!(sql.contains("'failed', 'browser_crash', 3"));
+        assert!(sql.contains("'interrupted', '', 0"));
+        // Only the two non-ok visits appear in incomplete_visits.
+        assert!(!sql.contains("INSERT INTO incomplete_visits VALUES (0);"));
+        assert!(sql.contains("INSERT INTO incomplete_visits VALUES (1);"));
+        assert!(sql.contains("INSERT INTO incomplete_visits VALUES (2);"));
+    }
+
+    #[test]
+    fn crawl_history_escaping_holds() {
+        let evil = CrawlHistoryRecord::failed(
+            7,
+            "https://x.test/'); DROP TABLE crawl_history; --",
+            "nav'err",
+            2,
+        );
+        let sql = RecordStore::render_crawl_history(&[evil]);
+        assert!(sql.contains("''); DROP TABLE"));
+        assert!(sql.contains("nav''err"));
+    }
+
+    #[test]
+    fn sql_dump_includes_crawl_history_schema() {
+        let mut store = RecordStore::new();
+        store.crawl_history.push(CrawlHistoryRecord::failed(
+            3,
+            "https://w000003.com/",
+            "timeout",
+            3,
+        ));
+        let dump = store.render_sql_dump();
+        assert!(dump.contains("CREATE TABLE crawl_history"));
+        assert!(dump.contains("CREATE TABLE incomplete_visits"));
+        assert!(dump.contains("INSERT INTO crawl_history VALUES (3,"));
+        assert!(dump.contains("INSERT INTO incomplete_visits VALUES (3);"));
     }
 }

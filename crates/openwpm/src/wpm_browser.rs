@@ -436,4 +436,75 @@ mod tests {
         let s = Browser::new(BrowserConfig::stealth(5));
         assert_eq!(s.profile().geometry.screen_width, 1920);
     }
+
+    fn crashy_config(seed: u64, per_mille: u32) -> BrowserConfig {
+        let mut c = BrowserConfig::vanilla(seed);
+        c.crash_per_mille = per_mille;
+        c
+    }
+
+    fn instrumented_spec() -> VisitSpec {
+        let mut s = spec("https://crashy.example.com/");
+        s.scripts.push(PageScript {
+            url: "https://crashy.example.com/app.js".into(),
+            source: "var x = navigator.userAgent;".into(),
+            content_type: "text/javascript".into(),
+        });
+        s
+    }
+
+    #[test]
+    fn crashed_visit_is_retried_and_rerecords_page_data() {
+        // crash_per_mille = 1000: the first draw always crashes, so every
+        // visit exercises the retry path.
+        let mut b = Browser::new(crashy_config(7, 1000));
+        let stats = b.visit(&instrumented_spec(), |_| SiteResponse::default());
+        assert_eq!(stats.crashes, 1, "crash must be counted");
+        let store = b.take_store();
+        // The retried visit re-recorded everything the crashed one lost.
+        assert!(store.http_requests.iter().any(|r| r.resource_type == ResourceType::MainFrame));
+        assert_eq!(store.saved_scripts.len(), 1);
+        assert_eq!(store.calls_to(".userAgent").count(), 1);
+    }
+
+    #[test]
+    fn crash_free_visits_report_zero_crashes() {
+        let mut b = Browser::new(crashy_config(7, 0));
+        let stats = b.visit(&instrumented_spec(), |_| SiteResponse::default());
+        assert_eq!(stats.crashes, 0);
+    }
+
+    #[test]
+    fn crash_rate_is_approximately_honoured_over_many_visits() {
+        let mut b = Browser::new(crashy_config(11, 200)); // 20%
+        let mut crashes = 0u32;
+        for _ in 0..300 {
+            crashes += b.visit(&spec("https://crashy.example.com/"), |_| {
+                SiteResponse::default()
+            })
+            .crashes;
+            b.take_store();
+        }
+        assert!((35..=85).contains(&crashes), "crashes = {crashes} of 300 at 20%");
+    }
+
+    #[test]
+    fn crash_pattern_is_deterministic_per_seed() {
+        let pattern = |seed: u64| -> Vec<u32> {
+            let mut b = Browser::new(crashy_config(seed, 300));
+            (0..100)
+                .map(|_| {
+                    let c = b
+                        .visit(&spec("https://crashy.example.com/"), |_| {
+                            SiteResponse::default()
+                        })
+                        .crashes;
+                    b.take_store();
+                    c
+                })
+                .collect()
+        };
+        assert_eq!(pattern(42), pattern(42), "same seed, same crashes");
+        assert_ne!(pattern(42), pattern(43), "different seed, different crashes");
+    }
 }

@@ -3,7 +3,7 @@
 
 use openwpm::instrument::vanilla::event_id;
 use openwpm::{JsCallRecord, JsOperation, RecordStore};
-use proptest::prelude::*;
+use proplite::{run_cases, Rng};
 
 /// Count semicolons outside single-quoted literals (with `''` escapes) —
 /// extra ones would be smuggled statement terminators.
@@ -31,45 +31,47 @@ fn terminators_outside_literals(sql: &str) -> Option<usize> {
     }
 }
 
-proptest! {
-    /// No input — however hostile — can smuggle a second SQL statement or
-    /// leave a literal unterminated (the Sec. 5.3 guarantee).
-    #[test]
-    fn sql_rendering_is_injection_proof(
-        symbol in ".{0,60}",
-        value in ".{0,120}",
-        script in ".{0,60}",
-    ) {
+/// No input — however hostile — can smuggle a second SQL statement or
+/// leave a literal unterminated (the Sec. 5.3 guarantee).
+#[test]
+fn sql_rendering_is_injection_proof() {
+    run_cases(256, 0x0005_EC53, |rng: &mut Rng| {
         let rec = JsCallRecord {
-            symbol,
+            symbol: rng.any_string(0, 60),
             operation: JsOperation::Get,
-            value,
-            script_url: script,
+            value: rng.any_string(0, 120),
+            script_url: rng.any_string(0, 60),
             page_url: "https://site.test/".into(),
             time_ms: 1,
         };
         let sql = RecordStore::render_js_insert(&rec);
-        prop_assert_eq!(terminators_outside_literals(&sql), Some(1), "sql: {}", sql);
-        prop_assert!(sql.starts_with("INSERT INTO javascript"));
-        prop_assert!(sql.ends_with(");"));
-    }
+        assert_eq!(terminators_outside_literals(&sql), Some(1), "sql: {sql}");
+        assert!(sql.starts_with("INSERT INTO javascript"));
+        assert!(sql.ends_with(");"));
+    });
+}
 
-    /// Event ids are deterministic per seed and collision-free across a
-    /// dense seed range.
-    #[test]
-    fn event_ids_deterministic_and_distinct(seed in any::<u64>()) {
-        prop_assert_eq!(event_id(seed), event_id(seed));
-        prop_assert_ne!(event_id(seed), event_id(seed.wrapping_add(1)));
-        prop_assert!(event_id(seed).starts_with("owpm"));
-    }
+/// Event ids are deterministic per seed and collision-free across a dense
+/// seed range.
+#[test]
+fn event_ids_deterministic_and_distinct() {
+    run_cases(256, 0xE4E4, |rng: &mut Rng| {
+        let seed = rng.next_u64();
+        assert_eq!(event_id(seed), event_id(seed));
+        assert_ne!(event_id(seed), event_id(seed.wrapping_add(1)));
+        assert!(event_id(seed).starts_with("owpm"));
+    });
+}
 
-    /// Escaping round-trips: un-escaping the doubled quotes of the escaped
-    /// string recovers the control-character-stripped input.
-    #[test]
-    fn sql_escape_roundtrip(s in "[ -~]{0,100}") {
+/// Escaping round-trips: un-escaping the doubled quotes of the escaped
+/// string recovers the control-character-stripped input.
+#[test]
+fn sql_escape_roundtrip() {
+    run_cases(256, 0x20AD, |rng: &mut Rng| {
+        let s = rng.ascii(0, 100);
         let escaped = RecordStore::sql_escape(&s);
         let unescaped = escaped.replace("''", "'");
         let stripped: String = s.chars().filter(|c| !c.is_control()).collect();
-        prop_assert_eq!(unescaped, stripped);
-    }
+        assert_eq!(unescaped, stripped);
+    });
 }

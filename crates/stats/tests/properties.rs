@@ -1,56 +1,70 @@
 //! Property-based tests for the statistics crate.
 
-use proptest::prelude::*;
+use proplite::{run_cases, Rng};
 use stats::{mean, median, ratcliff_obershelp, wilcoxon_signed_rank};
 
-proptest! {
-    /// Similarity is always within [0, 1] and 1 for identical strings.
-    #[test]
-    fn ratcliff_bounds(a in "[a-z0-9]{0,30}", b in "[a-z0-9]{0,30}") {
+/// Similarity is always within [0, 1] and 1 for identical strings.
+#[test]
+fn ratcliff_bounds() {
+    run_cases(256, 0x0A7C, |rng: &mut Rng| {
+        let a = rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789", 0, 30);
+        let b = rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789", 0, 30);
         let s = ratcliff_obershelp(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s), "s = {s}");
-        prop_assert_eq!(ratcliff_obershelp(&a, &a), 1.0);
-    }
+        assert!((0.0..=1.0).contains(&s), "s = {s}");
+        assert_eq!(ratcliff_obershelp(&a, &a), 1.0);
+    });
+}
 
-    /// Any shared character yields strictly positive similarity.
-    #[test]
-    fn ratcliff_positive_on_overlap(shared in "[a-z]{1,5}", pad1 in "[0-9]{0,5}", pad2 in "[0-9]{0,5}") {
+/// Any shared character yields strictly positive similarity.
+#[test]
+fn ratcliff_positive_on_overlap() {
+    run_cases(256, 0x0A7D, |rng: &mut Rng| {
+        let shared = rng.string_of("abcdefghijklmnopqrstuvwxyz", 1, 5);
+        let pad1 = rng.string_of("0123456789", 0, 5);
+        let pad2 = rng.string_of("0123456789", 0, 5);
         let a = format!("{pad1}{shared}");
         let b = format!("{shared}{pad2}");
-        prop_assert!(ratcliff_obershelp(&a, &b) > 0.0);
-    }
+        assert!(ratcliff_obershelp(&a, &b) > 0.0);
+    });
+}
 
-    /// A constant shift in one direction is always detected as significant
-    /// for large n.
-    #[test]
-    fn wilcoxon_detects_shift(base in proptest::collection::vec(0.0f64..100.0, 60..120), shift in 5.0f64..50.0) {
+/// A constant shift in one direction is always detected as significant
+/// for large n.
+#[test]
+fn wilcoxon_detects_shift() {
+    run_cases(64, 0x0A7E, |rng: &mut Rng| {
+        let base = rng.vec_f64(0.0, 100.0, 60, 119);
+        let shift = rng.f64_in(5.0, 50.0);
         let shifted: Vec<f64> = base.iter().map(|x| x + shift).collect();
         let r = wilcoxon_signed_rank(&base, &shifted).unwrap();
-        prop_assert!(r.significant_at_95(), "p = {}", r.p_value);
-        prop_assert_eq!(r.w_plus, 0.0);
-    }
+        assert!(r.significant_at_95(), "p = {}", r.p_value);
+        assert_eq!(r.w_plus, 0.0);
+    });
+}
 
-    /// p-values stay in [0, 1].
-    #[test]
-    fn wilcoxon_p_in_range(
-        a in proptest::collection::vec(-50.0f64..50.0, 30..60),
-        noise in proptest::collection::vec(-3.0f64..3.0, 60)
-    ) {
-        let b: Vec<f64> = a.iter().zip(&noise).map(|(x, n)| x + n).collect();
+/// p-values stay in [0, 1].
+#[test]
+fn wilcoxon_p_in_range() {
+    run_cases(64, 0x0A7F, |rng: &mut Rng| {
+        let a = rng.vec_f64(-50.0, 50.0, 30, 59);
+        let b: Vec<f64> = a.iter().map(|x| x + rng.f64_in(-3.0, 3.0)).collect();
         if let Some(r) = wilcoxon_signed_rank(&a, &b) {
-            prop_assert!((0.0..=1.0).contains(&r.p_value));
-            prop_assert!(r.w_plus >= 0.0 && r.w_minus >= 0.0);
+            assert!((0.0..=1.0).contains(&r.p_value));
+            assert!(r.w_plus >= 0.0 && r.w_minus >= 0.0);
         }
-    }
+    });
+}
 
-    /// mean and median sit within the sample range.
-    #[test]
-    fn central_tendency_in_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+/// mean and median sit within the sample range.
+#[test]
+fn central_tendency_in_range() {
+    run_cases(256, 0x0A80, |rng: &mut Rng| {
+        let xs = rng.vec_f64(-1e6, 1e6, 1, 49);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let m = mean(&xs);
         let md = median(&xs);
-        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
-        prop_assert!(md >= lo && md <= hi);
-    }
+        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        assert!(md >= lo && md <= hi);
+    });
 }

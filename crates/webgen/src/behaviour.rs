@@ -261,7 +261,7 @@ pub fn site_response(
                     Some(180 * 24 * 3600),
                 )
             } else {
-                let persistent = splitmix(plan.site_seed ^ k as u64) % 2 == 0;
+                let persistent = splitmix(plan.site_seed ^ k as u64).is_multiple_of(2);
                 (
                     format!("c{k}"),
                     format!("v{}", splitmix(plan.site_seed ^ k as u64) % 100_000),

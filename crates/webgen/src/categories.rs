@@ -64,6 +64,12 @@ impl Category {
             Category::Other => "Other",
         }
     }
+
+    /// Inverse of [`Category::name`] — used to decode checkpointed scan
+    /// records. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Category> {
+        Category::all().iter().copied().find(|c| c.name() == name)
+    }
 }
 
 /// Per-mille weights over [`Category::all`] for sites that include
@@ -123,6 +129,15 @@ mod tests {
         }
         assert_eq!(counts[&Category::Shopping], 164);
         assert!(counts[&Category::Shopping] > counts[&Category::News]);
+    }
+
+    #[test]
+    fn from_name_roundtrips_every_category() {
+        for c in Category::all() {
+            assert_eq!(Category::from_name(c.name()), Some(*c));
+        }
+        assert_eq!(Category::from_name("NotACategory"), None);
+        assert_eq!(Category::from_name("news"), None);
     }
 
     #[test]

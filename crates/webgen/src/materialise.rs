@@ -102,7 +102,7 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
         }
         // A slice of the web runs canvas fingerprinting — touches
         // instrumented APIs without being a bot detector.
-        if plan.site_seed % 5 == 0 {
+        if plan.site_seed.is_multiple_of(5) {
             scripts.push(PageScript {
                 url: "https://fpcdn.example/canvas.js".into(),
                 source: corpus::canvas_fingerprinter("https://fpcdn.example/cv"),

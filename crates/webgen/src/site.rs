@@ -53,6 +53,11 @@ pub struct Targets {
     pub strict_csp_per_100k: u32,
     /// Subpages linked from the landing page (the crawler follows ≤ 3).
     pub max_subpages: u32,
+    /// Chronically unreliable sites (slow hosts, crash-prone markup):
+    /// the fault injector boosts its rates on these. Zero by default so
+    /// calibrated aggregates are untouched unless a robustness experiment
+    /// opts in.
+    pub flaky_per_100k: u32,
 }
 
 impl Default for Targets {
@@ -69,6 +74,7 @@ impl Default for Targets {
             second_provider_pm: 450,
             strict_csp_per_100k: 7_600,
             max_subpages: 3,
+            flaky_per_100k: 0,
         }
     }
 }
@@ -121,6 +127,8 @@ pub struct SitePlan {
     pub iterator: bool,
     pub strict_csp: bool,
     pub cloak: CloakPolicy,
+    /// Chronically unreliable host (see `Targets::flaky_per_100k`).
+    pub flaky: bool,
     /// Per-site deterministic seed for content generation.
     pub site_seed: u64,
 }
@@ -274,6 +282,7 @@ impl Population {
         let benign_mention = self.draw(rank, 0xBE9, 100_000) < t.benign_mention_per_100k;
         let iterator = self.draw(rank, 0x17E2, 100_000) < t.iterator_per_100k;
         let strict_csp = self.draw(rank, 0xC59, 100_000) < t.strict_csp_per_100k;
+        let flaky = self.draw(rank, 0xF1A2, 100_000) < t.flaky_per_100k;
 
         // --- categories, conditioned on detector deployment (Fig. 5) ---
         let cdraw = self.draw(rank, 0xCA7, 1_000_000);
@@ -320,6 +329,7 @@ impl Population {
             iterator,
             strict_csp,
             cloak,
+            flaky,
             site_seed,
         }
     }
@@ -447,6 +457,18 @@ mod tests {
         let shop_share = shop_fp as f64 / fp_sites as f64;
         assert!((0.15..0.22).contains(&news_share), "news share {news_share}");
         assert!((0.13..0.20).contains(&shop_share), "shopping share {shop_share}");
+    }
+
+    #[test]
+    fn flaky_sites_appear_only_when_opted_in() {
+        let mut p = Population::new(10_000, 11);
+        assert!(
+            (0..10_000).all(|r| !p.plan(r).flaky),
+            "default populations must have no flaky sites"
+        );
+        p.targets.flaky_per_100k = 10_000; // 10%
+        let flaky = (0..10_000).filter(|&r| p.plan(r).flaky).count();
+        assert!((800..=1200).contains(&flaky), "flaky = {flaky}");
     }
 
     #[test]

@@ -1,81 +1,94 @@
 //! Property-based tests for the synthetic population's invariants.
 
-use proptest::prelude::*;
+use proplite::{run_cases, Rng};
 use webgen::{behaviour, visit_spec, PageKind, Population};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Plan generation is total and structurally sound for any seed/rank.
-    #[test]
-    fn plans_are_structurally_sound(seed in any::<u64>(), rank in 0u32..5_000) {
+/// Plan generation is total and structurally sound for any seed/rank.
+#[test]
+fn plans_are_structurally_sound() {
+    run_cases(64, 0x3EB6, |rng: &mut Rng| {
+        let seed = rng.next_u64();
+        let rank = rng.u32_in(0, 5_000);
         let pop = Population::new(5_000, seed);
         let plan = pop.plan(rank);
-        prop_assert!(!plan.domain.is_empty());
-        prop_assert!(plan.subpage_count <= 3);
-        prop_assert!(!plan.categories.is_empty());
+        assert!(!plan.domain.is_empty());
+        assert!(plan.subpage_count <= 3);
+        assert!(!plan.categories.is_empty());
         // Site-wide inclusions propagate: front detectors ⊆ subpage set.
         for d in &plan.front.third_party {
-            prop_assert!(plan.subpage.third_party.contains(d));
+            assert!(plan.subpage.third_party.contains(d));
         }
         // Subpage-only detector sites always have a reachable subpage.
         if !plan.front_has_detector() && !plan.subpage.is_empty() {
-            prop_assert!(plan.subpage_count >= 1);
+            assert!(plan.subpage_count >= 1);
         }
         // URLs parse.
         let _ = plan.front_url();
         let _ = plan.subpage_url(0);
-    }
+    });
+}
 
-    /// Visit specs always carry at least the generic site script and all
-    /// scripts have parseable URLs.
-    #[test]
-    fn visit_specs_are_well_formed(seed in any::<u64>(), rank in 0u32..2_000) {
+/// Visit specs always carry at least the generic site script and all
+/// scripts have parseable URLs.
+#[test]
+fn visit_specs_are_well_formed() {
+    run_cases(64, 0x3EB7, |rng: &mut Rng| {
+        let seed = rng.next_u64();
+        let rank = rng.u32_in(0, 2_000);
         let pop = Population::new(2_000, seed);
         let plan = pop.plan(rank);
         for page in [PageKind::Front, PageKind::Subpage(0)] {
             let spec = visit_spec(&plan, page);
-            prop_assert!(!spec.scripts.is_empty());
+            assert!(!spec.scripts.is_empty());
             for s in &spec.scripts {
-                prop_assert!(netsim::Url::parse(&s.url).is_some(), "bad url {}", s.url);
+                assert!(netsim::Url::parse(&s.url).is_some(), "bad url {}", s.url);
                 // Every script in the corpus parses in the engine.
-                prop_assert!(
+                assert!(
                     jsengine::parser::parse(&s.source, &s.url).is_ok(),
                     "unparseable script at {}",
                     s.url
                 );
             }
         }
-    }
+    });
+}
 
-    /// Cloaking monotonicity: a flagged client never receives more
-    /// requests or cookies than an unflagged one for the same visit.
-    #[test]
-    fn flagged_clients_never_receive_more(seed in any::<u64>(), rank in 0u32..2_000, run in 1u32..4) {
+/// Cloaking monotonicity: a flagged client never receives more
+/// requests or cookies than an unflagged one for the same visit.
+#[test]
+fn flagged_clients_never_receive_more() {
+    run_cases(64, 0x3EB8, |rng: &mut Rng| {
+        let seed = rng.next_u64();
+        let rank = rng.u32_in(0, 2_000);
+        let run = rng.u32_in(1, 4);
         let pop = Population::new(2_000, seed);
         let plan = pop.plan(rank);
         let human = behaviour::site_response(&plan, run, 0xAAAA, false, false);
         let bot = behaviour::site_response(&plan, run, 0xAAAA, true, false);
-        prop_assert!(bot.extra_requests.len() <= human.extra_requests.len());
-        prop_assert!(bot.cookies.len() <= human.cookies.len());
+        assert!(bot.extra_requests.len() <= human.extra_requests.len());
+        assert!(bot.cookies.len() <= human.cookies.len());
         // Escalated bots receive no more than freshly-flagged bots.
         let escalated = behaviour::site_response(&plan, run, 0xAAAA, true, true);
-        prop_assert!(escalated.extra_requests.len() <= bot.extra_requests.len() + 1);
-    }
+        assert!(escalated.extra_requests.len() <= bot.extra_requests.len() + 1);
+    });
+}
 
-    /// All generated request URLs parse and carry a host.
-    #[test]
-    fn generated_requests_have_valid_urls(seed in any::<u64>(), rank in 0u32..500) {
+/// All generated request URLs parse and carry a host.
+#[test]
+fn generated_requests_have_valid_urls() {
+    run_cases(64, 0x3EB9, |rng: &mut Rng| {
+        let seed = rng.next_u64();
+        let rank = rng.u32_in(0, 500);
         let pop = Population::new(500, seed);
         let plan = pop.plan(rank);
         let resp = behaviour::site_response(&plan, 1, 0xBBBB, false, false);
         for (url, _) in &resp.extra_requests {
             let parsed = netsim::Url::parse(url);
-            prop_assert!(parsed.is_some(), "bad url: {url}");
+            assert!(parsed.is_some(), "bad url: {url}");
         }
         for c in &resp.cookies {
-            prop_assert!(!c.domain.is_empty());
-            prop_assert!(!c.name.is_empty());
+            assert!(!c.domain.is_empty());
+            assert!(!c.name.is_empty());
         }
-    }
+    });
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_analysis-1f8db3f227d788a2.d: crates/bench/src/bin/ablation_analysis.rs
+
+/root/repo/target/debug/deps/ablation_analysis-1f8db3f227d788a2: crates/bench/src/bin/ablation_analysis.rs
+
+crates/bench/src/bin/ablation_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_analysis-5d91e9e1c246291c.d: crates/bench/src/bin/ablation_analysis.rs
+
+/root/repo/target/debug/deps/ablation_analysis-5d91e9e1c246291c: crates/bench/src/bin/ablation_analysis.rs
+
+crates/bench/src/bin/ablation_analysis.rs:

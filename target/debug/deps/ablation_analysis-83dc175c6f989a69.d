@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_analysis-83dc175c6f989a69.d: crates/bench/src/bin/ablation_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_analysis-83dc175c6f989a69.rmeta: crates/bench/src/bin/ablation_analysis.rs Cargo.toml
+
+crates/bench/src/bin/ablation_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-247396b8ef8babf8.d: crates/jsengine/tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-247396b8ef8babf8.rmeta: crates/jsengine/tests/adversarial.rs Cargo.toml
+
+crates/jsengine/tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-35f198a993a72893.d: crates/jsengine/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-35f198a993a72893: crates/jsengine/tests/adversarial.rs
+
+crates/jsengine/tests/adversarial.rs:

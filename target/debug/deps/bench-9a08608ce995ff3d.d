@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-9a08608ce995ff3d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-9a08608ce995ff3d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-9a08608ce995ff3d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

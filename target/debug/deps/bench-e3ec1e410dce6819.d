@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-e3ec1e410dce6819.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-e3ec1e410dce6819: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

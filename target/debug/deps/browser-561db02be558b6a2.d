@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/browser-561db02be558b6a2.d: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+/root/repo/target/debug/deps/libbrowser-561db02be558b6a2.rlib: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+/root/repo/target/debug/deps/libbrowser-561db02be558b6a2.rmeta: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/csp.rs:
+crates/browser/src/hostobjects.rs:
+crates/browser/src/page.rs:
+crates/browser/src/profile.rs:
+crates/browser/src/template.rs:
+crates/browser/src/webgl.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/browser-816b1110effefe00.d: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbrowser-816b1110effefe00.rmeta: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs Cargo.toml
+
+crates/browser/src/lib.rs:
+crates/browser/src/csp.rs:
+crates/browser/src/hostobjects.rs:
+crates/browser/src/page.rs:
+crates/browser/src/profile.rs:
+crates/browser/src/template.rs:
+crates/browser/src/webgl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/browser-aa8d10fcebd6cdda.d: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+/root/repo/target/debug/deps/browser-aa8d10fcebd6cdda: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/csp.rs:
+crates/browser/src/hostobjects.rs:
+crates/browser/src/page.rs:
+crates/browser/src/profile.rs:
+crates/browser/src/template.rs:
+crates/browser/src/webgl.rs:

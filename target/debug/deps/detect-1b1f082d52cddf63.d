@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/detect-1b1f082d52cddf63.d: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+/root/repo/target/debug/deps/libdetect-1b1f082d52cddf63.rlib: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+/root/repo/target/debug/deps/libdetect-1b1f082d52cddf63.rmeta: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/corpus.rs:
+crates/detect/src/dynamic_analysis.rs:
+crates/detect/src/static_analysis.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/detect-6fa7ad6daf6b99ca.d: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+/root/repo/target/debug/deps/detect-6fa7ad6daf6b99ca: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/corpus.rs:
+crates/detect/src/dynamic_analysis.rs:
+crates/detect/src/static_analysis.rs:

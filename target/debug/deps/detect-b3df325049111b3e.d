@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/detect-b3df325049111b3e.d: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetect-b3df325049111b3e.rmeta: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/corpus.rs:
+crates/detect/src/dynamic_analysis.rs:
+crates/detect/src/static_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-462bd405f649ec6e.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-462bd405f649ec6e: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

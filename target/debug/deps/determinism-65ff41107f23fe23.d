@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-65ff41107f23fe23.d: crates/core/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-65ff41107f23fe23.rmeta: crates/core/../../tests/determinism.rs Cargo.toml
+
+crates/core/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dom-4383eb9aee24fe69.d: crates/browser/tests/dom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdom-4383eb9aee24fe69.rmeta: crates/browser/tests/dom.rs Cargo.toml
+
+crates/browser/tests/dom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dom-c1488c1e21792e2e.d: crates/browser/tests/dom.rs
+
+/root/repo/target/debug/deps/dom-c1488c1e21792e2e: crates/browser/tests/dom.rs
+
+crates/browser/tests/dom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8898ccf76a2856cf.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8898ccf76a2856cf: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-def0b56e63cc9d3e.d: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-def0b56e63cc9d3e.rmeta: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+crates/core/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/features-c5f53458d4061923.d: crates/openwpm/tests/features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeatures-c5f53458d4061923.rmeta: crates/openwpm/tests/features.rs Cargo.toml
+
+crates/openwpm/tests/features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/features-e0c168fdbb579493.d: crates/openwpm/tests/features.rs
+
+/root/repo/target/debug/deps/features-e0c168fdbb579493: crates/openwpm/tests/features.rs
+
+crates/openwpm/tests/features.rs:

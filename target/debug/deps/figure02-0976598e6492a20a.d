@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure02-0976598e6492a20a.d: crates/bench/src/bin/figure02.rs
+
+/root/repo/target/debug/deps/figure02-0976598e6492a20a: crates/bench/src/bin/figure02.rs
+
+crates/bench/src/bin/figure02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure02-0ed03f64ceb3bbf3.d: crates/bench/src/bin/figure02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure02-0ed03f64ceb3bbf3.rmeta: crates/bench/src/bin/figure02.rs Cargo.toml
+
+crates/bench/src/bin/figure02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

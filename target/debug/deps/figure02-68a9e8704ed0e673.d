@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure02-68a9e8704ed0e673.d: crates/bench/src/bin/figure02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure02-68a9e8704ed0e673.rmeta: crates/bench/src/bin/figure02.rs Cargo.toml
+
+crates/bench/src/bin/figure02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

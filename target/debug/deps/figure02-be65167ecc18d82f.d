@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure02-be65167ecc18d82f.d: crates/bench/src/bin/figure02.rs
+
+/root/repo/target/debug/deps/figure02-be65167ecc18d82f: crates/bench/src/bin/figure02.rs
+
+crates/bench/src/bin/figure02.rs:

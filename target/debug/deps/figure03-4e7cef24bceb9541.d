@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure03-4e7cef24bceb9541.d: crates/bench/src/bin/figure03.rs
+
+/root/repo/target/debug/deps/figure03-4e7cef24bceb9541: crates/bench/src/bin/figure03.rs
+
+crates/bench/src/bin/figure03.rs:

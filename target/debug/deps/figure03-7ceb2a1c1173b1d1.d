@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure03-7ceb2a1c1173b1d1.d: crates/bench/src/bin/figure03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure03-7ceb2a1c1173b1d1.rmeta: crates/bench/src/bin/figure03.rs Cargo.toml
+
+crates/bench/src/bin/figure03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure03-c7bc7759ce29509d.d: crates/bench/src/bin/figure03.rs
+
+/root/repo/target/debug/deps/figure03-c7bc7759ce29509d: crates/bench/src/bin/figure03.rs
+
+crates/bench/src/bin/figure03.rs:

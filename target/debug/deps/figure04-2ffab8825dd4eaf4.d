@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure04-2ffab8825dd4eaf4.d: crates/bench/src/bin/figure04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure04-2ffab8825dd4eaf4.rmeta: crates/bench/src/bin/figure04.rs Cargo.toml
+
+crates/bench/src/bin/figure04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure04-40afe7cca3ae5fb4.d: crates/bench/src/bin/figure04.rs
+
+/root/repo/target/debug/deps/figure04-40afe7cca3ae5fb4: crates/bench/src/bin/figure04.rs
+
+crates/bench/src/bin/figure04.rs:

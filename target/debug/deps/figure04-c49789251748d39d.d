@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure04-c49789251748d39d.d: crates/bench/src/bin/figure04.rs
+
+/root/repo/target/debug/deps/figure04-c49789251748d39d: crates/bench/src/bin/figure04.rs
+
+crates/bench/src/bin/figure04.rs:

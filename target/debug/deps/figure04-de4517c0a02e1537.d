@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure04-de4517c0a02e1537.d: crates/bench/src/bin/figure04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure04-de4517c0a02e1537.rmeta: crates/bench/src/bin/figure04.rs Cargo.toml
+
+crates/bench/src/bin/figure04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure05-6999e823bb128905.d: crates/bench/src/bin/figure05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure05-6999e823bb128905.rmeta: crates/bench/src/bin/figure05.rs Cargo.toml
+
+crates/bench/src/bin/figure05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

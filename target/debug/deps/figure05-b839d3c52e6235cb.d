@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure05-b839d3c52e6235cb.d: crates/bench/src/bin/figure05.rs
+
+/root/repo/target/debug/deps/figure05-b839d3c52e6235cb: crates/bench/src/bin/figure05.rs
+
+crates/bench/src/bin/figure05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure05-f1c673b3bee91b76.d: crates/bench/src/bin/figure05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure05-f1c673b3bee91b76.rmeta: crates/bench/src/bin/figure05.rs Cargo.toml
+
+crates/bench/src/bin/figure05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure05-feca7da4dfe9fec8.d: crates/bench/src/bin/figure05.rs
+
+/root/repo/target/debug/deps/figure05-feca7da4dfe9fec8: crates/bench/src/bin/figure05.rs
+
+crates/bench/src/bin/figure05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure06-8e9578731ef817b5.d: crates/bench/src/bin/figure06.rs
+
+/root/repo/target/debug/deps/figure06-8e9578731ef817b5: crates/bench/src/bin/figure06.rs
+
+crates/bench/src/bin/figure06.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure06-9b4ad35bafd6aed0.d: crates/bench/src/bin/figure06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure06-9b4ad35bafd6aed0.rmeta: crates/bench/src/bin/figure06.rs Cargo.toml
+
+crates/bench/src/bin/figure06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure06-e56b9928509e7de1.d: crates/bench/src/bin/figure06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure06-e56b9928509e7de1.rmeta: crates/bench/src/bin/figure06.rs Cargo.toml
+
+crates/bench/src/bin/figure06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

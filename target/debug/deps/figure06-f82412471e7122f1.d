@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure06-f82412471e7122f1.d: crates/bench/src/bin/figure06.rs
+
+/root/repo/target/debug/deps/figure06-f82412471e7122f1: crates/bench/src/bin/figure06.rs
+
+crates/bench/src/bin/figure06.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gullible-5aecc345dae5e390.d: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+/root/repo/target/debug/deps/libgullible-5aecc345dae5e390.rlib: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+/root/repo/target/debug/deps/libgullible-5aecc345dae5e390.rmeta: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attacks.rs:
+crates/core/src/compare.rs:
+crates/core/src/literature.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/surface.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gullible-c13a9ba531782ac8.d: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgullible-c13a9ba531782ac8.rmeta: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attacks.rs:
+crates/core/src/compare.rs:
+crates/core/src/literature.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

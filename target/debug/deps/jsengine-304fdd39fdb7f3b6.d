@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jsengine-304fdd39fdb7f3b6.d: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsengine-304fdd39fdb7f3b6.rmeta: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs Cargo.toml
+
+crates/jsengine/src/lib.rs:
+crates/jsengine/src/ast.rs:
+crates/jsengine/src/error.rs:
+crates/jsengine/src/interp.rs:
+crates/jsengine/src/lexer.rs:
+crates/jsengine/src/object.rs:
+crates/jsengine/src/parser.rs:
+crates/jsengine/src/value.rs:
+crates/jsengine/src/builtins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

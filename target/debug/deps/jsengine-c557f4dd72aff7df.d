@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jsengine-c557f4dd72aff7df.d: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+/root/repo/target/debug/deps/jsengine-c557f4dd72aff7df: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+crates/jsengine/src/lib.rs:
+crates/jsengine/src/ast.rs:
+crates/jsengine/src/error.rs:
+crates/jsengine/src/interp.rs:
+crates/jsengine/src/lexer.rs:
+crates/jsengine/src/object.rs:
+crates/jsengine/src/parser.rs:
+crates/jsengine/src/value.rs:
+crates/jsengine/src/builtins.rs:

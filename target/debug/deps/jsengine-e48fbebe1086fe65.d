@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jsengine-e48fbebe1086fe65.d: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsengine-e48fbebe1086fe65.rmeta: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs Cargo.toml
+
+crates/jsengine/src/lib.rs:
+crates/jsengine/src/ast.rs:
+crates/jsengine/src/error.rs:
+crates/jsengine/src/interp.rs:
+crates/jsengine/src/lexer.rs:
+crates/jsengine/src/object.rs:
+crates/jsengine/src/parser.rs:
+crates/jsengine/src/value.rs:
+crates/jsengine/src/builtins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-1852bed94559f429.d: crates/jsengine/tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-1852bed94559f429.rmeta: crates/jsengine/tests/language.rs Cargo.toml
+
+crates/jsengine/tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-3715787ed0e92add.d: crates/jsengine/tests/language.rs
+
+/root/repo/target/debug/deps/language-3715787ed0e92add: crates/jsengine/tests/language.rs
+
+crates/jsengine/tests/language.rs:

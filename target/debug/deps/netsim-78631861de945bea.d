@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netsim-78631861de945bea.d: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-78631861de945bea.rmeta: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/blocklist.rs:
+crates/netsim/src/cookies.rs:
+crates/netsim/src/http.rs:
+crates/netsim/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

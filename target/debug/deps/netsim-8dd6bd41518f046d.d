@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netsim-8dd6bd41518f046d.d: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+/root/repo/target/debug/deps/libnetsim-8dd6bd41518f046d.rlib: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+/root/repo/target/debug/deps/libnetsim-8dd6bd41518f046d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/blocklist.rs:
+crates/netsim/src/cookies.rs:
+crates/netsim/src/http.rs:
+crates/netsim/src/url.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-d073ea00eaa92104.d: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+/root/repo/target/debug/deps/netsim-d073ea00eaa92104: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/blocklist.rs:
+crates/netsim/src/cookies.rs:
+crates/netsim/src/http.rs:
+crates/netsim/src/url.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/openwpm-a737c8aaaca3c04e.d: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenwpm-a737c8aaaca3c04e.rmeta: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs Cargo.toml
+
+crates/openwpm/src/lib.rs:
+crates/openwpm/src/config.rs:
+crates/openwpm/src/fault.rs:
+crates/openwpm/src/instrument/mod.rs:
+crates/openwpm/src/instrument/honey.rs:
+crates/openwpm/src/instrument/http.rs:
+crates/openwpm/src/instrument/stealth.rs:
+crates/openwpm/src/instrument/vanilla.rs:
+crates/openwpm/src/instrument/watch.rs:
+crates/openwpm/src/manager.rs:
+crates/openwpm/src/records.rs:
+crates/openwpm/src/supervisor.rs:
+crates/openwpm/src/wpm_browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

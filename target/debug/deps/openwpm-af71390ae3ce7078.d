@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/openwpm-af71390ae3ce7078.d: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs
+
+/root/repo/target/debug/deps/libopenwpm-af71390ae3ce7078.rlib: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs
+
+/root/repo/target/debug/deps/libopenwpm-af71390ae3ce7078.rmeta: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs
+
+crates/openwpm/src/lib.rs:
+crates/openwpm/src/config.rs:
+crates/openwpm/src/fault.rs:
+crates/openwpm/src/instrument/mod.rs:
+crates/openwpm/src/instrument/honey.rs:
+crates/openwpm/src/instrument/http.rs:
+crates/openwpm/src/instrument/stealth.rs:
+crates/openwpm/src/instrument/vanilla.rs:
+crates/openwpm/src/instrument/watch.rs:
+crates/openwpm/src/manager.rs:
+crates/openwpm/src/records.rs:
+crates/openwpm/src/supervisor.rs:
+crates/openwpm/src/wpm_browser.rs:

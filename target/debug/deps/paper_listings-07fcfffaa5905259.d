@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_listings-07fcfffaa5905259.d: crates/core/../../tests/paper_listings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_listings-07fcfffaa5905259.rmeta: crates/core/../../tests/paper_listings.rs Cargo.toml
+
+crates/core/../../tests/paper_listings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_listings-7871c5072e246556.d: crates/core/../../tests/paper_listings.rs
+
+/root/repo/target/debug/deps/paper_listings-7871c5072e246556: crates/core/../../tests/paper_listings.rs
+
+crates/core/../../tests/paper_listings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0307e503ef767d80.d: crates/stats/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0307e503ef767d80.rmeta: crates/stats/tests/properties.rs Cargo.toml
+
+crates/stats/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-25a34623f9eb4b70.d: crates/stats/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-25a34623f9eb4b70: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

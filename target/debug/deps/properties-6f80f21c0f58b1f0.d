@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6f80f21c0f58b1f0.d: crates/openwpm/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6f80f21c0f58b1f0: crates/openwpm/tests/properties.rs
+
+crates/openwpm/tests/properties.rs:

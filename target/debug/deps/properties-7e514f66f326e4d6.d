@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7e514f66f326e4d6.d: crates/webgen/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7e514f66f326e4d6: crates/webgen/tests/properties.rs
+
+crates/webgen/tests/properties.rs:

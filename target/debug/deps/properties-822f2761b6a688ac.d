@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-822f2761b6a688ac.d: crates/openwpm/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-822f2761b6a688ac.rmeta: crates/openwpm/tests/properties.rs Cargo.toml
+
+crates/openwpm/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8b13137b4e68d0c5.d: crates/detect/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8b13137b4e68d0c5.rmeta: crates/detect/tests/properties.rs Cargo.toml
+
+crates/detect/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

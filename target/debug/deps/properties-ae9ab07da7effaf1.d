@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ae9ab07da7effaf1.d: crates/netsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ae9ab07da7effaf1.rmeta: crates/netsim/tests/properties.rs Cargo.toml
+
+crates/netsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c43835ff7a5e1a9d.d: crates/netsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c43835ff7a5e1a9d: crates/netsim/tests/properties.rs
+
+crates/netsim/tests/properties.rs:

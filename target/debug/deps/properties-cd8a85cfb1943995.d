@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cd8a85cfb1943995.d: crates/jsengine/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cd8a85cfb1943995.rmeta: crates/jsengine/tests/properties.rs Cargo.toml
+
+crates/jsengine/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

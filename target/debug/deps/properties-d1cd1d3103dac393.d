@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d1cd1d3103dac393.d: crates/jsengine/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d1cd1d3103dac393: crates/jsengine/tests/properties.rs
+
+crates/jsengine/tests/properties.rs:

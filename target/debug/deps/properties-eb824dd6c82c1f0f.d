@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-eb824dd6c82c1f0f.d: crates/webgen/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-eb824dd6c82c1f0f.rmeta: crates/webgen/tests/properties.rs Cargo.toml
+
+crates/webgen/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

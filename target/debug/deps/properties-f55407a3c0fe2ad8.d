@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f55407a3c0fe2ad8.d: crates/detect/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f55407a3c0fe2ad8: crates/detect/tests/properties.rs
+
+crates/detect/tests/properties.rs:

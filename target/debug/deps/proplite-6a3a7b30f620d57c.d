@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proplite-6a3a7b30f620d57c.d: crates/proplite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproplite-6a3a7b30f620d57c.rmeta: crates/proplite/src/lib.rs Cargo.toml
+
+crates/proplite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

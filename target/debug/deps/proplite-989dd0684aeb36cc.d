@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proplite-989dd0684aeb36cc.d: crates/proplite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproplite-989dd0684aeb36cc.rmeta: crates/proplite/src/lib.rs Cargo.toml
+
+crates/proplite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proplite-d114eba2f41e18cd.d: crates/proplite/src/lib.rs
+
+/root/repo/target/debug/deps/libproplite-d114eba2f41e18cd.rlib: crates/proplite/src/lib.rs
+
+/root/repo/target/debug/deps/libproplite-d114eba2f41e18cd.rmeta: crates/proplite/src/lib.rs
+
+crates/proplite/src/lib.rs:

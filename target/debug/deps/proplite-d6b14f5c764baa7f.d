@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proplite-d6b14f5c764baa7f.d: crates/proplite/src/lib.rs
+
+/root/repo/target/debug/deps/proplite-d6b14f5c764baa7f: crates/proplite/src/lib.rs
+
+crates/proplite/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-62cee6a1c585ad8b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-62cee6a1c585ad8b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

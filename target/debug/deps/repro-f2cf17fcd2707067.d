@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f2cf17fcd2707067.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f2cf17fcd2707067: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

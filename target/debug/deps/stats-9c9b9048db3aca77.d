@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stats-9c9b9048db3aca77.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libstats-9c9b9048db3aca77.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libstats-9c9b9048db3aca77.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/ratcliff.rs:
+crates/stats/src/wilcoxon.rs:

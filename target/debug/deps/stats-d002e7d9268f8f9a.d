@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stats-d002e7d9268f8f9a.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-d002e7d9268f8f9a.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/ratcliff.rs:
+crates/stats/src/wilcoxon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

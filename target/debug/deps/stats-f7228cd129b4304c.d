@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stats-f7228cd129b4304c.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-f7228cd129b4304c.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/ratcliff.rs:
+crates/stats/src/wilcoxon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/supervised-1516aa70ffc165c3.d: crates/core/../../tests/supervised.rs
+
+/root/repo/target/debug/deps/supervised-1516aa70ffc165c3: crates/core/../../tests/supervised.rs
+
+crates/core/../../tests/supervised.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/supervised-9dbe8d843c04db92.d: crates/core/../../tests/supervised.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsupervised-9dbe8d843c04db92.rmeta: crates/core/../../tests/supervised.rs Cargo.toml
+
+crates/core/../../tests/supervised.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table01-157925eae3749592.d: crates/bench/src/bin/table01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable01-157925eae3749592.rmeta: crates/bench/src/bin/table01.rs Cargo.toml
+
+crates/bench/src/bin/table01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

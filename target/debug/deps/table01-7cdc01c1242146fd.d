@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table01-7cdc01c1242146fd.d: crates/bench/src/bin/table01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable01-7cdc01c1242146fd.rmeta: crates/bench/src/bin/table01.rs Cargo.toml
+
+crates/bench/src/bin/table01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

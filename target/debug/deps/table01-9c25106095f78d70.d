@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01-9c25106095f78d70.d: crates/bench/src/bin/table01.rs
+
+/root/repo/target/debug/deps/table01-9c25106095f78d70: crates/bench/src/bin/table01.rs
+
+crates/bench/src/bin/table01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01-a34149ddcc74ae99.d: crates/bench/src/bin/table01.rs
+
+/root/repo/target/debug/deps/table01-a34149ddcc74ae99: crates/bench/src/bin/table01.rs
+
+crates/bench/src/bin/table01.rs:

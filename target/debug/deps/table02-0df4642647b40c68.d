@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02-0df4642647b40c68.d: crates/bench/src/bin/table02.rs
+
+/root/repo/target/debug/deps/table02-0df4642647b40c68: crates/bench/src/bin/table02.rs
+
+crates/bench/src/bin/table02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table02-59e52dc09c3a9ab6.d: crates/bench/src/bin/table02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable02-59e52dc09c3a9ab6.rmeta: crates/bench/src/bin/table02.rs Cargo.toml
+
+crates/bench/src/bin/table02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02-ae075b5a057c14b3.d: crates/bench/src/bin/table02.rs
+
+/root/repo/target/debug/deps/table02-ae075b5a057c14b3: crates/bench/src/bin/table02.rs
+
+crates/bench/src/bin/table02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table02-ed483bbdd70915f5.d: crates/bench/src/bin/table02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable02-ed483bbdd70915f5.rmeta: crates/bench/src/bin/table02.rs Cargo.toml
+
+crates/bench/src/bin/table02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

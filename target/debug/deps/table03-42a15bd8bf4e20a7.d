@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table03-42a15bd8bf4e20a7.d: crates/bench/src/bin/table03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable03-42a15bd8bf4e20a7.rmeta: crates/bench/src/bin/table03.rs Cargo.toml
+
+crates/bench/src/bin/table03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03-848087273312d521.d: crates/bench/src/bin/table03.rs
+
+/root/repo/target/debug/deps/table03-848087273312d521: crates/bench/src/bin/table03.rs
+
+crates/bench/src/bin/table03.rs:

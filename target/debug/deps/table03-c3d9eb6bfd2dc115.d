@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table03-c3d9eb6bfd2dc115.d: crates/bench/src/bin/table03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable03-c3d9eb6bfd2dc115.rmeta: crates/bench/src/bin/table03.rs Cargo.toml
+
+crates/bench/src/bin/table03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

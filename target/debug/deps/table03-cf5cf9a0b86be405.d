@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03-cf5cf9a0b86be405.d: crates/bench/src/bin/table03.rs
+
+/root/repo/target/debug/deps/table03-cf5cf9a0b86be405: crates/bench/src/bin/table03.rs
+
+crates/bench/src/bin/table03.rs:

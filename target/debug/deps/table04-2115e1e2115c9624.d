@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table04-2115e1e2115c9624.d: crates/bench/src/bin/table04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable04-2115e1e2115c9624.rmeta: crates/bench/src/bin/table04.rs Cargo.toml
+
+crates/bench/src/bin/table04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04-cc0e98e7c40c3980.d: crates/bench/src/bin/table04.rs
+
+/root/repo/target/debug/deps/table04-cc0e98e7c40c3980: crates/bench/src/bin/table04.rs
+
+crates/bench/src/bin/table04.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table04-d724c63eeb655572.d: crates/bench/src/bin/table04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable04-d724c63eeb655572.rmeta: crates/bench/src/bin/table04.rs Cargo.toml
+
+crates/bench/src/bin/table04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

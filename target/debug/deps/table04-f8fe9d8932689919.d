@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04-f8fe9d8932689919.d: crates/bench/src/bin/table04.rs
+
+/root/repo/target/debug/deps/table04-f8fe9d8932689919: crates/bench/src/bin/table04.rs
+
+crates/bench/src/bin/table04.rs:

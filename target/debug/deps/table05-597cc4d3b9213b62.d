@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table05-597cc4d3b9213b62.d: crates/bench/src/bin/table05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable05-597cc4d3b9213b62.rmeta: crates/bench/src/bin/table05.rs Cargo.toml
+
+crates/bench/src/bin/table05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table05-5c42ddb5c4e141ba.d: crates/bench/src/bin/table05.rs
+
+/root/repo/target/debug/deps/table05-5c42ddb5c4e141ba: crates/bench/src/bin/table05.rs
+
+crates/bench/src/bin/table05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table05-a7fb73a7e7bc2f98.d: crates/bench/src/bin/table05.rs
+
+/root/repo/target/debug/deps/table05-a7fb73a7e7bc2f98: crates/bench/src/bin/table05.rs
+
+crates/bench/src/bin/table05.rs:

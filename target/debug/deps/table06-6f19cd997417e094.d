@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table06-6f19cd997417e094.d: crates/bench/src/bin/table06.rs
+
+/root/repo/target/debug/deps/table06-6f19cd997417e094: crates/bench/src/bin/table06.rs
+
+crates/bench/src/bin/table06.rs:

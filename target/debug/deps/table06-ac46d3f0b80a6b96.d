@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table06-ac46d3f0b80a6b96.d: crates/bench/src/bin/table06.rs
+
+/root/repo/target/debug/deps/table06-ac46d3f0b80a6b96: crates/bench/src/bin/table06.rs
+
+crates/bench/src/bin/table06.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table06-d8ba49f9d951a290.d: crates/bench/src/bin/table06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable06-d8ba49f9d951a290.rmeta: crates/bench/src/bin/table06.rs Cargo.toml
+
+crates/bench/src/bin/table06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table06-e5018a7744cf4d66.d: crates/bench/src/bin/table06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable06-e5018a7744cf4d66.rmeta: crates/bench/src/bin/table06.rs Cargo.toml
+
+crates/bench/src/bin/table06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07-567ef623b38569ae.d: crates/bench/src/bin/table07.rs
+
+/root/repo/target/debug/deps/table07-567ef623b38569ae: crates/bench/src/bin/table07.rs
+
+crates/bench/src/bin/table07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07-5844477d7074307d.d: crates/bench/src/bin/table07.rs
+
+/root/repo/target/debug/deps/table07-5844477d7074307d: crates/bench/src/bin/table07.rs
+
+crates/bench/src/bin/table07.rs:

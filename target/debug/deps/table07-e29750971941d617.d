@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table07-e29750971941d617.d: crates/bench/src/bin/table07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable07-e29750971941d617.rmeta: crates/bench/src/bin/table07.rs Cargo.toml
+
+crates/bench/src/bin/table07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08-014f7d4d9533e7d9.d: crates/bench/src/bin/table08.rs
+
+/root/repo/target/debug/deps/table08-014f7d4d9533e7d9: crates/bench/src/bin/table08.rs
+
+crates/bench/src/bin/table08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08-12e9c840ab9cfa4a.d: crates/bench/src/bin/table08.rs
+
+/root/repo/target/debug/deps/table08-12e9c840ab9cfa4a: crates/bench/src/bin/table08.rs
+
+crates/bench/src/bin/table08.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table08-bd497156f915259d.d: crates/bench/src/bin/table08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable08-bd497156f915259d.rmeta: crates/bench/src/bin/table08.rs Cargo.toml
+
+crates/bench/src/bin/table08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table08-ecd7661e037f2171.d: crates/bench/src/bin/table08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable08-ecd7661e037f2171.rmeta: crates/bench/src/bin/table08.rs Cargo.toml
+
+crates/bench/src/bin/table08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table09-6d937f6b91eeaf0f.d: crates/bench/src/bin/table09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable09-6d937f6b91eeaf0f.rmeta: crates/bench/src/bin/table09.rs Cargo.toml
+
+crates/bench/src/bin/table09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

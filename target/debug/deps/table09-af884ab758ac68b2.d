@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09-af884ab758ac68b2.d: crates/bench/src/bin/table09.rs
+
+/root/repo/target/debug/deps/table09-af884ab758ac68b2: crates/bench/src/bin/table09.rs
+
+crates/bench/src/bin/table09.rs:

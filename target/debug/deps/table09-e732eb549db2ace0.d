@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table09-e732eb549db2ace0.d: crates/bench/src/bin/table09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable09-e732eb549db2ace0.rmeta: crates/bench/src/bin/table09.rs Cargo.toml
+
+crates/bench/src/bin/table09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09-fd20e09981a0b315.d: crates/bench/src/bin/table09.rs
+
+/root/repo/target/debug/deps/table09-fd20e09981a0b315: crates/bench/src/bin/table09.rs
+
+crates/bench/src/bin/table09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-51ba874fae6e8c88.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-51ba874fae6e8c88: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

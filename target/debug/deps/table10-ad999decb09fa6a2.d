@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-ad999decb09fa6a2.d: crates/bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-ad999decb09fa6a2.rmeta: crates/bench/src/bin/table10.rs Cargo.toml
+
+crates/bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

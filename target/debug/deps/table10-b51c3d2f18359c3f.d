@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-b51c3d2f18359c3f.d: crates/bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-b51c3d2f18359c3f.rmeta: crates/bench/src/bin/table10.rs Cargo.toml
+
+crates/bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-b74cca704478b315.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-b74cca704478b315: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table11-087cb783e761e15a.d: crates/bench/src/bin/table11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable11-087cb783e761e15a.rmeta: crates/bench/src/bin/table11.rs Cargo.toml
+
+crates/bench/src/bin/table11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

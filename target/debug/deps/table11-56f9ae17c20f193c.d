@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-56f9ae17c20f193c.d: crates/bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-56f9ae17c20f193c: crates/bench/src/bin/table11.rs
+
+crates/bench/src/bin/table11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table11-d2e01aa872583d0e.d: crates/bench/src/bin/table11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable11-d2e01aa872583d0e.rmeta: crates/bench/src/bin/table11.rs Cargo.toml
+
+crates/bench/src/bin/table11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

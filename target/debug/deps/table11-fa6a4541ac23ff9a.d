@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-fa6a4541ac23ff9a.d: crates/bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-fa6a4541ac23ff9a: crates/bench/src/bin/table11.rs
+
+crates/bench/src/bin/table11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-7ba918ed972dda92.d: crates/bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-7ba918ed972dda92: crates/bench/src/bin/table12.rs
+
+crates/bench/src/bin/table12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table12-dc0c58397d0314d4.d: crates/bench/src/bin/table12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable12-dc0c58397d0314d4.rmeta: crates/bench/src/bin/table12.rs Cargo.toml
+
+crates/bench/src/bin/table12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-fe9bc437778e855c.d: crates/bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-fe9bc437778e855c: crates/bench/src/bin/table12.rs
+
+crates/bench/src/bin/table12.rs:

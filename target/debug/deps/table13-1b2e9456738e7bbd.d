@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table13-1b2e9456738e7bbd.d: crates/bench/src/bin/table13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable13-1b2e9456738e7bbd.rmeta: crates/bench/src/bin/table13.rs Cargo.toml
+
+crates/bench/src/bin/table13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

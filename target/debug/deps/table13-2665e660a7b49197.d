@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13-2665e660a7b49197.d: crates/bench/src/bin/table13.rs
+
+/root/repo/target/debug/deps/table13-2665e660a7b49197: crates/bench/src/bin/table13.rs
+
+crates/bench/src/bin/table13.rs:

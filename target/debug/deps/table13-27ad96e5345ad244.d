@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table13-27ad96e5345ad244.d: crates/bench/src/bin/table13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable13-27ad96e5345ad244.rmeta: crates/bench/src/bin/table13.rs Cargo.toml
+
+crates/bench/src/bin/table13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

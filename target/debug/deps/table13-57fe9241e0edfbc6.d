@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13-57fe9241e0edfbc6.d: crates/bench/src/bin/table13.rs
+
+/root/repo/target/debug/deps/table13-57fe9241e0edfbc6: crates/bench/src/bin/table13.rs
+
+crates/bench/src/bin/table13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14-3b0ed45bf5334d2f.d: crates/bench/src/bin/table14.rs
+
+/root/repo/target/debug/deps/table14-3b0ed45bf5334d2f: crates/bench/src/bin/table14.rs
+
+crates/bench/src/bin/table14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table14-a55758092febc01f.d: crates/bench/src/bin/table14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable14-a55758092febc01f.rmeta: crates/bench/src/bin/table14.rs Cargo.toml
+
+crates/bench/src/bin/table14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table14-c0aa37005f27b74d.d: crates/bench/src/bin/table14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable14-c0aa37005f27b74d.rmeta: crates/bench/src/bin/table14.rs Cargo.toml
+
+crates/bench/src/bin/table14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14-dcbf09783e1b8579.d: crates/bench/src/bin/table14.rs
+
+/root/repo/target/debug/deps/table14-dcbf09783e1b8579: crates/bench/src/bin/table14.rs
+
+crates/bench/src/bin/table14.rs:

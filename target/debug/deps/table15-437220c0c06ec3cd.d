@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table15-437220c0c06ec3cd.d: crates/bench/src/bin/table15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable15-437220c0c06ec3cd.rmeta: crates/bench/src/bin/table15.rs Cargo.toml
+
+crates/bench/src/bin/table15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table15-76457d2ee068307b.d: crates/bench/src/bin/table15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable15-76457d2ee068307b.rmeta: crates/bench/src/bin/table15.rs Cargo.toml
+
+crates/bench/src/bin/table15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

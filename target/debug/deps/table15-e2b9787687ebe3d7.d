@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15-e2b9787687ebe3d7.d: crates/bench/src/bin/table15.rs
+
+/root/repo/target/debug/deps/table15-e2b9787687ebe3d7: crates/bench/src/bin/table15.rs
+
+crates/bench/src/bin/table15.rs:

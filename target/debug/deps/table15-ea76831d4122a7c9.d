@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15-ea76831d4122a7c9.d: crates/bench/src/bin/table15.rs
+
+/root/repo/target/debug/deps/table15-ea76831d4122a7c9: crates/bench/src/bin/table15.rs
+
+crates/bench/src/bin/table15.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/webgen-22f39b80ffa3eec7.d: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebgen-22f39b80ffa3eec7.rmeta: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs Cargo.toml
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/behaviour.rs:
+crates/webgen/src/blocklists.rs:
+crates/webgen/src/categories.rs:
+crates/webgen/src/materialise.rs:
+crates/webgen/src/providers.rs:
+crates/webgen/src/site.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

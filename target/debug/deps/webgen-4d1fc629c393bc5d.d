@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/webgen-4d1fc629c393bc5d.d: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+/root/repo/target/debug/deps/libwebgen-4d1fc629c393bc5d.rlib: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+/root/repo/target/debug/deps/libwebgen-4d1fc629c393bc5d.rmeta: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/behaviour.rs:
+crates/webgen/src/blocklists.rs:
+crates/webgen/src/categories.rs:
+crates/webgen/src/materialise.rs:
+crates/webgen/src/providers.rs:
+crates/webgen/src/site.rs:

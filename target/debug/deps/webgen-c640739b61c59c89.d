@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/webgen-c640739b61c59c89.d: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+/root/repo/target/debug/deps/webgen-c640739b61c59c89: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/behaviour.rs:
+crates/webgen/src/blocklists.rs:
+crates/webgen/src/categories.rs:
+crates/webgen/src/materialise.rs:
+crates/webgen/src/providers.rs:
+crates/webgen/src/site.rs:

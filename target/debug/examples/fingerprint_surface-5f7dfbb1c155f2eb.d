@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fingerprint_surface-5f7dfbb1c155f2eb.d: crates/core/../../examples/fingerprint_surface.rs
+
+/root/repo/target/debug/examples/fingerprint_surface-5f7dfbb1c155f2eb: crates/core/../../examples/fingerprint_surface.rs
+
+crates/core/../../examples/fingerprint_surface.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fingerprint_surface-ece4f24a0e9e9f94.d: crates/core/../../examples/fingerprint_surface.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfingerprint_surface-ece4f24a0e9e9f94.rmeta: crates/core/../../examples/fingerprint_surface.rs Cargo.toml
+
+crates/core/../../examples/fingerprint_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

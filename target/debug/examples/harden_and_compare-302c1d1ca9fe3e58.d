@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/harden_and_compare-302c1d1ca9fe3e58.d: crates/core/../../examples/harden_and_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libharden_and_compare-302c1d1ca9fe3e58.rmeta: crates/core/../../examples/harden_and_compare.rs Cargo.toml
+
+crates/core/../../examples/harden_and_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

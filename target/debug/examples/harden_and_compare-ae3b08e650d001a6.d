@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harden_and_compare-ae3b08e650d001a6.d: crates/core/../../examples/harden_and_compare.rs
+
+/root/repo/target/debug/examples/harden_and_compare-ae3b08e650d001a6: crates/core/../../examples/harden_and_compare.rs
+
+crates/core/../../examples/harden_and_compare.rs:

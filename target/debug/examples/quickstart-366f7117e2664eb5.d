@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-366f7117e2664eb5.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-366f7117e2664eb5: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

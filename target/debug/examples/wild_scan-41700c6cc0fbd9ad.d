@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wild_scan-41700c6cc0fbd9ad.d: crates/core/../../examples/wild_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwild_scan-41700c6cc0fbd9ad.rmeta: crates/core/../../examples/wild_scan.rs Cargo.toml
+
+crates/core/../../examples/wild_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wild_scan-4a2d83cca71dffcf.d: crates/core/../../examples/wild_scan.rs
+
+/root/repo/target/debug/examples/wild_scan-4a2d83cca71dffcf: crates/core/../../examples/wild_scan.rs
+
+crates/core/../../examples/wild_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_analysis-21f7fdddd83a0fb1.d: crates/bench/src/bin/ablation_analysis.rs
+
+/root/repo/target/release/deps/ablation_analysis-21f7fdddd83a0fb1: crates/bench/src/bin/ablation_analysis.rs
+
+crates/bench/src/bin/ablation_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_analysis-969cda4ecec31765.d: crates/bench/src/bin/ablation_analysis.rs
+
+/root/repo/target/release/deps/ablation_analysis-969cda4ecec31765: crates/bench/src/bin/ablation_analysis.rs
+
+crates/bench/src/bin/ablation_analysis.rs:

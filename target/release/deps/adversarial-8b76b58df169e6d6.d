@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adversarial-8b76b58df169e6d6.d: crates/jsengine/tests/adversarial.rs
+
+/root/repo/target/release/deps/adversarial-8b76b58df169e6d6: crates/jsengine/tests/adversarial.rs
+
+crates/jsengine/tests/adversarial.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-5b7b09335016f658.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-5b7b09335016f658.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-5b7b09335016f658.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

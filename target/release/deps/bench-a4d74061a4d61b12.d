@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-a4d74061a4d61b12.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-a4d74061a4d61b12: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/browser-06de1755c53a9bc5.d: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+/root/repo/target/release/deps/browser-06de1755c53a9bc5: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/csp.rs:
+crates/browser/src/hostobjects.rs:
+crates/browser/src/page.rs:
+crates/browser/src/profile.rs:
+crates/browser/src/template.rs:
+crates/browser/src/webgl.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/browser-a76787fe95e77e82.d: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+/root/repo/target/release/deps/libbrowser-a76787fe95e77e82.rlib: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+/root/repo/target/release/deps/libbrowser-a76787fe95e77e82.rmeta: crates/browser/src/lib.rs crates/browser/src/csp.rs crates/browser/src/hostobjects.rs crates/browser/src/page.rs crates/browser/src/profile.rs crates/browser/src/template.rs crates/browser/src/webgl.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/csp.rs:
+crates/browser/src/hostobjects.rs:
+crates/browser/src/page.rs:
+crates/browser/src/profile.rs:
+crates/browser/src/template.rs:
+crates/browser/src/webgl.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/detect-330cc3481a22accf.d: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+/root/repo/target/release/deps/detect-330cc3481a22accf: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/corpus.rs:
+crates/detect/src/dynamic_analysis.rs:
+crates/detect/src/static_analysis.rs:

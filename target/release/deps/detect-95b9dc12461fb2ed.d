@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/detect-95b9dc12461fb2ed.d: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+/root/repo/target/release/deps/libdetect-95b9dc12461fb2ed.rlib: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+/root/repo/target/release/deps/libdetect-95b9dc12461fb2ed.rmeta: crates/detect/src/lib.rs crates/detect/src/corpus.rs crates/detect/src/dynamic_analysis.rs crates/detect/src/static_analysis.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/corpus.rs:
+crates/detect/src/dynamic_analysis.rs:
+crates/detect/src/static_analysis.rs:

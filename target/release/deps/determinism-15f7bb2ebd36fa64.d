@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-15f7bb2ebd36fa64.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-15f7bb2ebd36fa64: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dom-d15d52d1d5ebb396.d: crates/browser/tests/dom.rs
+
+/root/repo/target/release/deps/dom-d15d52d1d5ebb396: crates/browser/tests/dom.rs
+
+crates/browser/tests/dom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-ec9c657a96b4b680.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-ec9c657a96b4b680: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/features-f3824a0c191dbea9.d: crates/openwpm/tests/features.rs
+
+/root/repo/target/release/deps/features-f3824a0c191dbea9: crates/openwpm/tests/features.rs
+
+crates/openwpm/tests/features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure02-0c2b46ba81bf2a86.d: crates/bench/src/bin/figure02.rs
+
+/root/repo/target/release/deps/figure02-0c2b46ba81bf2a86: crates/bench/src/bin/figure02.rs
+
+crates/bench/src/bin/figure02.rs:

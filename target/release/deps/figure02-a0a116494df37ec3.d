@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure02-a0a116494df37ec3.d: crates/bench/src/bin/figure02.rs
+
+/root/repo/target/release/deps/figure02-a0a116494df37ec3: crates/bench/src/bin/figure02.rs
+
+crates/bench/src/bin/figure02.rs:

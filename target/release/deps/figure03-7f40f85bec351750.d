@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure03-7f40f85bec351750.d: crates/bench/src/bin/figure03.rs
+
+/root/repo/target/release/deps/figure03-7f40f85bec351750: crates/bench/src/bin/figure03.rs
+
+crates/bench/src/bin/figure03.rs:

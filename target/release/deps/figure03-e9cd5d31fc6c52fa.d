@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure03-e9cd5d31fc6c52fa.d: crates/bench/src/bin/figure03.rs
+
+/root/repo/target/release/deps/figure03-e9cd5d31fc6c52fa: crates/bench/src/bin/figure03.rs
+
+crates/bench/src/bin/figure03.rs:

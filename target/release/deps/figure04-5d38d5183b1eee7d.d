@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure04-5d38d5183b1eee7d.d: crates/bench/src/bin/figure04.rs
+
+/root/repo/target/release/deps/figure04-5d38d5183b1eee7d: crates/bench/src/bin/figure04.rs
+
+crates/bench/src/bin/figure04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure04-978cc66f169497e5.d: crates/bench/src/bin/figure04.rs
+
+/root/repo/target/release/deps/figure04-978cc66f169497e5: crates/bench/src/bin/figure04.rs
+
+crates/bench/src/bin/figure04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure05-0c1d5158e2b43269.d: crates/bench/src/bin/figure05.rs
+
+/root/repo/target/release/deps/figure05-0c1d5158e2b43269: crates/bench/src/bin/figure05.rs
+
+crates/bench/src/bin/figure05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure05-fc6a651c37d293a0.d: crates/bench/src/bin/figure05.rs
+
+/root/repo/target/release/deps/figure05-fc6a651c37d293a0: crates/bench/src/bin/figure05.rs
+
+crates/bench/src/bin/figure05.rs:

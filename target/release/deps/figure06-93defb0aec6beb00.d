@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure06-93defb0aec6beb00.d: crates/bench/src/bin/figure06.rs
+
+/root/repo/target/release/deps/figure06-93defb0aec6beb00: crates/bench/src/bin/figure06.rs
+
+crates/bench/src/bin/figure06.rs:

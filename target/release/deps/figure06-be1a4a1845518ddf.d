@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure06-be1a4a1845518ddf.d: crates/bench/src/bin/figure06.rs
+
+/root/repo/target/release/deps/figure06-be1a4a1845518ddf: crates/bench/src/bin/figure06.rs
+
+crates/bench/src/bin/figure06.rs:

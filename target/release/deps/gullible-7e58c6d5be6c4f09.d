@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gullible-7e58c6d5be6c4f09.d: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+/root/repo/target/release/deps/gullible-7e58c6d5be6c4f09: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attacks.rs:
+crates/core/src/compare.rs:
+crates/core/src/literature.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/surface.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gullible-885f1f0d60e692d1.d: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+/root/repo/target/release/deps/libgullible-885f1f0d60e692d1.rlib: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+/root/repo/target/release/deps/libgullible-885f1f0d60e692d1.rmeta: crates/core/src/lib.rs crates/core/src/attacks.rs crates/core/src/compare.rs crates/core/src/literature.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/surface.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attacks.rs:
+crates/core/src/compare.rs:
+crates/core/src/literature.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/surface.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/jsengine-3873e2d8610237c9.d: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+/root/repo/target/release/deps/jsengine-3873e2d8610237c9: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+crates/jsengine/src/lib.rs:
+crates/jsengine/src/ast.rs:
+crates/jsengine/src/error.rs:
+crates/jsengine/src/interp.rs:
+crates/jsengine/src/lexer.rs:
+crates/jsengine/src/object.rs:
+crates/jsengine/src/parser.rs:
+crates/jsengine/src/value.rs:
+crates/jsengine/src/builtins.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/jsengine-4a47edfc4b4b8294.d: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+/root/repo/target/release/deps/libjsengine-4a47edfc4b4b8294.rlib: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+/root/repo/target/release/deps/libjsengine-4a47edfc4b4b8294.rmeta: crates/jsengine/src/lib.rs crates/jsengine/src/ast.rs crates/jsengine/src/error.rs crates/jsengine/src/interp.rs crates/jsengine/src/lexer.rs crates/jsengine/src/object.rs crates/jsengine/src/parser.rs crates/jsengine/src/value.rs crates/jsengine/src/builtins.rs
+
+crates/jsengine/src/lib.rs:
+crates/jsengine/src/ast.rs:
+crates/jsengine/src/error.rs:
+crates/jsengine/src/interp.rs:
+crates/jsengine/src/lexer.rs:
+crates/jsengine/src/object.rs:
+crates/jsengine/src/parser.rs:
+crates/jsengine/src/value.rs:
+crates/jsengine/src/builtins.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/language-73d5563ade62a30a.d: crates/jsengine/tests/language.rs
+
+/root/repo/target/release/deps/language-73d5563ade62a30a: crates/jsengine/tests/language.rs
+
+crates/jsengine/tests/language.rs:

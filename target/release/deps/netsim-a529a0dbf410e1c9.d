@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netsim-a529a0dbf410e1c9.d: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+/root/repo/target/release/deps/libnetsim-a529a0dbf410e1c9.rlib: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+/root/repo/target/release/deps/libnetsim-a529a0dbf410e1c9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/blocklist.rs:
+crates/netsim/src/cookies.rs:
+crates/netsim/src/http.rs:
+crates/netsim/src/url.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netsim-a897eb67ef15f5af.d: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+/root/repo/target/release/deps/netsim-a897eb67ef15f5af: crates/netsim/src/lib.rs crates/netsim/src/blocklist.rs crates/netsim/src/cookies.rs crates/netsim/src/http.rs crates/netsim/src/url.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/blocklist.rs:
+crates/netsim/src/cookies.rs:
+crates/netsim/src/http.rs:
+crates/netsim/src/url.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/openwpm-28e6da976d85d576.d: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs
+
+/root/repo/target/release/deps/libopenwpm-28e6da976d85d576.rlib: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs
+
+/root/repo/target/release/deps/libopenwpm-28e6da976d85d576.rmeta: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/fault.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/supervisor.rs crates/openwpm/src/wpm_browser.rs
+
+crates/openwpm/src/lib.rs:
+crates/openwpm/src/config.rs:
+crates/openwpm/src/fault.rs:
+crates/openwpm/src/instrument/mod.rs:
+crates/openwpm/src/instrument/honey.rs:
+crates/openwpm/src/instrument/http.rs:
+crates/openwpm/src/instrument/stealth.rs:
+crates/openwpm/src/instrument/vanilla.rs:
+crates/openwpm/src/instrument/watch.rs:
+crates/openwpm/src/manager.rs:
+crates/openwpm/src/records.rs:
+crates/openwpm/src/supervisor.rs:
+crates/openwpm/src/wpm_browser.rs:

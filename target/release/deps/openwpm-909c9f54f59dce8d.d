@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/openwpm-909c9f54f59dce8d.d: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/wpm_browser.rs
+
+/root/repo/target/release/deps/openwpm-909c9f54f59dce8d: crates/openwpm/src/lib.rs crates/openwpm/src/config.rs crates/openwpm/src/instrument/mod.rs crates/openwpm/src/instrument/honey.rs crates/openwpm/src/instrument/http.rs crates/openwpm/src/instrument/stealth.rs crates/openwpm/src/instrument/vanilla.rs crates/openwpm/src/instrument/watch.rs crates/openwpm/src/manager.rs crates/openwpm/src/records.rs crates/openwpm/src/wpm_browser.rs
+
+crates/openwpm/src/lib.rs:
+crates/openwpm/src/config.rs:
+crates/openwpm/src/instrument/mod.rs:
+crates/openwpm/src/instrument/honey.rs:
+crates/openwpm/src/instrument/http.rs:
+crates/openwpm/src/instrument/stealth.rs:
+crates/openwpm/src/instrument/vanilla.rs:
+crates/openwpm/src/instrument/watch.rs:
+crates/openwpm/src/manager.rs:
+crates/openwpm/src/records.rs:
+crates/openwpm/src/wpm_browser.rs:

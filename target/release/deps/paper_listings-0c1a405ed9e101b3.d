@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_listings-0c1a405ed9e101b3.d: crates/core/../../tests/paper_listings.rs
+
+/root/repo/target/release/deps/paper_listings-0c1a405ed9e101b3: crates/core/../../tests/paper_listings.rs
+
+crates/core/../../tests/paper_listings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-45bdad2018b14c08.d: crates/jsengine/tests/properties.rs
+
+/root/repo/target/release/deps/properties-45bdad2018b14c08: crates/jsengine/tests/properties.rs
+
+crates/jsengine/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8a08738c9a911d2a.d: crates/openwpm/tests/properties.rs
+
+/root/repo/target/release/deps/properties-8a08738c9a911d2a: crates/openwpm/tests/properties.rs
+
+crates/openwpm/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-90febaedae68a632.d: crates/netsim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-90febaedae68a632: crates/netsim/tests/properties.rs
+
+crates/netsim/tests/properties.rs:

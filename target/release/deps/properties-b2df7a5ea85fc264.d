@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b2df7a5ea85fc264.d: crates/webgen/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b2df7a5ea85fc264: crates/webgen/tests/properties.rs
+
+crates/webgen/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e32acf3bfcdae99c.d: crates/detect/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e32acf3bfcdae99c: crates/detect/tests/properties.rs
+
+crates/detect/tests/properties.rs:

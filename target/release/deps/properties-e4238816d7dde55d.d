@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e4238816d7dde55d.d: crates/stats/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e4238816d7dde55d: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proplite-c686804c82c86a80.d: crates/proplite/src/lib.rs
+
+/root/repo/target/release/deps/libproplite-c686804c82c86a80.rlib: crates/proplite/src/lib.rs
+
+/root/repo/target/release/deps/libproplite-c686804c82c86a80.rmeta: crates/proplite/src/lib.rs
+
+crates/proplite/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proplite-dea5a729bef87649.d: crates/proplite/src/lib.rs
+
+/root/repo/target/release/deps/proplite-dea5a729bef87649: crates/proplite/src/lib.rs
+
+crates/proplite/src/lib.rs:

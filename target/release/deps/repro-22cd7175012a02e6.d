@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-22cd7175012a02e6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-22cd7175012a02e6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

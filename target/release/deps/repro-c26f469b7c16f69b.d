@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c26f469b7c16f69b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c26f469b7c16f69b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

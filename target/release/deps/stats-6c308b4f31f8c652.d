@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/stats-6c308b4f31f8c652.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libstats-6c308b4f31f8c652.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libstats-6c308b4f31f8c652.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/ratcliff.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/stats-70224cf1f2fa84dc.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/stats-70224cf1f2fa84dc: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/ratcliff.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/ratcliff.rs:
+crates/stats/src/wilcoxon.rs:

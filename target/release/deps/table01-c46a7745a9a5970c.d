@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01-c46a7745a9a5970c.d: crates/bench/src/bin/table01.rs
+
+/root/repo/target/release/deps/table01-c46a7745a9a5970c: crates/bench/src/bin/table01.rs
+
+crates/bench/src/bin/table01.rs:

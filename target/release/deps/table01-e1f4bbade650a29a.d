@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01-e1f4bbade650a29a.d: crates/bench/src/bin/table01.rs
+
+/root/repo/target/release/deps/table01-e1f4bbade650a29a: crates/bench/src/bin/table01.rs
+
+crates/bench/src/bin/table01.rs:

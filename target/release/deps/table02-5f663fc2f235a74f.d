@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02-5f663fc2f235a74f.d: crates/bench/src/bin/table02.rs
+
+/root/repo/target/release/deps/table02-5f663fc2f235a74f: crates/bench/src/bin/table02.rs
+
+crates/bench/src/bin/table02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02-ec6cc77fd2e5ad0d.d: crates/bench/src/bin/table02.rs
+
+/root/repo/target/release/deps/table02-ec6cc77fd2e5ad0d: crates/bench/src/bin/table02.rs
+
+crates/bench/src/bin/table02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03-3849e58b25b494cc.d: crates/bench/src/bin/table03.rs
+
+/root/repo/target/release/deps/table03-3849e58b25b494cc: crates/bench/src/bin/table03.rs
+
+crates/bench/src/bin/table03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03-fbf2b221b2fbfc70.d: crates/bench/src/bin/table03.rs
+
+/root/repo/target/release/deps/table03-fbf2b221b2fbfc70: crates/bench/src/bin/table03.rs
+
+crates/bench/src/bin/table03.rs:

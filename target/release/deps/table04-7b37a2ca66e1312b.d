@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table04-7b37a2ca66e1312b.d: crates/bench/src/bin/table04.rs
+
+/root/repo/target/release/deps/table04-7b37a2ca66e1312b: crates/bench/src/bin/table04.rs
+
+crates/bench/src/bin/table04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table04-f50641561ae85137.d: crates/bench/src/bin/table04.rs
+
+/root/repo/target/release/deps/table04-f50641561ae85137: crates/bench/src/bin/table04.rs
+
+crates/bench/src/bin/table04.rs:

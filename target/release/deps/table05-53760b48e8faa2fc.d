@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table05-53760b48e8faa2fc.d: crates/bench/src/bin/table05.rs
+
+/root/repo/target/release/deps/table05-53760b48e8faa2fc: crates/bench/src/bin/table05.rs
+
+crates/bench/src/bin/table05.rs:

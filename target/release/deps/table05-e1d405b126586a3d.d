@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table05-e1d405b126586a3d.d: crates/bench/src/bin/table05.rs
+
+/root/repo/target/release/deps/table05-e1d405b126586a3d: crates/bench/src/bin/table05.rs
+
+crates/bench/src/bin/table05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table06-3e8fcc5b017530b6.d: crates/bench/src/bin/table06.rs
+
+/root/repo/target/release/deps/table06-3e8fcc5b017530b6: crates/bench/src/bin/table06.rs
+
+crates/bench/src/bin/table06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table06-71788f723e658346.d: crates/bench/src/bin/table06.rs
+
+/root/repo/target/release/deps/table06-71788f723e658346: crates/bench/src/bin/table06.rs
+
+crates/bench/src/bin/table06.rs:

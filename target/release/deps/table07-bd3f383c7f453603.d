@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table07-bd3f383c7f453603.d: crates/bench/src/bin/table07.rs
+
+/root/repo/target/release/deps/table07-bd3f383c7f453603: crates/bench/src/bin/table07.rs
+
+crates/bench/src/bin/table07.rs:

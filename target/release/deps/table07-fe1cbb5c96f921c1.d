@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table07-fe1cbb5c96f921c1.d: crates/bench/src/bin/table07.rs
+
+/root/repo/target/release/deps/table07-fe1cbb5c96f921c1: crates/bench/src/bin/table07.rs
+
+crates/bench/src/bin/table07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table08-0a149535c59e077f.d: crates/bench/src/bin/table08.rs
+
+/root/repo/target/release/deps/table08-0a149535c59e077f: crates/bench/src/bin/table08.rs
+
+crates/bench/src/bin/table08.rs:

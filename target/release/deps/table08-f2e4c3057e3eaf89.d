@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table08-f2e4c3057e3eaf89.d: crates/bench/src/bin/table08.rs
+
+/root/repo/target/release/deps/table08-f2e4c3057e3eaf89: crates/bench/src/bin/table08.rs
+
+crates/bench/src/bin/table08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table09-594fbc6765706106.d: crates/bench/src/bin/table09.rs
+
+/root/repo/target/release/deps/table09-594fbc6765706106: crates/bench/src/bin/table09.rs
+
+crates/bench/src/bin/table09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table09-74cab2c413ba4a77.d: crates/bench/src/bin/table09.rs
+
+/root/repo/target/release/deps/table09-74cab2c413ba4a77: crates/bench/src/bin/table09.rs
+
+crates/bench/src/bin/table09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-37961ab0ea5cc217.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-37961ab0ea5cc217: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-5f101e0e2da845ea.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-5f101e0e2da845ea: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

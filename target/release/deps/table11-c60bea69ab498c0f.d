@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11-c60bea69ab498c0f.d: crates/bench/src/bin/table11.rs
+
+/root/repo/target/release/deps/table11-c60bea69ab498c0f: crates/bench/src/bin/table11.rs
+
+crates/bench/src/bin/table11.rs:

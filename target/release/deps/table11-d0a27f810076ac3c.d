@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11-d0a27f810076ac3c.d: crates/bench/src/bin/table11.rs
+
+/root/repo/target/release/deps/table11-d0a27f810076ac3c: crates/bench/src/bin/table11.rs
+
+crates/bench/src/bin/table11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12-108be4961981d1b7.d: crates/bench/src/bin/table12.rs
+
+/root/repo/target/release/deps/table12-108be4961981d1b7: crates/bench/src/bin/table12.rs
+
+crates/bench/src/bin/table12.rs:

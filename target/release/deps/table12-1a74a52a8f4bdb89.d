@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12-1a74a52a8f4bdb89.d: crates/bench/src/bin/table12.rs
+
+/root/repo/target/release/deps/table12-1a74a52a8f4bdb89: crates/bench/src/bin/table12.rs
+
+crates/bench/src/bin/table12.rs:

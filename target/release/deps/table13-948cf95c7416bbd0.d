@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table13-948cf95c7416bbd0.d: crates/bench/src/bin/table13.rs
+
+/root/repo/target/release/deps/table13-948cf95c7416bbd0: crates/bench/src/bin/table13.rs
+
+crates/bench/src/bin/table13.rs:

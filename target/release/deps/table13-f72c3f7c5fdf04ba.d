@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table13-f72c3f7c5fdf04ba.d: crates/bench/src/bin/table13.rs
+
+/root/repo/target/release/deps/table13-f72c3f7c5fdf04ba: crates/bench/src/bin/table13.rs
+
+crates/bench/src/bin/table13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table14-6dcf81578b8ac533.d: crates/bench/src/bin/table14.rs
+
+/root/repo/target/release/deps/table14-6dcf81578b8ac533: crates/bench/src/bin/table14.rs
+
+crates/bench/src/bin/table14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table14-ee12574d15b66b04.d: crates/bench/src/bin/table14.rs
+
+/root/repo/target/release/deps/table14-ee12574d15b66b04: crates/bench/src/bin/table14.rs
+
+crates/bench/src/bin/table14.rs:

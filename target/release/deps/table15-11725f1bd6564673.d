@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table15-11725f1bd6564673.d: crates/bench/src/bin/table15.rs
+
+/root/repo/target/release/deps/table15-11725f1bd6564673: crates/bench/src/bin/table15.rs
+
+crates/bench/src/bin/table15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table15-4038906faab5ce58.d: crates/bench/src/bin/table15.rs
+
+/root/repo/target/release/deps/table15-4038906faab5ce58: crates/bench/src/bin/table15.rs
+
+crates/bench/src/bin/table15.rs:

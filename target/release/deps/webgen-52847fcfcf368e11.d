@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/webgen-52847fcfcf368e11.d: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+/root/repo/target/release/deps/webgen-52847fcfcf368e11: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/behaviour.rs:
+crates/webgen/src/blocklists.rs:
+crates/webgen/src/categories.rs:
+crates/webgen/src/materialise.rs:
+crates/webgen/src/providers.rs:
+crates/webgen/src/site.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/webgen-822c098461a71188.d: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+/root/repo/target/release/deps/libwebgen-822c098461a71188.rlib: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+/root/repo/target/release/deps/libwebgen-822c098461a71188.rmeta: crates/webgen/src/lib.rs crates/webgen/src/behaviour.rs crates/webgen/src/blocklists.rs crates/webgen/src/categories.rs crates/webgen/src/materialise.rs crates/webgen/src/providers.rs crates/webgen/src/site.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/behaviour.rs:
+crates/webgen/src/blocklists.rs:
+crates/webgen/src/categories.rs:
+crates/webgen/src/materialise.rs:
+crates/webgen/src/providers.rs:
+crates/webgen/src/site.rs:

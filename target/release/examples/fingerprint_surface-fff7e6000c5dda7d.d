@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fingerprint_surface-fff7e6000c5dda7d.d: crates/core/../../examples/fingerprint_surface.rs
+
+/root/repo/target/release/examples/fingerprint_surface-fff7e6000c5dda7d: crates/core/../../examples/fingerprint_surface.rs
+
+crates/core/../../examples/fingerprint_surface.rs:

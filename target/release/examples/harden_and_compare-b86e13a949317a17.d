@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/harden_and_compare-b86e13a949317a17.d: crates/core/../../examples/harden_and_compare.rs
+
+/root/repo/target/release/examples/harden_and_compare-b86e13a949317a17: crates/core/../../examples/harden_and_compare.rs
+
+crates/core/../../examples/harden_and_compare.rs:

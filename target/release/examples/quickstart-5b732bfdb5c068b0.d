@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5b732bfdb5c068b0.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5b732bfdb5c068b0: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

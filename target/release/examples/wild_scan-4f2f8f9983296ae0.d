@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wild_scan-4f2f8f9983296ae0.d: crates/core/../../examples/wild_scan.rs
+
+/root/repo/target/release/examples/wild_scan-4f2f8f9983296ae0: crates/core/../../examples/wild_scan.rs
+
+crates/core/../../examples/wild_scan.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libproplite.rlib: /root/repo/crates/proplite/src/lib.rs

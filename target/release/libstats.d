@@ -1,0 +1,1 @@
+/root/repo/target/release/libstats.rlib: /root/repo/crates/stats/src/descriptive.rs /root/repo/crates/stats/src/lib.rs /root/repo/crates/stats/src/ratcliff.rs /root/repo/crates/stats/src/wilcoxon.rs

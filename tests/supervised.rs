@@ -1,0 +1,184 @@
+//! Supervised-crawl guarantees (the robustness additions around Sec. 4's
+//! scan): fault-injected crawls degrade gracefully and report their
+//! completeness, aggregates are deterministic under faults, and a crawl
+//! killed midway resumes from its checkpoint to byte-identical aggregates.
+
+use std::path::PathBuf;
+
+use gullible::scan::{
+    checkpoint_line, decode_site_record, encode_site_record, parse_checkpoint_line, run_scan,
+    run_scan_with_checkpoint, PageFlags, ScanConfig, SiteScanRecord,
+};
+use openwpm::{CrawlStatus, FailureReason, FaultPlan, VisitOutcome};
+use webgen::Category;
+
+fn tmp_checkpoint(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir()
+        .join(format!("gullible-supervised-{tag}-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The issue's acceptance scenario: a 1,000-site scan under a 5% crash /
+/// 1% hang / 1% nav-error fault plan completes without panicking, reports
+/// a per-reason failure breakdown, and still covers ≥ 95% of sites.
+#[test]
+fn adversarial_thousand_site_scan_degrades_gracefully() {
+    let cfg = ScanConfig {
+        faults: FaultPlan::adversarial(7),
+        ..ScanConfig::new(1_000, 42)
+    };
+    let report = run_scan(cfg);
+
+    assert_eq!(report.completion.total, 1_000);
+    assert_eq!(report.history.len(), 1_000);
+    assert_eq!(report.sites.len(), report.completion.completed);
+    assert!(
+        report.completion.completion_rate() >= 0.95,
+        "completion {:.3}",
+        report.completion.completion_rate()
+    );
+    // With a 5% per-visit crash rate some visits must have been retried.
+    assert!(report.completion.recovered > 0);
+    assert!(report.completion.restarts > 0);
+
+    // Failures (if any at this retry budget) carry typed reasons that the
+    // coverage line itemises.
+    let line = report.coverage_line();
+    assert!(line.contains("/1000 sites completed"));
+    for h in &report.history {
+        if h.status == CrawlStatus::Failed {
+            let reason = FailureReason::parse(&h.error)
+                .unwrap_or_else(|| panic!("untyped failure reason {:?}", h.error));
+            assert!(line.contains(reason.as_str()), "coverage line omits {reason:?}");
+        }
+    }
+}
+
+/// Same seed + same fault plan ⇒ identical aggregates, run to run.
+#[test]
+fn faulty_scan_aggregates_are_deterministic() {
+    let cfg = ScanConfig {
+        faults: FaultPlan::adversarial(19),
+        workers: 3,
+        ..ScanConfig::new(400, 11)
+    };
+    let a = run_scan(cfg);
+    let b = run_scan(cfg);
+    assert_eq!(a.completion, b.completion);
+    assert_eq!(a.history, b.history);
+    assert_eq!(a.table5(), b.table5());
+    assert_eq!(a.table7(), b.table7());
+    assert_eq!(a.table12(), b.table12());
+    assert_eq!(a.sites, b.sites);
+}
+
+/// Kill the crawl midway (deterministically, via the visit budget), resume
+/// from the checkpoint file, and get aggregates identical to a run that
+/// was never interrupted.
+#[test]
+fn killed_and_resumed_scan_matches_uninterrupted() {
+    let base = ScanConfig {
+        faults: FaultPlan::adversarial(5),
+        workers: 2,
+        ..ScanConfig::new(300, 23)
+    };
+    let uninterrupted = run_scan(base);
+
+    let path = tmp_checkpoint("resume");
+    // First leg: budget admits only 120 of 300 sites, rest interrupted.
+    let first =
+        run_scan_with_checkpoint(ScanConfig { visit_budget: Some(120), ..base }, &path)
+            .expect("first leg");
+    assert_eq!(first.completion.interrupted, 180);
+    assert!(first.completion.completed < uninterrupted.completion.completed);
+
+    // Second leg: no budget, resumes the remaining sites from the file.
+    // Everything the measurement reports — site records, per-site history,
+    // tables, the coverage line — must be byte-identical to the run that
+    // was never interrupted. (Effort telemetry like attempts/restarts is
+    // per-process-leg and deliberately not checkpointed.)
+    let resumed = run_scan_with_checkpoint(base, &path).expect("second leg");
+    assert_eq!(resumed.completion.completed, uninterrupted.completion.completed);
+    assert_eq!(resumed.completion.failed, uninterrupted.completion.failed);
+    assert_eq!(resumed.completion.interrupted, 0);
+    assert_eq!(
+        resumed.completion.failures_by_reason,
+        uninterrupted.completion.failures_by_reason
+    );
+    assert_eq!(resumed.history, uninterrupted.history);
+    assert_eq!(resumed.sites, uninterrupted.sites);
+    assert_eq!(resumed.table5(), uninterrupted.table5());
+    assert_eq!(resumed.table12(), uninterrupted.table12());
+    assert_eq!(resumed.coverage_line(), uninterrupted.coverage_line());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A torn final line (simulating a kill mid-write) is skipped on load and
+/// the affected site is simply re-visited.
+#[test]
+fn torn_checkpoint_line_is_survivable() {
+    let base = ScanConfig { workers: 2, ..ScanConfig::new(150, 31) };
+    let uninterrupted = run_scan(base);
+
+    let path = tmp_checkpoint("torn");
+    run_scan_with_checkpoint(ScanConfig { visit_budget: Some(60), ..base }, &path)
+        .expect("first leg");
+    // Tear the last line in half.
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let keep = contents.len() - contents.lines().last().unwrap().len() / 2 - 1;
+    std::fs::write(&path, &contents[..keep]).unwrap();
+
+    let resumed = run_scan_with_checkpoint(base, &path).expect("second leg");
+    assert_eq!(resumed.completion.completed, uninterrupted.completion.completed);
+    assert_eq!(resumed.completion.interrupted, 0);
+    assert_eq!(resumed.sites, uninterrupted.sites);
+    assert_eq!(resumed.history, uninterrupted.history);
+    let _ = std::fs::remove_file(&path);
+}
+
+fn arbitrary_record(rng: &mut proplite::Rng) -> SiteScanRecord {
+    let flags = |rng: &mut proplite::Rng| PageFlags {
+        static_identified: rng.bool(),
+        static_true: rng.bool(),
+        dynamic_identified: rng.bool(),
+        dynamic_true: rng.bool(),
+    };
+    let cats = Category::all();
+    SiteScanRecord {
+        rank: rng.u32_in(0, 100_000),
+        domain: format!("{}.com", rng.ascii(1, 24)),
+        categories: (0..rng.usize_in(0, 3))
+            .map(|_| cats[rng.usize_in(0, cats.len() - 1)])
+            .collect(),
+        front: flags(rng),
+        site: flags(rng),
+        openwpm_probes: (0..rng.usize_in(0, 4))
+            .map(|_| (rng.ascii(1, 16), rng.ascii(1, 16)))
+            .collect(),
+        third_party_domains: (0..rng.usize_in(0, 5)).map(|_| rng.ascii(1, 20)).collect(),
+        first_party_urls: (0..rng.usize_in(0, 3))
+            .map(|_| format!("https://{}/{}.js", rng.ascii(1, 12), rng.ascii(1, 12)))
+            .collect(),
+        script_hashes: (0..rng.usize_in(0, 8)).map(|_| rng.next_u64()).collect(),
+    }
+}
+
+/// Property: checkpoint serialisation round-trips arbitrary scan records
+/// and whole outcome lines exactly.
+#[test]
+fn checkpoint_encoding_roundtrips_arbitrary_records() {
+    proplite::run_cases(300, 0xC4EC, |rng| {
+        let rec = arbitrary_record(rng);
+        let decoded = decode_site_record(&encode_site_record(&rec))
+            .expect("encoded record must decode");
+        assert_eq!(decoded, rec);
+
+        let attempts = rng.u32_in(1, 5);
+        let outcome = VisitOutcome::Completed(rec);
+        let line = checkpoint_line(rng.u32_in(0, 100_000), &outcome, attempts).unwrap();
+        let (_, parsed, att) = parse_checkpoint_line(&line).expect("line must parse");
+        assert_eq!(parsed, outcome);
+        assert_eq!(att, attempts);
+    });
+}
