@@ -51,4 +51,6 @@ fn main() {
     timeit("ablation/scanner_with_honey", 20, || {
         black_box(visit_with(BrowserConfig::scanner(42)));
     });
+
+    bench::bench_footer("ablation");
 }

@@ -59,4 +59,6 @@ fn main() {
         page.run_script(&detector, "bench.js").unwrap();
         black_box(page.traffic().len());
     });
+
+    bench::bench_footer("engine");
 }

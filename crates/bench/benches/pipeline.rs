@@ -54,4 +54,6 @@ fn main() {
             black_box(pop.plan(rank));
         }
     });
+
+    bench::bench_footer("pipeline");
 }

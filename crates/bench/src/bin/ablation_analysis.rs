@@ -39,4 +39,5 @@ fn main() {
     );
     println!("passive   {}", gullible::report::coverage_note(&passive.completion));
     println!("interactive {}", gullible::report::coverage_note(&interactive.completion));
+    bench::finish("ablation_analysis", Some(&interactive.coverage_line()));
 }

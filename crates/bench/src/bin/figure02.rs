@@ -51,4 +51,5 @@ fn main() {
         "\nancestor-prototype methods (appendChild, addEventListener, …) now appear as own \
          properties of the FIRST prototype — the distinguisher of paper Fig. 2."
     );
+    bench::finish("figure02", None);
 }

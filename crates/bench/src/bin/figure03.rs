@@ -32,4 +32,5 @@ fn main() {
         thousands(report.n_sites as u64),
     );
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("figure03", Some(&report.coverage_line()));
 }

@@ -29,4 +29,5 @@ fn main() {
         thousands(u as u64)
     );
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("figure04", Some(&report.coverage_line()));
 }

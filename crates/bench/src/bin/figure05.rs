@@ -41,4 +41,5 @@ fn main() {
          Sec. 4.3)."
     );
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("figure05", Some(&report.coverage_line()));
 }

@@ -29,4 +29,5 @@ fn main() {
          (a) the racy frame injection losing immediate in-frame accesses and (b) prototype \
          pollution leaving element-level Node methods unwrapped."
     );
+    bench::finish("figure06", None);
 }

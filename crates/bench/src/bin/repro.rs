@@ -24,16 +24,13 @@ fn main() {
 
     // ---------- scan-based experiments ----------
     println!("--- running the Tranco scan (Sec. 4) ---");
-    let scan = match std::env::var("GULLIBLE_CHECKPOINT") {
-        Ok(path) => gullible::run_scan_with_checkpoint(
-            bench::scan_config(),
-            std::path::Path::new(&path),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("error: checkpoint file {path}: {e}");
-            std::process::exit(2);
-        }),
-        Err(_) => run_scan(bench::scan_config()),
+    let scan = match bench::env::checkpoint() {
+        Some(path) => gullible::run_scan_with_checkpoint(bench::scan_config(), &path)
+            .unwrap_or_else(|e| {
+                eprintln!("error: checkpoint file {}: {e}", path.display());
+                std::process::exit(2);
+            }),
+        None => run_scan(bench::scan_config()),
     };
     println!("scan finished in {:.1?}", t0.elapsed());
     println!("{}\n", scan.coverage_line());
@@ -163,4 +160,5 @@ fn main() {
         println!("  {sym:<40} {covg:>5.1}%  ({w}/{h})");
     }
     println!("\ntotal wall time {:.1?}", t0.elapsed());
+    bench::finish("repro", Some(&scan.coverage_line()));
 }

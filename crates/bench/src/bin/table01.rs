@@ -33,4 +33,5 @@ fn main() {
         table.row(&[label.to_string(), measured.to_string(), paper.to_string()]);
     }
     println!("{}", table.render());
+    bench::finish("table01", None);
 }

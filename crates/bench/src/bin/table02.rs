@@ -63,4 +63,5 @@ fn main() {
         "paper: webdriver/screen rows deviate everywhere; headless WebGL ≈ 2037 (macOS) / 2061 \
          (Ubuntu); Xvfb 18; Docker 27; instrumentation adds +1 custom window function."
     );
+    bench::finish("table02", None);
 }

@@ -30,4 +30,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("paper Table 3 values are reproduced verbatim by the profile model.");
+    bench::finish("table03", None);
 }

@@ -24,4 +24,5 @@ fn main() {
         "paper: RM 'AMD AMD TAHITI' 27,72 | HM Null 0,0 | Xvfb Mesa/llvmpipe 0,0 | Docker \
          'VMware, Inc. llvmpipe' 27,72."
     );
+    bench::finish("table04", None);
 }

@@ -40,4 +40,5 @@ fn main() {
         thousands(bench::scale_target(18_714)),
     );
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("table05", Some(&report.coverage_line()));
 }

@@ -40,4 +40,5 @@ fn main() {
         bench::scale_target(356)
     );
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("table06", Some(&report.coverage_line()));
 }

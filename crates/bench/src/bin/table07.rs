@@ -49,4 +49,5 @@ fn main() {
         thousands(third as u64)
     );
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("table07", Some(&report.coverage_line()));
 }

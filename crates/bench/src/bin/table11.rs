@@ -42,4 +42,5 @@ fn main() {
     ]);
     println!("{}", table.render());
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("table11", Some(&report.coverage_line()));
 }

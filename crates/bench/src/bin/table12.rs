@@ -29,4 +29,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("{}", gullible::report::coverage_note(&report.completion));
+    bench::finish("table12", Some(&report.coverage_line()));
 }

@@ -37,4 +37,5 @@ fn main() {
         "paper: the bare and undelimited 'webdriver' patterns produce false positives; the \
          navigator-anchored forms and the OpenWPM property names do not."
     );
+    bench::finish("table13", None);
 }

@@ -27,4 +27,5 @@ fn main() {
         lag.outdated_fraction() * 100.0
     );
     let _ = days_from_civil(2022, 7, 23);
+    bench::finish("table14", None);
 }

@@ -41,4 +41,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    bench::finish("table15", None);
 }

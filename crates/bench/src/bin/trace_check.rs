@@ -1,0 +1,39 @@
+//! Validate a `GULLIBLE_TRACE` journal: parse every JSONL line, check the
+//! schema (required `t`/`scope`/`ev` keys), per-scope clock monotonicity
+//! and span open/close balance. CI runs this against the journal written
+//! by a small `table05` run; it exits non-zero on the first violation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace_check -- /tmp/trace.jsonl
+//! ```
+
+use gullible::obs::validate::validate_journal;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_check <journal.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let contents = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_journal(&contents) {
+        Ok(summary) => {
+            println!(
+                "{path}: ok — {} lines, {} scopes, {} spans (all balanced)",
+                summary.lines, summary.scopes, summary.spans
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The `GULLIBLE_*` environment knobs, parsed in exactly one place.
+//!
+//! Every regeneration binary and the umbrella `repro` runner read their
+//! configuration from these variables; nothing else in the workspace calls
+//! `std::env::var` for a `GULLIBLE_*` name except [`FaultPlan::from_env`]
+//! (which this module re-wraps as [`fault_plan`]).
+//!
+//! | knob                      | type  | default        | meaning |
+//! |---------------------------|-------|----------------|---------|
+//! | `GULLIBLE_SITES`          | u32   | 20,000         | population size (paper scale: 100,000) |
+//! | `GULLIBLE_SEED`           | u64   | 42             | population seed |
+//! | `GULLIBLE_WORKERS`        | usize | CPU count      | crawl worker threads |
+//! | `GULLIBLE_CHECKPOINT`     | path  | unset          | journal per-site scan results; resume on restart |
+//! | `GULLIBLE_TRACE`          | path  | unset          | stream the JSONL telemetry journal here |
+//! | `GULLIBLE_TRACE_WALL`     | bool  | 0              | add `wall_ms` to journal lines (breaks byte-identity) |
+//! | `GULLIBLE_STATS`          | bool  | 0              | print the `[stats]` crawl summary after each run |
+//! | `GULLIBLE_FAULT_CRASH_PM` | u32   | 0              | browser-crash probability per visit (per-mille) |
+//! | `GULLIBLE_FAULT_HANG_PM`  | u32   | 0              | visit-hang probability (per-mille) |
+//! | `GULLIBLE_FAULT_NAV_PM`   | u32   | 0              | navigation-error probability (per-mille) |
+//! | `GULLIBLE_FAULT_TAB_PM`   | u32   | 0              | mid-visit tab-crash probability (per-mille) |
+//! | `GULLIBLE_FAULT_HTTP_PM`  | u32   | 0              | transient-HTTP-failure probability (per-mille) |
+//! | `GULLIBLE_FAULT_BOOST_PM` | u32   | 1000           | failure multiplier on flaky-flagged sites (per-mille) |
+//! | `GULLIBLE_FAULT_SEED`     | u64   | `0xFA017`      | fault-plan seed, independent of the population seed |
+//!
+//! Boolean knobs accept `1`, `true`, `yes` or `on` (anything else, or
+//! unset, is off). Numeric knobs that fail to parse fall back to their
+//! defaults rather than aborting a long run.
+
+use openwpm::FaultPlan;
+use std::path::PathBuf;
+
+fn u64_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn flag_knob(name: &str) -> bool {
+    matches!(
+        std::env::var(name).unwrap_or_default().to_ascii_lowercase().as_str(),
+        "1" | "true" | "yes" | "on"
+    )
+}
+
+fn path_knob(name: &str) -> Option<PathBuf> {
+    std::env::var_os(name).filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// `GULLIBLE_SITES` — population size for scan-scale experiments.
+pub fn sites() -> u32 {
+    u64_knob("GULLIBLE_SITES", 20_000) as u32
+}
+
+/// `GULLIBLE_SEED` — population seed.
+pub fn seed() -> u64 {
+    u64_knob("GULLIBLE_SEED", 42)
+}
+
+/// `GULLIBLE_WORKERS` — crawl worker threads.
+pub fn workers() -> usize {
+    u64_knob(
+        "GULLIBLE_WORKERS",
+        std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(4),
+    ) as usize
+}
+
+/// `GULLIBLE_CHECKPOINT` — per-site result journal for resumable scans.
+pub fn checkpoint() -> Option<PathBuf> {
+    path_knob("GULLIBLE_CHECKPOINT")
+}
+
+/// `GULLIBLE_TRACE` — destination for the JSONL telemetry journal.
+pub fn trace() -> Option<PathBuf> {
+    path_knob("GULLIBLE_TRACE")
+}
+
+/// `GULLIBLE_TRACE_WALL` — append wall-clock timestamps to journal lines.
+pub fn trace_wall() -> bool {
+    flag_knob("GULLIBLE_TRACE_WALL")
+}
+
+/// `GULLIBLE_STATS` — print the `[stats]` crawl summary.
+pub fn stats() -> bool {
+    flag_knob("GULLIBLE_STATS")
+}
+
+/// The `GULLIBLE_FAULT_*` fault plan (see [`FaultPlan::from_env`]).
+pub fn fault_plan() -> FaultPlan {
+    FaultPlan::from_env()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; keep them in one test so they
+    // cannot race each other under the parallel test runner.
+    #[test]
+    fn knob_parsing() {
+        std::env::set_var("GULLIBLE_TEST_U64", "17");
+        assert_eq!(u64_knob("GULLIBLE_TEST_U64", 3), 17);
+        std::env::set_var("GULLIBLE_TEST_U64", "not a number");
+        assert_eq!(u64_knob("GULLIBLE_TEST_U64", 3), 3);
+        std::env::remove_var("GULLIBLE_TEST_U64");
+        assert_eq!(u64_knob("GULLIBLE_TEST_U64", 3), 3);
+
+        for on in ["1", "true", "YES", "On"] {
+            std::env::set_var("GULLIBLE_TEST_FLAG", on);
+            assert!(flag_knob("GULLIBLE_TEST_FLAG"), "{on} should enable");
+        }
+        std::env::set_var("GULLIBLE_TEST_FLAG", "0");
+        assert!(!flag_knob("GULLIBLE_TEST_FLAG"));
+        std::env::remove_var("GULLIBLE_TEST_FLAG");
+        assert!(!flag_knob("GULLIBLE_TEST_FLAG"));
+
+        std::env::set_var("GULLIBLE_TEST_PATH", "/tmp/x.jsonl");
+        assert_eq!(path_knob("GULLIBLE_TEST_PATH"), Some(PathBuf::from("/tmp/x.jsonl")));
+        std::env::set_var("GULLIBLE_TEST_PATH", "");
+        assert_eq!(path_knob("GULLIBLE_TEST_PATH"), None);
+        std::env::remove_var("GULLIBLE_TEST_PATH");
+        assert_eq!(path_knob("GULLIBLE_TEST_PATH"), None);
+    }
+}

@@ -1,71 +1,81 @@
 //! Shared plumbing for the experiment-regeneration binaries.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that
-//! regenerates it against the synthetic population. Scale and seed are
-//! controlled by environment variables so the same binaries drive both
-//! quick looks and the full paper-scale runs recorded in EXPERIMENTS.md:
+//! regenerates it against the synthetic population. Scale, seed, fault
+//! weather and telemetry are all controlled by `GULLIBLE_*` environment
+//! variables, documented (with types and defaults) in [`env`] — the one
+//! module that parses them. The same binaries therefore drive both quick
+//! looks and the full paper-scale runs recorded in EXPERIMENTS.md.
 //!
-//! * `GULLIBLE_SITES`   — population size (default 20,000; paper scale 100,000)
-//! * `GULLIBLE_SEED`    — population seed (default 42)
-//! * `GULLIBLE_WORKERS` — worker threads (default: available parallelism)
+//! Each binary follows the same frame:
 //!
-//! Fault injection (all default to 0, i.e. a perfectly reliable crawl):
+//! ```text
+//! bench::banner("Table 5: …");   // prints the run header, arms telemetry
+//! …regenerate the table…
+//! bench::finish("table05", coverage);  // [stats] summary + provenance footer
+//! ```
 //!
-//! * `GULLIBLE_FAULT_CRASH_PM` — browser-crash probability per visit, in
-//!   per-mille (the paper's headline failure mode)
-//! * `GULLIBLE_FAULT_HANG_PM`  — visit-hang probability (caught by the
-//!   watchdog timeout)
-//! * `GULLIBLE_FAULT_NAV_PM`   — navigation-error probability
-//! * `GULLIBLE_FAULT_TAB_PM`   — mid-visit tab-crash probability
-//! * `GULLIBLE_FAULT_HTTP_PM`  — transient-HTTP-failure probability
-//! * `GULLIBLE_FAULT_BOOST_PM` — failure multiplier (per-mille, 1000 = ×1)
-//!   applied on flaky-flagged sites
-//! * `GULLIBLE_FAULT_SEED`     — fault-plan seed (independent of the
-//!   population seed, so the same population can be crawled under
-//!   different weather)
+//! [`banner`] installs the JSONL trace journal when `GULLIBLE_TRACE` is
+//! set and enables stats collection under `GULLIBLE_STATS`; [`finish`]
+//! prints the human `[stats]` summary (when enabled) and always prints the
+//! machine-readable `[provenance]` footer, so every regenerated table
+//! carries its seed, config hash and telemetry digest.
 
-use gullible::{CompareConfig, ScanConfig};
-use openwpm::FaultPlan;
+use gullible::{obs, CompareConfig, ScanConfig};
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
+pub mod env;
 
-/// Population size for scan-scale experiments.
+/// Population size for scan-scale experiments (`GULLIBLE_SITES`).
 pub fn n_sites() -> u32 {
-    env_u64("GULLIBLE_SITES", 20_000) as u32
+    env::sites()
 }
 
+/// Population seed (`GULLIBLE_SEED`).
 pub fn seed() -> u64 {
-    env_u64("GULLIBLE_SEED", 42)
+    env::seed()
 }
 
+/// Worker threads (`GULLIBLE_WORKERS`).
 pub fn workers() -> usize {
-    env_u64(
-        "GULLIBLE_WORKERS",
-        std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(4),
-    ) as usize
+    env::workers()
 }
 
 /// Standard scan configuration from the environment, including the
 /// `GULLIBLE_FAULT_*` fault plan.
 pub fn scan_config() -> ScanConfig {
-    let mut cfg = ScanConfig::new(n_sites(), seed());
-    cfg.workers = workers();
-    cfg.faults = FaultPlan::from_env();
+    let mut cfg = ScanConfig::new(env::sites(), env::seed());
+    cfg.workers = env::workers();
+    cfg.faults = env::fault_plan();
     cfg
 }
 
 /// Standard comparison configuration from the environment.
 pub fn compare_config() -> CompareConfig {
-    let mut cfg = CompareConfig::new(n_sites(), seed());
-    cfg.workers = workers();
+    let mut cfg = CompareConfig::new(env::sites(), env::seed());
+    cfg.workers = env::workers();
     cfg
 }
 
-/// Print the run header every binary starts with.
+/// Arm the telemetry knobs: install the trace journal when
+/// `GULLIBLE_TRACE` names a path, enable stats under `GULLIBLE_STATS`.
+fn arm_telemetry() {
+    if env::stats() {
+        obs::set_stats(true);
+    }
+    if let Some(path) = env::trace() {
+        match obs::Journal::to_file(&path, env::trace_wall()) {
+            Ok(journal) => {
+                obs::install_journal(journal);
+            }
+            Err(e) => eprintln!("warning: GULLIBLE_TRACE={}: {e}", path.display()),
+        }
+    }
+}
+
+/// Print the run header every binary starts with (and arm telemetry).
 pub fn banner(what: &str) {
-    let faults = FaultPlan::from_env();
+    arm_telemetry();
+    let faults = env::fault_plan();
     let weather = if faults.is_inert() {
         String::new()
     } else {
@@ -77,16 +87,60 @@ pub fn banner(what: &str) {
     };
     println!(
         "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}\n",
-        n_sites(),
-        seed(),
-        workers()
+        env::sites(),
+        env::seed(),
+        env::workers()
     );
+}
+
+/// Hash of the effective run configuration, as carried by provenance
+/// footers. Keys are ordered; two runs with equal hashes were configured
+/// identically (worker count included — it never changes the results, but
+/// it is part of how the run was produced).
+pub fn run_config_hash() -> u64 {
+    let faults = env::fault_plan();
+    obs::stats::config_hash(&[
+        ("sites", env::sites().to_string()),
+        ("seed", env::seed().to_string()),
+        ("workers", env::workers().to_string()),
+        ("faults_pm", faults.total_per_mille().to_string()),
+        ("fault_seed", faults.seed.to_string()),
+    ])
+}
+
+/// Print the run footer every binary ends with: the `[stats]` summary when
+/// `GULLIBLE_STATS` is on, then — always — the one-line `[provenance]`
+/// footer (seed, config hash, telemetry digest, coverage), and flush the
+/// trace journal.
+pub fn finish(bin: &str, coverage: Option<&str>) {
+    let reg = obs::registry();
+    if obs::stats_enabled() {
+        print!("{}", obs::stats::render_summary(reg));
+    }
+    println!(
+        "{}",
+        obs::stats::provenance_footer(bin, env::seed(), run_config_hash(), &reg.snapshot(), coverage)
+    );
+    if let Some(journal) = obs::journal() {
+        journal.flush();
+    }
 }
 
 /// Scale one of the paper's 100K-population counts to the configured size
 /// (for side-by-side target columns).
 pub fn scale_target(paper_count: u64) -> u64 {
-    paper_count * n_sites() as u64 / 100_000
+    paper_count * env::sites() as u64 / 100_000
+}
+
+/// Results collected by [`timeit`] for the `--stats` JSON footer.
+static BENCH_RESULTS: std::sync::Mutex<Vec<(String, u128, u32)>> =
+    std::sync::Mutex::new(Vec::new());
+
+/// `--stats` mode for the bench harnesses: besides the human-readable
+/// lines, [`bench_footer`] emits one JSON object with every measurement —
+/// redirect it to `BENCH_<suite>.json` to feed performance trajectories.
+pub fn stats_mode() -> bool {
+    std::env::args().any(|a| a == "--stats")
 }
 
 /// Minimal self-timed benchmark runner (the offline build environment has
@@ -99,4 +153,38 @@ pub fn timeit(name: &str, iters: u32, mut f: impl FnMut()) {
     }
     let per = t0.elapsed() / iters;
     println!("{name:<40} {per:>12.2?}/iter ({iters} iters)");
+    BENCH_RESULTS.lock().unwrap().push((name.to_string(), per.as_nanos(), iters));
+}
+
+/// End-of-suite footer for the bench harnesses. Under `--stats` it prints
+/// a single JSON line with every [`timeit`] measurement plus the run's
+/// config hash and telemetry digest:
+///
+/// ```text
+/// cargo bench --bench engine -- --stats | tail -1 > BENCH_engine.json
+/// ```
+pub fn bench_footer(suite: &str) {
+    if !stats_mode() {
+        return;
+    }
+    let results = BENCH_RESULTS.lock().unwrap();
+    let mut json = String::new();
+    obs::push_json_string(&mut json, suite);
+    let mut out = format!("{{\"suite\":{json},\"results\":[");
+    for (i, (name, ns, iters)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut n = String::new();
+        obs::push_json_string(&mut n, name);
+        out.push_str(&format!(
+            "{{\"name\":{n},\"ns_per_iter\":{ns},\"iters\":{iters}}}"
+        ));
+    }
+    out.push_str(&format!(
+        "],\"config\":\"{:016x}\",\"telemetry\":\"{:016x}\"}}",
+        run_config_hash(),
+        obs::registry().snapshot().digest()
+    ));
+    println!("{out}");
 }

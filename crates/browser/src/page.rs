@@ -160,6 +160,7 @@ impl PageHost {
 
     /// Record a dynamically generated request.
     pub fn push_request(&mut self, url: Url, rt: ResourceType, time_ms: u64) {
+        obs::add("netsim.requests", 1);
         self.traffic.push(HttpRequest {
             url,
             page: self.page_url.clone(),
@@ -213,6 +214,17 @@ impl Page {
     /// Run a page/site script in the top realm.
     pub fn run_script(&mut self, src: &str, name: &str) -> Result<Value, EngineError> {
         self.interp.eval_script(src, name)
+    }
+
+    /// Turn on interpreter profiling for this page (op counts, call depth,
+    /// evals). Costs one branch per interpreter step while enabled.
+    pub fn enable_profiling(&mut self) {
+        self.interp.enable_profiling();
+    }
+
+    /// Stop profiling and return the page's aggregated interpreter counts.
+    pub fn take_profile(&mut self) -> Option<jsengine::Profile> {
+        self.interp.take_profile()
     }
 
     /// Inject a script into the page the way a content script does via the

@@ -137,8 +137,14 @@ pub fn compare_set(pop: &Population) -> Vec<u32> {
 
 /// Run the comparison.
 pub fn run_compare(cfg: CompareConfig) -> CompareReport {
+    let _phase = obs::phase("compare.runs");
     let pop = Population::new(cfg.n_sites, cfg.seed);
     let set = compare_set(&pop);
+    obs::emit(
+        obs::Event::new(0, "compare_start")
+            .attr("runs", cfg.runs as u64)
+            .attr("compare_set", set.len() as u64),
+    );
     let mut report = CompareReport { compare_set: set.clone(), runs: Vec::new() };
     // Per-client re-identification memory: site rank → flagged in any
     // earlier run.
@@ -162,8 +168,11 @@ pub fn run_compare(cfg: CompareConfig) -> CompareReport {
                     visit_one(browser, &plan, run, tag, mem_snapshot.contains(&rank))
                 },
             );
+            obs::add("compare.client_runs", 1);
+            obs::add("compare.visits", summaries.len() as u64);
             for s in &summaries {
                 if s.flagged {
+                    obs::add("compare.flagged", 1);
                     memory.insert((client_id, s.rank), true);
                 }
             }

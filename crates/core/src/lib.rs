@@ -41,6 +41,8 @@ pub mod report;
 pub mod scan;
 pub mod surface;
 
+pub use obs;
+
 pub use compare::{run_compare, Client, CompareConfig, CompareReport};
 pub use scan::{
     run_scan, run_scan_supervised, run_scan_with_checkpoint, ScanConfig, ScanReport,

@@ -443,6 +443,7 @@ pub fn run_scan_supervised(
     let include_subpages = cfg.include_subpages;
     let seed = cfg.seed;
     let interact = cfg.simulate_interaction;
+    let phase = obs::phase("scan.visits");
     let crawl = run_supervised(
         ranks,
         cfg.workers,
@@ -456,17 +457,24 @@ pub fn run_scan_supervised(
             }
         },
         move |worker| {
-            let mut config = BrowserConfig::scanner(seed ^ worker as u64);
+            // Every worker gets the *same* config seed: per-visit event-id
+            // seeds are keyed by site rank (`set_visit_key` below), so a
+            // site's records are identical no matter which worker visits
+            // it — the property the telemetry determinism tests pin down.
+            let mut config = BrowserConfig::scanner(seed);
             config.simulate_interaction = interact;
             Browser::new(config).with_instance(worker as u32)
         },
         move |browser, _idx, rank: &u32| {
+            browser.set_visit_key(*rank as u64);
             let plan = pop.plan(*rank);
             scan_site(browser, &plan, include_subpages)
         },
         prior,
         on_complete,
     );
+    drop(phase);
+    let _phase = obs::phase("scan.aggregate");
     let mut sites = Vec::new();
     let mut history = Vec::with_capacity(crawl.outcomes.len());
     for (i, outcome) in crawl.outcomes.into_iter().enumerate() {
@@ -662,23 +670,46 @@ pub fn parse_checkpoint_line(
 
 /// Load checkpoint file contents into resume state for an `n_sites` scan.
 /// Malformed lines (e.g. a torn final write) and out-of-range ranks are
-/// skipped — those sites are simply re-visited.
+/// skipped — those sites are simply re-visited — but *counted*: the third
+/// element reports how many lines were dropped, which flows into
+/// [`CrawlSummary::checkpoint_lines_dropped`] and the coverage line, so a
+/// corrupted checkpoint can't silently masquerade as a clean resume.
 pub fn load_checkpoint(
     contents: &str,
     n_sites: u32,
-) -> (Vec<Option<VisitOutcome<SiteScanRecord>>>, Vec<u32>) {
+) -> (Vec<Option<VisitOutcome<SiteScanRecord>>>, Vec<u32>, usize) {
     let mut prior: Vec<Option<VisitOutcome<SiteScanRecord>>> =
         (0..n_sites).map(|_| None).collect();
     let mut attempts = vec![0u32; n_sites as usize];
-    for line in contents.lines() {
-        if let Some((rank, outcome, att)) = parse_checkpoint_line(line) {
-            if (rank as usize) < prior.len() {
+    let mut dropped = 0usize;
+    for (lineno, line) in contents.lines().enumerate() {
+        match parse_checkpoint_line(line) {
+            Some((rank, outcome, att)) if (rank as usize) < prior.len() => {
                 attempts[rank as usize] = att;
                 prior[rank as usize] = Some(outcome);
             }
+            Some((rank, _, _)) => {
+                dropped += 1;
+                obs::add("checkpoint.lines_dropped", 1);
+                obs::emit(
+                    obs::Event::new(0, "checkpoint_dropped_line")
+                        .attr("line", lineno + 1)
+                        .attr("cause", "rank_out_of_range")
+                        .attr("rank", rank),
+                );
+            }
+            None => {
+                dropped += 1;
+                obs::add("checkpoint.lines_dropped", 1);
+                obs::emit(
+                    obs::Event::new(0, "checkpoint_dropped_line")
+                        .attr("line", lineno + 1)
+                        .attr("cause", "torn_or_corrupt"),
+                );
+            }
         }
     }
-    (prior, attempts)
+    (prior, attempts, dropped)
 }
 
 /// Run a scan with durable checkpointing: previously-determined sites are
@@ -690,16 +721,22 @@ pub fn run_scan_with_checkpoint(
     cfg: ScanConfig,
     path: &Path,
 ) -> std::io::Result<ScanReport> {
-    let (prior, prior_attempts) = match std::fs::read_to_string(path) {
+    let (prior, prior_attempts, dropped) = match std::fs::read_to_string(path) {
         Ok(contents) => load_checkpoint(&contents, cfg.n_sites),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            ((0..cfg.n_sites).map(|_| None).collect(), vec![0u32; cfg.n_sites as usize])
+            ((0..cfg.n_sites).map(|_| None).collect(), vec![0u32; cfg.n_sites as usize], 0)
         }
         Err(e) => return Err(e),
     };
+    let replayed = prior.iter().filter(|p| p.is_some()).count();
+    obs::emit(
+        obs::Event::new(0, "checkpoint_load")
+            .attr("replayed", replayed)
+            .attr("dropped", dropped),
+    );
     let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
     let writer = Mutex::new(std::io::BufWriter::new(file));
-    let report = run_scan_supervised(cfg, prior, &prior_attempts, &|rank, outcome, attempts| {
+    let mut report = run_scan_supervised(cfg, prior, &prior_attempts, &|rank, outcome, attempts| {
         if let Some(line) = checkpoint_line(rank as u32, outcome, attempts) {
             let mut w = writer.lock().unwrap();
             // Write-and-flush per site keeps the checkpoint durable at
@@ -707,8 +744,14 @@ pub fn run_scan_with_checkpoint(
             // visit, and a kill loses at most the in-flight line.
             let _ = writeln!(w, "{line}");
             let _ = w.flush();
+            drop(w);
+            obs::add("checkpoint.writes", 1);
+            // Emitted inside the visit scope the supervisor holds open
+            // during `on_complete`, so it lands in this site's trace.
+            obs::emit(obs::Event::new(0, "checkpoint_write").attr("rank", rank));
         }
     });
+    report.completion.checkpoint_lines_dropped = dropped;
     Ok(report)
 }
 
@@ -970,7 +1013,7 @@ mod tests {
     }
 
     #[test]
-    fn load_checkpoint_skips_bad_lines_and_out_of_range_ranks() {
+    fn load_checkpoint_counts_bad_lines_and_out_of_range_ranks() {
         let rec = run_scan(ScanConfig::new(20, 3)).sites[4].clone();
         let good = checkpoint_line(4, &VisitOutcome::Completed(rec), 1).unwrap();
         let out_of_range = checkpoint_line(
@@ -980,9 +1023,27 @@ mod tests {
         )
         .unwrap();
         let contents = format!("{good}\nnot a line\n{out_of_range}\n");
-        let (prior, attempts) = load_checkpoint(&contents, 20);
+        let (prior, attempts, dropped) = load_checkpoint(&contents, 20);
         assert_eq!(prior.iter().filter(|p| p.is_some()).count(), 1);
         assert!(prior[4].is_some());
         assert_eq!(attempts[4], 1);
+        assert_eq!(dropped, 2, "torn line + out-of-range rank must be counted");
+    }
+
+    #[test]
+    fn dropped_checkpoint_lines_surface_on_the_coverage_line() {
+        let mut summary = CrawlSummary {
+            total: 10,
+            completed: 10,
+            checkpoint_lines_dropped: 3,
+            ..Default::default()
+        };
+        assert!(
+            summary.coverage_line().ends_with("; 3 checkpoint lines dropped"),
+            "{}",
+            summary.coverage_line()
+        );
+        summary.checkpoint_lines_dropped = 0;
+        assert!(!summary.coverage_line().contains("checkpoint"));
     }
 }

@@ -15,6 +15,7 @@ use crate::ast::*;
 use crate::error::{EngineError, Thrown};
 use crate::object::{Callable, Heap, JsObject, ObjId, Property, Slot};
 use crate::parser::parse;
+use crate::profiler::{CountingProfiler, Profile, Profiler};
 use crate::value::Value;
 
 /// Native function signature. Receives the interpreter, the `this` value and
@@ -97,6 +98,8 @@ pub struct Interp {
     pub console: Vec<String>,
     /// Deterministic PRNG state for `Math.random` (xorshift64*).
     pub rng_state: u64,
+    /// Opt-in profiling hooks; `None` costs one branch per hook site.
+    pub profiler: Option<Box<dyn Profiler>>,
 }
 
 impl Default for Interp {
@@ -153,6 +156,7 @@ impl Interp {
             max_depth: 80,
             console: Vec::new(),
             rng_state: 0x9E3779B97F4A7C15,
+            profiler: None,
         };
         crate::builtins::install(&mut interp);
         interp
@@ -574,6 +578,9 @@ impl Interp {
         if self.stack.len() >= self.max_depth {
             return Err(Thrown::new(Value::str("InternalError: too much recursion"), "too much recursion"));
         }
+        if let Some(p) = &mut self.profiler {
+            p.record_call(self.stack.len() + 1);
+        }
         match callable {
             Callable::Native { f, .. } => f(self, this, args),
             Callable::Script { def, env } => {
@@ -668,6 +675,9 @@ impl Interp {
 
     fn charge_step(&mut self) -> Result<(), Thrown> {
         self.steps += 1;
+        if let Some(p) = &mut self.profiler {
+            p.record_step();
+        }
         if self.steps > self.step_limit {
             Err(Thrown::new(Value::str("InternalError: step budget exceeded"), "step budget exceeded"))
         } else {
@@ -678,6 +688,16 @@ impl Interp {
     /// Reset the step budget (between page loads).
     pub fn reset_steps(&mut self) {
         self.steps = 0;
+    }
+
+    /// Install the standard counting profiler (replacing any other).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Box::<CountingProfiler>::default());
+    }
+
+    /// Remove the profiler and return its aggregated counts.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profiler.take().map(|p| p.report())
     }
 
     // ---------------------------------------------------------- statements
@@ -1161,6 +1181,9 @@ impl Interp {
     /// values pass through.
     pub fn eval_in_scope(&mut self, code: Value, scope: &ScopeRef) -> Result<Value, Thrown> {
         let Value::Str(src) = code else { return Ok(code) };
+        if let Some(p) = &mut self.profiler {
+            p.record_eval();
+        }
         let script_name: Rc<str> = self
             .stack
             .last()

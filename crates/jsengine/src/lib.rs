@@ -49,12 +49,14 @@ pub mod interp;
 pub mod lexer;
 pub mod object;
 pub mod parser;
+pub mod profiler;
 pub mod value;
 
 mod builtins;
 
 pub use error::{EngineError, Thrown};
 pub use interp::{Frame, Interp, NativeFn, ScopeRef};
+pub use profiler::{CountingProfiler, Profile, Profiler};
 pub use object::{Callable, JsObject, ObjId, PropMap, Property, Slot};
 pub use value::Value;
 

@@ -1,0 +1,107 @@
+//! Opt-in interpreter profiling.
+//!
+//! The scan visits ~100K sites through this interpreter, so its hot loop
+//! cannot afford unconditional accounting beyond the step budget it already
+//! pays. Profiling therefore hangs off `Interp.profiler`, an
+//! `Option<Box<dyn Profiler>>` that is `None` unless a host (the browser
+//! crate, driven by telemetry knobs) enables it — the disabled cost is a
+//! single `if let` branch per hook site.
+
+/// Aggregated per-page interpreter counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Statements executed (same unit as the step budget).
+    pub ops: u64,
+    /// Function calls dispatched (script and native).
+    pub calls: u64,
+    /// `eval()` invocations.
+    pub evals: u64,
+    /// Deepest call-stack depth reached.
+    pub max_depth: usize,
+}
+
+/// Hooks the interpreter invokes when profiling is enabled. All methods
+/// default to no-ops so partial profilers stay small.
+pub trait Profiler {
+    fn record_step(&mut self) {}
+    fn record_call(&mut self, _depth: usize) {}
+    fn record_eval(&mut self) {}
+    fn report(&self) -> Profile {
+        Profile::default()
+    }
+}
+
+/// The standard profiler: counts ops, calls, evals, and peak depth.
+#[derive(Debug, Default)]
+pub struct CountingProfiler {
+    profile: Profile,
+}
+
+impl Profiler for CountingProfiler {
+    fn record_step(&mut self) {
+        self.profile.ops += 1;
+    }
+
+    fn record_call(&mut self, depth: usize) {
+        self.profile.calls += 1;
+        if depth > self.profile.max_depth {
+            self.profile.max_depth = depth;
+        }
+    }
+
+    fn record_eval(&mut self) {
+        self.profile.evals += 1;
+    }
+
+    fn report(&self) -> Profile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_profiler_accumulates() {
+        let mut p = CountingProfiler::default();
+        p.record_step();
+        p.record_step();
+        p.record_call(3);
+        p.record_call(1);
+        p.record_eval();
+        assert_eq!(p.report(), Profile { ops: 2, calls: 2, evals: 1, max_depth: 3 });
+    }
+}
+
+#[cfg(test)]
+mod interp_tests {
+    use crate::Interp;
+
+    #[test]
+    fn profiling_observes_a_script_run() {
+        let mut interp = Interp::new();
+        interp.enable_profiling();
+        interp
+            .eval_script(
+                "function f(n) { return n <= 1 ? 1 : n * f(n - 1); }\n\
+                 var x = f(6);\n\
+                 eval('x + 1');",
+                "profiled",
+            )
+            .unwrap();
+        let p = interp.take_profile().unwrap();
+        assert!(p.ops > 0, "steps must be counted: {p:?}");
+        assert!(p.calls >= 6, "recursive calls must be counted: {p:?}");
+        assert_eq!(p.evals, 1);
+        assert!(p.max_depth >= 6, "recursion depth must be tracked: {p:?}");
+        assert!(interp.profiler.is_none(), "take_profile removes the profiler");
+    }
+
+    #[test]
+    fn disabled_profiling_reports_nothing() {
+        let mut interp = Interp::new();
+        interp.eval_script("var a = 1 + 1;", "plain").unwrap();
+        assert!(interp.take_profile().is_none());
+    }
+}

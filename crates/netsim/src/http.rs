@@ -163,7 +163,14 @@ impl FlakyNetwork {
 
     /// The response for `url`: `real` on success, a 503 on failure.
     pub fn respond(&self, url: &Url, attempt: u32, real: HttpResponse) -> HttpResponse {
+        obs::add("netsim.responses", 1);
         if self.fails(url, attempt) {
+            obs::add("netsim.failures.transient", 1);
+            obs::emit(
+                obs::Event::new(0, "net_failure")
+                    .attr("url", url.to_string())
+                    .attr("attempt", attempt),
+            );
             HttpResponse::service_unavailable(url.clone())
         } else {
             real

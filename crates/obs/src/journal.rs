@@ -1,0 +1,237 @@
+//! The JSONL event journal.
+//!
+//! One journal serves a whole run. It owns two kinds of scope:
+//!
+//! - the **crawl scope** (`"scope":"crawl"`): run-level events written
+//!   directly by the coordinator thread. Its clock is a logical sequence
+//!   number (one tick per event), which is trivially monotone and
+//!   deterministic.
+//! - **visit scopes** (`"scope":"visit:<idx>"`): events buffered on worker
+//!   threads by [`crate::scope`] and handed to [`Journal::write_visit_events`]
+//!   by the coordinator *in item order*, which is what makes the file
+//!   byte-identical across worker counts.
+//!
+//! Wall-clock stamping (`wall_ms` field) is opt-in because it breaks
+//! byte-for-byte reproducibility; it exists for humans reading a single
+//! trace, not for comparisons.
+
+use crate::event::{Event, SpanMark};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+enum Sink {
+    File(BufWriter<File>),
+    /// In-memory sink for tests and snapshot assertions.
+    Buffer(Vec<u8>),
+}
+
+struct CrawlState {
+    seq: u64,
+    span_stack: Vec<u32>,
+    next_span: u32,
+}
+
+pub struct Journal {
+    sink: Mutex<Sink>,
+    crawl: Mutex<CrawlState>,
+    wall: bool,
+    start: Instant,
+}
+
+impl Journal {
+    fn new(sink: Sink, wall: bool) -> Journal {
+        Journal {
+            sink: Mutex::new(sink),
+            crawl: Mutex::new(CrawlState { seq: 0, span_stack: Vec::new(), next_span: 1 }),
+            wall,
+            start: Instant::now(),
+        }
+    }
+
+    /// Journal streaming to `path` (truncating any existing file).
+    pub fn to_file(path: &Path, wall: bool) -> io::Result<Journal> {
+        let f = File::create(path)?;
+        Ok(Journal::new(Sink::File(BufWriter::new(f)), wall))
+    }
+
+    /// In-memory journal; read back with [`Journal::buffer_contents`].
+    pub fn buffer(wall: bool) -> Journal {
+        Journal::new(Sink::Buffer(Vec::new()), wall)
+    }
+
+    fn wall_ms(&self) -> Option<u64> {
+        self.wall.then(|| self.start.elapsed().as_millis() as u64)
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut sink = self.sink.lock().unwrap();
+        let res = match &mut *sink {
+            Sink::File(w) => writeln!(w, "{line}"),
+            Sink::Buffer(b) => writeln!(b, "{line}"),
+        };
+        // A full disk must not kill the crawl; telemetry is best-effort.
+        let _ = res;
+    }
+
+    /// Write a crawl-scope event; `t` is overwritten with the next logical
+    /// sequence number.
+    pub fn crawl_event(&self, mut ev: Event) {
+        let wall = self.wall_ms();
+        let mut crawl = self.crawl.lock().unwrap();
+        ev.t_ms = crawl.seq;
+        crawl.seq += 1;
+        let line = ev.render("crawl", wall);
+        drop(crawl);
+        self.write_line(&line);
+    }
+
+    /// Open a crawl-scope span; returns its id for [`Journal::crawl_span_close`].
+    pub fn crawl_span_open(&self, name: &'static str) -> u32 {
+        let wall = self.wall_ms();
+        let mut crawl = self.crawl.lock().unwrap();
+        let id = crawl.next_span;
+        crawl.next_span += 1;
+        let parent = crawl.span_stack.last().copied().unwrap_or(0);
+        crawl.span_stack.push(id);
+        let ev = Event {
+            t_ms: crawl.seq,
+            ev: "span_open",
+            span: Some(SpanMark::Open { id, parent }),
+            attrs: Vec::new(),
+        }
+        .attr("name", name);
+        crawl.seq += 1;
+        let line = ev.render("crawl", wall);
+        drop(crawl);
+        self.write_line(&line);
+        id
+    }
+
+    /// Close a crawl-scope span, closing any later unclosed spans first so
+    /// the journal always balances.
+    pub fn crawl_span_close(&self, id: u32) {
+        let wall = self.wall_ms();
+        let mut crawl = self.crawl.lock().unwrap();
+        if !crawl.span_stack.contains(&id) {
+            return;
+        }
+        let mut lines = Vec::new();
+        while let Some(top) = crawl.span_stack.pop() {
+            let ev = Event {
+                t_ms: crawl.seq,
+                ev: "span_close",
+                span: Some(SpanMark::Close { id: top }),
+                attrs: Vec::new(),
+            };
+            crawl.seq += 1;
+            lines.push(ev.render("crawl", wall));
+            if top == id {
+                break;
+            }
+        }
+        drop(crawl);
+        for line in lines {
+            self.write_line(&line);
+        }
+    }
+
+    /// Write a visit's buffered events under `scope:"visit:<idx>"`. Called
+    /// by the coordinator in item order — never from worker threads.
+    pub fn write_visit_events(&self, visit_idx: usize, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let wall = self.wall_ms();
+        let scope = format!("visit:{visit_idx}");
+        let mut out = String::with_capacity(events.len() * 96);
+        for ev in events {
+            out.push_str(&ev.render(&scope, wall));
+            out.push('\n');
+        }
+        let mut sink = self.sink.lock().unwrap();
+        let res = match &mut *sink {
+            Sink::File(w) => w.write_all(out.as_bytes()),
+            Sink::Buffer(b) => b.write_all(out.as_bytes()),
+        };
+        let _ = res;
+    }
+
+    /// Flush buffered output to the underlying file (no-op for buffers).
+    pub fn flush(&self) {
+        if let Sink::File(w) = &mut *self.sink.lock().unwrap() {
+            let _ = w.flush();
+        }
+    }
+
+    /// Contents of an in-memory journal; `None` for file-backed journals.
+    pub fn buffer_contents(&self) -> Option<String> {
+        match &*self.sink.lock().unwrap() {
+            Sink::Buffer(b) => Some(String::from_utf8_lossy(b).into_owned()),
+            Sink::File(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crawl_events_get_sequential_logical_clock() {
+        let j = Journal::buffer(false);
+        j.crawl_event(Event::new(999, "a"));
+        j.crawl_event(Event::new(999, "b"));
+        let text = j.buffer_contents().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with(r#"{"t":0,"scope":"crawl","ev":"a"}"#), "{}", lines[0]);
+        assert!(lines[1].starts_with(r#"{"t":1,"scope":"crawl","ev":"b"}"#), "{}", lines[1]);
+    }
+
+    #[test]
+    fn crawl_spans_nest_and_balance() {
+        let j = Journal::buffer(false);
+        let a = j.crawl_span_open("scan");
+        let b = j.crawl_span_open("classify");
+        j.crawl_span_close(b);
+        j.crawl_span_close(a);
+        let text = j.buffer_contents().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""span":1,"parent":0,"name":"scan""#));
+        assert!(lines[1].contains(r#""span":2,"parent":1,"name":"classify""#));
+        assert!(lines[2].contains(r#""ev":"span_close","span":2"#));
+        assert!(lines[3].contains(r#""ev":"span_close","span":1"#));
+    }
+
+    #[test]
+    fn close_out_of_order_closes_inner_first() {
+        let j = Journal::buffer(false);
+        let a = j.crawl_span_open("outer");
+        let _b = j.crawl_span_open("inner");
+        j.crawl_span_close(a);
+        let text = j.buffer_contents().unwrap();
+        assert_eq!(text.lines().count(), 4);
+        let last = text.lines().last().unwrap();
+        assert!(last.contains(r#""ev":"span_close","span":1"#), "{last}");
+    }
+
+    #[test]
+    fn visit_events_render_with_scope_label() {
+        let j = Journal::buffer(false);
+        let evs = vec![Event::new(0, "fault").attr("kind", "hang"), Event::new(7, "retry")];
+        j.write_visit_events(3, &evs);
+        let text = j.buffer_contents().unwrap();
+        assert!(text.contains(r#""scope":"visit:3","ev":"fault""#));
+        assert!(text.contains(r#"{"t":7,"scope":"visit:3","ev":"retry"}"#));
+    }
+
+    #[test]
+    fn wall_stamping_adds_field() {
+        let j = Journal::buffer(true);
+        j.crawl_event(Event::new(0, "x"));
+        assert!(j.buffer_contents().unwrap().contains("\"wall_ms\":"));
+    }
+}

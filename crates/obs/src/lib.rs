@@ -1,0 +1,297 @@
+//! Crawl telemetry for the gullible pipeline: structured spans and a JSONL
+//! event journal on the *simulated* crawl clock, a lock-free metrics
+//! registry, and provenance reporting for every generated table.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism.** A seeded crawl must produce byte-identical journals
+//!    and metric snapshots regardless of worker count. Events from worker
+//!    threads are buffered in per-thread [`scope`]s and written by the
+//!    coordinator in item order; timestamps come from the simulated clock,
+//!    never the wall clock (unless explicitly opted in).
+//! 2. **Zero cost when off.** With neither `GULLIBLE_TRACE` nor
+//!    `GULLIBLE_STATS` set, every instrumentation call is one relaxed
+//!    atomic load and a branch.
+//! 3. **Zero dependencies.** Rendering, hashing, and validation are all
+//!    hand-rolled over `std`.
+//!
+//! The typical wiring (done by `bench::banner`): call [`set_stats`] and/or
+//! [`install_journal`] at startup, instrumented code calls [`add`] /
+//! [`observe`] / [`emit`] / [`span`] freely, and the binary prints
+//! [`stats::render_summary`] + [`stats::provenance_footer`] at exit.
+
+mod event;
+mod journal;
+mod metrics;
+mod scope;
+pub mod stats;
+pub mod validate;
+
+pub use event::{push_json_string, AttrVal, Event, SpanMark};
+pub use journal::Journal;
+pub use metrics::{bucket_of, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use scope::{begin_scope, clock_advance, clock_ms, end_scope, scope_active};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// FNV-1a over bytes — the repo's standard cheap stable hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static STATS: AtomicBool = AtomicBool::new(false);
+/// `TRACING || STATS`, kept as its own flag so disabled-path calls load
+/// exactly one atomic.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static JOURNAL: RwLock<Option<Arc<Journal>>> = RwLock::new(None);
+
+fn global_registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+fn recompute_enabled() {
+    ENABLED.store(
+        TRACING.load(Ordering::Relaxed) || STATS.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+}
+
+/// Is any telemetry live? One relaxed load — the disabled-path check.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub fn stats_enabled() -> bool {
+    STATS.load(Ordering::Relaxed)
+}
+
+/// Turn metric collection on/off (`GULLIBLE_STATS=1`).
+pub fn set_stats(on: bool) {
+    STATS.store(on, Ordering::Relaxed);
+    recompute_enabled();
+}
+
+/// The global metrics registry.
+pub fn registry() -> &'static Registry {
+    global_registry()
+}
+
+/// Install a journal and enable tracing; returns the shared handle.
+pub fn install_journal(j: Journal) -> Arc<Journal> {
+    let j = Arc::new(j);
+    *JOURNAL.write().unwrap() = Some(j.clone());
+    TRACING.store(true, Ordering::Relaxed);
+    recompute_enabled();
+    j
+}
+
+/// The installed journal, if tracing is live.
+pub fn journal() -> Option<Arc<Journal>> {
+    JOURNAL.read().unwrap().clone()
+}
+
+/// Remove the installed journal (flushing it) and disable tracing.
+pub fn take_journal() -> Option<Arc<Journal>> {
+    let j = JOURNAL.write().unwrap().take();
+    TRACING.store(false, Ordering::Relaxed);
+    recompute_enabled();
+    if let Some(j) = &j {
+        j.flush();
+    }
+    j
+}
+
+/// Bump a counter (no-op unless telemetry is enabled).
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if enabled() {
+        global_registry().add(name, delta);
+    }
+}
+
+/// Set a gauge (no-op unless telemetry is enabled).
+#[inline]
+pub fn gauge_set(name: &'static str, v: i64) {
+    if enabled() {
+        global_registry().gauge_set(name, v);
+    }
+}
+
+/// Record a histogram observation (no-op unless telemetry is enabled).
+#[inline]
+pub fn observe(name: &'static str, v: u64) {
+    if enabled() {
+        global_registry().observe(name, v);
+    }
+}
+
+/// Emit a journal event (no-op unless tracing). Inside an active visit
+/// scope the event is buffered there (stamped on the scope clock);
+/// otherwise it goes straight to the journal's crawl scope.
+pub fn emit(ev: Event) {
+    if !tracing_enabled() {
+        return;
+    }
+    if let Some(ev) = scope::push_event(ev) {
+        if let Some(j) = journal() {
+            j.crawl_event(ev);
+        }
+    }
+}
+
+/// An open span; closes (emitting `span_close`) on drop.
+pub enum SpanGuard {
+    Inactive,
+    Visit(u32),
+    Crawl(Arc<Journal>, u32),
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        match self {
+            SpanGuard::Inactive => {}
+            SpanGuard::Visit(id) => scope::scope_span_close(*id),
+            SpanGuard::Crawl(j, id) => j.crawl_span_close(*id),
+        }
+    }
+}
+
+/// Open a span named `name`: in the active visit scope if one exists on
+/// this thread, else in the journal's crawl scope. Inert when tracing is
+/// off.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard::Inactive;
+    }
+    if let Some(id) = scope::scope_span_open(name) {
+        return SpanGuard::Visit(id);
+    }
+    match journal() {
+        Some(j) => {
+            let id = j.crawl_span_open(name);
+            SpanGuard::Crawl(j, id)
+        }
+        None => SpanGuard::Inactive,
+    }
+}
+
+/// A named pipeline phase: a crawl-scope span plus a wall-clock timing
+/// recorded into the registry on drop (for the `[stats]` summary).
+pub struct PhaseGuard {
+    name: &'static str,
+    started: Instant,
+    _span: SpanGuard,
+}
+
+/// Begin a phase (scan, classify, compare, report…). Cheap when telemetry
+/// is off: one `Instant::now` and two atomic loads.
+pub fn phase(name: &'static str) -> PhaseGuard {
+    PhaseGuard { name, started: Instant::now(), _span: span(name) }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if enabled() {
+            global_registry().record_timing(self.name, self.started.elapsed());
+        }
+    }
+}
+
+/// Reset all global telemetry state: metrics zeroed, journal removed,
+/// stats/tracing flags cleared. Tests and multi-run binaries call this at
+/// run boundaries.
+pub fn reset() {
+    global_registry().reset();
+    *JOURNAL.write().unwrap() = None;
+    TRACING.store(false, Ordering::Relaxed);
+    STATS.store(false, Ordering::Relaxed);
+    recompute_enabled();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state tests share one process; serialize them.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_calls_are_noops() {
+        let _g = locked();
+        reset();
+        add("noop.counter", 5);
+        observe("noop.hist", 1);
+        emit(Event::new(0, "dropped"));
+        let s = span("dropped");
+        assert!(matches!(s, SpanGuard::Inactive));
+        drop(s);
+        assert_eq!(registry().snapshot().counter("noop.counter"), 0);
+        reset();
+    }
+
+    #[test]
+    fn stats_enable_collects_metrics() {
+        let _g = locked();
+        reset();
+        set_stats(true);
+        add("on.counter", 2);
+        assert_eq!(registry().snapshot().counter("on.counter"), 2);
+        reset();
+    }
+
+    #[test]
+    fn journal_routes_scope_and_crawl_events() {
+        let _g = locked();
+        reset();
+        let j = install_journal(Journal::buffer(false));
+        emit(Event::new(0, "run_start").attr("seed", 42u64));
+        {
+            let _p = phase("scan");
+            begin_scope();
+            let _v = span("visit");
+            clock_advance(3);
+            emit(Event::new(0, "fault").attr("kind", "hang"));
+            drop(_v);
+            let events = end_scope();
+            j.write_visit_events(0, &events);
+        }
+        take_journal();
+        let text = j.buffer_contents().unwrap();
+        let summary = validate::validate_journal(&text).unwrap();
+        assert_eq!(summary.scopes, 2, "{text}");
+        assert!(text.contains(r#""scope":"crawl","ev":"run_start","seed":42"#), "{text}");
+        assert!(text.contains(r#""scope":"visit:0","ev":"span_open""#), "{text}");
+        assert!(text.contains(r#"{"t":3,"scope":"visit:0","ev":"fault","kind":"hang"}"#), "{text}");
+        // Phase timing landed in the registry (tracing implies enabled).
+        assert!(registry().timings().iter().any(|(n, _)| n == "scan"));
+        reset();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        let _g = locked();
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,340 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! histograms with atomic, lock-free hot paths.
+//!
+//! Registration takes a write lock once per metric name; after that every
+//! update is a single atomic RMW on a shared `Arc`. Snapshots render into
+//! `BTreeMap`s so their text form (and hence the telemetry digest printed
+//! in provenance footers) is byte-stable across runs: counters and
+//! histograms are pure sums, so a deterministic workload produces the same
+//! snapshot no matter how many worker threads updated them.
+//!
+//! Wall-clock phase timings are deliberately kept in a separate side table
+//! ([`Registry::timings`]) that is *excluded* from [`Snapshot`] and its
+//! digest: wall time is never deterministic, and the digest must be.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Number of log2 buckets in a histogram (values are u64, so 65 covers
+/// zero plus every power-of-two magnitude).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram: bucket `0` counts zeros, bucket `k` counts
+/// values in `[2^(k-1), 2^k)`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)`.
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.load(Ordering::Relaxed)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen view of one histogram; only non-empty buckets are kept.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `(bucket index, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Frozen, ordered view of the whole registry — the deterministic part.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Stable text rendering (one line per metric, BTreeMap order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("histogram {name} count={} sum={} buckets=", h.count, h.sum));
+            for (i, (b, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{b}:{n}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a digest of the rendered snapshot — the telemetry digest
+    /// carried by provenance footers.
+    pub fn digest(&self) -> u64 {
+        crate::fnv1a(self.render().as_bytes())
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The metrics registry. One global instance lives behind
+/// [`crate::registry`]; tests may build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<&'static str, Arc<AtomicI64>>>,
+    histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
+    /// Wall-clock phase timings `(name, duration)`, in completion order.
+    /// Non-deterministic by nature; excluded from snapshots and digests.
+    timings: Mutex<Vec<(String, Duration)>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Handle to a named counter (registering it on first use). Callers on
+    /// hot paths should hold the handle rather than re-looking it up.
+    pub fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.counters.write().unwrap().entry(name).or_default().clone()
+    }
+
+    pub fn gauge(&self, name: &'static str) -> Arc<AtomicI64> {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            return g.clone();
+        }
+        self.gauges.write().unwrap().entry(name).or_default().clone()
+    }
+
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return h.clone();
+        }
+        self.histograms.write().unwrap().entry(name).or_default().clone()
+    }
+
+    pub fn add(&self, name: &'static str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn gauge_set(&self, name: &'static str, v: i64) {
+        self.gauge(name).store(v, Ordering::Relaxed);
+    }
+
+    pub fn observe(&self, name: &'static str, v: u64) {
+        self.histogram(name).observe(v);
+    }
+
+    /// Record a completed wall-clock phase timing.
+    pub fn record_timing(&self, name: &str, d: Duration) {
+        self.timings.lock().unwrap().push((name.to_string(), d));
+    }
+
+    pub fn timings(&self) -> Vec<(String, Duration)> {
+        self.timings.lock().unwrap().clone()
+    }
+
+    /// Freeze the deterministic metrics into an ordered snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Zero every metric and drop recorded timings — run boundaries (and
+    /// tests comparing two runs in one process) call this between runs.
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.read().unwrap().values() {
+            g.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.read().unwrap().values() {
+            h.reset();
+        }
+        self.timings.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_ordered() {
+        let r = Registry::new();
+        r.add("b.two", 2);
+        r.add("a.one", 1);
+        r.add("b.two", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.one"), 1);
+        assert_eq!(snap.counter("b.two"), 5);
+        let render = snap.render();
+        let a = render.find("a.one").unwrap();
+        let b = render.find("b.two").unwrap();
+        assert!(a < b, "snapshot must render in name order");
+    }
+
+    #[test]
+    fn histogram_observes_and_means() {
+        let r = Registry::new();
+        r.observe("h", 0);
+        r.observe("h", 1);
+        r.observe("h", 1000);
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1001);
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (10, 1)]);
+        assert!((h.mean() - 1001.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let r = Registry::new();
+        r.add("x", 7);
+        let d1 = r.snapshot().digest();
+        assert_eq!(d1, r.snapshot().digest());
+        r.add("x", 1);
+        assert_ne!(d1, r.snapshot().digest());
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let r = Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = r.clone();
+                s.spawn(move || {
+                    let c = r.counter("spam");
+                    for _ in 0..10_000 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counter("spam"), 80_000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Registry::new();
+        r.add("c", 5);
+        r.gauge_set("g", -2);
+        r.observe("h", 9);
+        r.record_timing("phase", Duration::from_millis(3));
+        r.reset();
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert_eq!(snap.gauges.get("g"), Some(&0));
+        assert!(snap.histograms.is_empty());
+        assert!(r.timings().is_empty());
+    }
+
+    #[test]
+    fn timings_excluded_from_digest() {
+        let r = Registry::new();
+        r.add("c", 1);
+        let before = r.snapshot().digest();
+        r.record_timing("scan", Duration::from_secs(1));
+        assert_eq!(before, r.snapshot().digest());
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-thread visit scopes.
+//!
+//! Journal determinism across worker counts hinges on one rule: worker
+//! threads never write to the journal directly. The supervisor opens a
+//! *scope* on the worker thread before processing an item; every event and
+//! span emitted while the scope is active is buffered here (thread-local,
+//! no locks), stamped on the scope's simulated clock. When the item
+//! finishes, the supervisor closes the scope, carries the buffered events
+//! back through the ordered results of `run_parallel`, and the coordinator
+//! writes them to the journal in item order. Which OS thread ran which item
+//! becomes invisible.
+
+use crate::event::{Event, SpanMark};
+use std::cell::RefCell;
+
+struct ScopeState {
+    events: Vec<Event>,
+    clock_ms: u64,
+    span_stack: Vec<u32>,
+    next_span: u32,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// Open a visit scope on the current thread, discarding any previous one.
+pub fn begin_scope() {
+    SCOPE.with(|s| {
+        *s.borrow_mut() = Some(ScopeState {
+            events: Vec::new(),
+            clock_ms: 0,
+            span_stack: Vec::new(),
+            next_span: 1,
+        })
+    });
+}
+
+/// Close the current thread's scope and return its buffered events
+/// (empty if no scope was active). Unclosed spans are closed implicitly,
+/// innermost first, so journals always balance.
+pub fn end_scope() -> Vec<Event> {
+    SCOPE.with(|s| {
+        let Some(mut st) = s.borrow_mut().take() else {
+            return Vec::new();
+        };
+        while let Some(id) = st.span_stack.pop() {
+            st.events.push(Event {
+                t_ms: st.clock_ms,
+                ev: "span_close",
+                span: Some(SpanMark::Close { id }),
+                attrs: Vec::new(),
+            });
+        }
+        st.events
+    })
+}
+
+pub fn scope_active() -> bool {
+    SCOPE.with(|s| s.borrow().is_some())
+}
+
+/// Advance the scope's simulated clock (no-op without an active scope).
+pub fn clock_advance(ms: u64) {
+    SCOPE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            st.clock_ms += ms;
+        }
+    });
+}
+
+pub fn clock_ms() -> u64 {
+    SCOPE.with(|s| s.borrow().as_ref().map(|st| st.clock_ms).unwrap_or(0))
+}
+
+/// Buffer an event in the active scope, stamping it with the scope clock.
+/// Returns the event back if no scope is active (caller may re-route it to
+/// the crawl scope).
+pub(crate) fn push_event(mut ev: Event) -> Option<Event> {
+    SCOPE.with(|s| {
+        let mut b = s.borrow_mut();
+        match b.as_mut() {
+            Some(st) => {
+                ev.t_ms = st.clock_ms;
+                st.events.push(ev);
+                None
+            }
+            None => Some(ev),
+        }
+    })
+}
+
+/// Open a span in the active scope; `None` when no scope is active.
+pub(crate) fn scope_span_open(name: &'static str) -> Option<u32> {
+    SCOPE.with(|s| {
+        let mut b = s.borrow_mut();
+        let st = b.as_mut()?;
+        let id = st.next_span;
+        st.next_span += 1;
+        let parent = st.span_stack.last().copied().unwrap_or(0);
+        let t = st.clock_ms;
+        st.events.push(
+            Event {
+                t_ms: t,
+                ev: "span_open",
+                span: Some(SpanMark::Open { id, parent }),
+                attrs: Vec::new(),
+            }
+            .attr("name", name),
+        );
+        st.span_stack.push(id);
+        Some(id)
+    })
+}
+
+/// Close a scope span. Any spans opened after it (and not yet closed) are
+/// closed first so the stack stays balanced even if guards drop out of
+/// order.
+pub(crate) fn scope_span_close(id: u32) {
+    SCOPE.with(|s| {
+        let mut b = s.borrow_mut();
+        let Some(st) = b.as_mut() else { return };
+        if !st.span_stack.contains(&id) {
+            return;
+        }
+        while let Some(top) = st.span_stack.pop() {
+            st.events.push(Event {
+                t_ms: st.clock_ms,
+                ev: "span_close",
+                span: Some(SpanMark::Close { id: top }),
+                attrs: Vec::new(),
+            });
+            if top == id {
+                break;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_buffer_in_order_with_clock() {
+        begin_scope();
+        assert!(push_event(Event::new(0, "a")).is_none());
+        clock_advance(10);
+        assert!(push_event(Event::new(0, "b")).is_none());
+        let evs = end_scope();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].ev, evs[0].t_ms), ("a", 0));
+        assert_eq!((evs[1].ev, evs[1].t_ms), ("b", 10));
+        assert!(!scope_active());
+    }
+
+    #[test]
+    fn events_outside_scope_are_returned() {
+        assert!(!scope_active());
+        assert!(push_event(Event::new(0, "x")).is_some());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        begin_scope();
+        let a = scope_span_open("outer").unwrap();
+        let b = scope_span_open("inner").unwrap();
+        scope_span_close(b);
+        scope_span_close(a);
+        let evs = end_scope();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].span, Some(SpanMark::Open { id: a, parent: 0 }));
+        assert_eq!(evs[1].span, Some(SpanMark::Open { id: b, parent: a }));
+        assert_eq!(evs[2].span, Some(SpanMark::Close { id: b }));
+        assert_eq!(evs[3].span, Some(SpanMark::Close { id: a }));
+    }
+
+    #[test]
+    fn end_scope_closes_dangling_spans() {
+        begin_scope();
+        let a = scope_span_open("outer").unwrap();
+        let b = scope_span_open("inner").unwrap();
+        let evs = end_scope();
+        assert_eq!(evs[2].span, Some(SpanMark::Close { id: b }));
+        assert_eq!(evs[3].span, Some(SpanMark::Close { id: a }));
+    }
+
+    #[test]
+    fn out_of_order_close_still_balances() {
+        begin_scope();
+        let a = scope_span_open("outer").unwrap();
+        let _b = scope_span_open("inner").unwrap();
+        scope_span_close(a); // closes inner first, then outer
+        let evs = end_scope();
+        assert_eq!(evs.len(), 4);
+        assert!(matches!(evs[2].span, Some(SpanMark::Close { .. })));
+        assert_eq!(evs[3].span, Some(SpanMark::Close { id: a }));
+    }
+}

@@ -1,0 +1,162 @@
+//! Crawl statistics reporting: the human-readable `[stats]` summary and
+//! the machine-readable `[provenance]` footer that every table/figure
+//! binary prints next to its coverage line.
+//!
+//! The provenance footer answers "how was this number produced?" without
+//! re-running anything: seed, a hash of the effective configuration, the
+//! coverage line, and a digest of the metric snapshot. Two tables with the
+//! same footer came from equivalent runs; two that differ did not.
+
+use crate::metrics::{Registry, Snapshot};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// FNV-1a hash over `key=value` pairs — the config hash carried by
+/// provenance footers. Order-sensitive by design: callers pass knobs in a
+/// fixed order.
+pub fn config_hash(pairs: &[(&str, String)]) -> u64 {
+    let mut rendered = String::new();
+    for (k, v) in pairs {
+        let _ = write!(rendered, "{k}={v};");
+    }
+    crate::fnv1a(rendered.as_bytes())
+}
+
+/// One-line machine-readable provenance footer.
+pub fn provenance_footer(
+    bin: &str,
+    seed: u64,
+    config: u64,
+    snapshot: &Snapshot,
+    coverage: Option<&str>,
+) -> String {
+    let mut out = format!(
+        "[provenance] bin={bin} seed={seed} config={config:016x} telemetry={:016x}",
+        snapshot.digest()
+    );
+    if let Some(cov) = coverage {
+        let _ = write!(out, " coverage=\"{cov}\"");
+    }
+    out
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+/// Render the human `[stats]` summary from a registry: wall-clock phase
+/// timings with per-phase event rates, retry/restart rates derived from the
+/// supervisor counters, per-instrument record counts, and the remaining
+/// metrics verbatim.
+pub fn render_summary(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let timings = reg.timings();
+    let mut out = String::new();
+
+    let total: Duration = timings.iter().map(|(_, d)| *d).sum();
+    let events: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("records."))
+        .map(|(_, v)| *v)
+        .sum();
+    if !timings.is_empty() {
+        out.push_str("[stats] phase timings\n");
+        for (name, d) in &timings {
+            let _ = writeln!(out, "  {name:<28} {:>10}", fmt_duration(*d));
+        }
+        let _ = writeln!(out, "  {:<28} {:>10}", "total", fmt_duration(total));
+        if events > 0 && total.as_secs_f64() > 0.0 {
+            let _ = writeln!(
+                out,
+                "  record events/sec            {:>10.0}",
+                events as f64 / total.as_secs_f64()
+            );
+        }
+    }
+
+    let visits = snap.counter("supervisor.visits");
+    if visits > 0 {
+        out.push_str("[stats] supervision\n");
+        let attempts = snap.counter("supervisor.attempts");
+        let retries = snap.counter("supervisor.retries");
+        let restarts = snap.counter("supervisor.restarts");
+        let failed = snap.counter("supervisor.visits.failed");
+        let _ = writeln!(
+            out,
+            "  visits {visits} attempts {attempts} ({:.3} per visit)",
+            attempts as f64 / visits as f64
+        );
+        let _ = writeln!(
+            out,
+            "  retries {retries} ({:.2}%) restarts {restarts} ({:.2}%) failed {failed} ({:.2}%)",
+            retries as f64 * 100.0 / visits as f64,
+            restarts as f64 * 100.0 / visits as f64,
+            failed as f64 * 100.0 / visits as f64
+        );
+    }
+
+    let record_counters: Vec<(&String, &u64)> =
+        snap.counters.iter().filter(|(k, _)| k.starts_with("records.")).collect();
+    if !record_counters.is_empty() {
+        out.push_str("[stats] records committed\n");
+        for (k, v) in record_counters {
+            let _ = writeln!(out, "  {:<28} {v:>10}", &k["records.".len()..]);
+        }
+    }
+
+    out.push_str("[stats] metrics\n");
+    for line in snap.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out, "[stats] telemetry digest {:016x}", snap.digest());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_is_order_and_value_sensitive() {
+        let a = config_hash(&[("seed", "42".into()), ("sites", "100".into())]);
+        let b = config_hash(&[("sites", "100".into()), ("seed", "42".into())]);
+        let c = config_hash(&[("seed", "43".into()), ("sites", "100".into())]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, config_hash(&[("seed", "42".into()), ("sites", "100".into())]));
+    }
+
+    #[test]
+    fn footer_carries_all_fields() {
+        let reg = Registry::new();
+        reg.add("x", 3);
+        let snap = reg.snapshot();
+        let f = provenance_footer("table05", 42, 0xabcd, &snap, Some("100/100 sites"));
+        assert!(f.starts_with("[provenance] bin=table05 seed=42 config=000000000000abcd"));
+        assert!(f.contains("telemetry="));
+        assert!(f.ends_with("coverage=\"100/100 sites\""));
+    }
+
+    #[test]
+    fn summary_reports_supervision_rates() {
+        let reg = Registry::new();
+        reg.add("supervisor.visits", 100);
+        reg.add("supervisor.attempts", 120);
+        reg.add("supervisor.retries", 15);
+        reg.add("supervisor.restarts", 5);
+        reg.add("records.js_calls", 400);
+        reg.record_timing("scan", Duration::from_secs(2));
+        let s = render_summary(&reg);
+        assert!(s.contains("phase timings"), "{s}");
+        assert!(s.contains("1.200 per visit"), "{s}");
+        assert!(s.contains("retries 15 (15.00%)"), "{s}");
+        assert!(s.contains("js_calls"), "{s}");
+        assert!(s.contains("telemetry digest"), "{s}");
+    }
+}

@@ -173,6 +173,8 @@ pub fn register_sink(page: &mut Page, event_id: String, store: StoreHandle, page
             Some(op) => op,
             None => {
                 store.borrow_mut().malformed_events += 1;
+                obs::add("instrument.malformed_events", 1);
+                obs::emit(obs::Event::new(0, "malformed_event").attr("op", operation));
                 return;
             }
         };

@@ -89,9 +89,11 @@ where
                     let item = boxed[i].lock().unwrap().take().expect("item taken once");
                     match catch_unwind(AssertUnwindSafe(|| step(&mut state, i, item))) {
                         Ok(r) => {
+                            obs::add("manager.items", 1);
                             results.lock().unwrap()[i] = Some(r);
                         }
                         Err(payload) => {
+                            obs::add("manager.panics", 1);
                             let mut slot = first_panic.lock().unwrap();
                             if slot.is_none() {
                                 *slot = Some((Some(i), panic_message(payload.as_ref())));

@@ -34,6 +34,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::manager::{panic_message, run_parallel};
+use obs::Event;
 
 /// Why a visit attempt (or a whole site) failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -196,6 +197,8 @@ pub struct CrawlSummary {
     pub restarts: u64,
     /// Simulated milliseconds lost to faults: timeouts plus backoff.
     pub lost_ms: u64,
+    /// Torn or corrupted checkpoint lines dropped during resume.
+    pub checkpoint_lines_dropped: usize,
 }
 
 impl CrawlSummary {
@@ -226,6 +229,12 @@ impl CrawlSummary {
         if self.interrupted > 0 {
             line.push_str(&format!("; {} interrupted", self.interrupted));
         }
+        if self.checkpoint_lines_dropped > 0 {
+            line.push_str(&format!(
+                "; {} checkpoint lines dropped",
+                self.checkpoint_lines_dropped
+            ));
+        }
         line
     }
 }
@@ -248,6 +257,9 @@ struct ItemRun<R> {
     restarts: u64,
     lost_ms: u64,
     attempts_final: u32,
+    /// Telemetry events buffered during this item's visit scope; written
+    /// to the journal in item order by the coordinator.
+    trace: Vec<Event>,
 }
 
 /// Supervised parallel execution: fault injection, watchdog timeouts,
@@ -307,22 +319,31 @@ where
         })
         .collect();
 
+    // No `workers` attribute: the journal must be byte-identical across
+    // worker counts (scheduling never reaches the trace).
+    obs::emit(Event::new(0, "crawl_start").attr("items", n));
+
     let runs: Vec<ItemRun<R>> = run_parallel(
         work,
         workers,
         |w| (w, init(w)),
         |(worker, state), i, (item, replay, admit)| {
+            obs::begin_scope();
             if let Some(outcome) = replay {
+                obs::add("supervisor.replays", 1);
+                obs::emit(Event::new(0, "checkpoint_replay").attr("item", i));
                 return ItemRun {
                     outcome,
                     attempts: 0,
                     restarts: 0,
                     lost_ms: 0,
                     attempts_final: 0,
+                    trace: obs::end_scope(),
                 };
             }
             if !admit {
                 let outcome = VisitOutcome::Interrupted;
+                obs::emit(Event::new(0, "interrupted").attr("item", i));
                 on_complete(i, &outcome, 0);
                 return ItemRun {
                     outcome,
@@ -330,28 +351,59 @@ where
                     restarts: 0,
                     lost_ms: 0,
                     attempts_final: 0,
+                    trace: obs::end_scope(),
                 };
             }
             let m = meta(&item);
+            obs::add("supervisor.visits", 1);
+            let visit_span = obs::span("visit");
+            obs::emit(
+                Event::new(0, "visit_start")
+                    .attr("item", i)
+                    .attr("label", m.label.as_str())
+                    .attr("flaky", m.flaky as u64),
+            );
             let mut attempts = 0u32;
             let mut restarts = 0u64;
             let mut lost_ms = 0u64;
             let outcome = loop {
                 attempts += 1;
+                obs::add("supervisor.attempts", 1);
+                if attempts > 1 {
+                    obs::add("supervisor.retries", 1);
+                }
+                let attempt_span = obs::span("attempt");
+                obs::emit(Event::new(0, "attempt").attr("n", attempts));
                 let failure: FailureReason = match injector.draw(m.fault_key, attempts, m.flaky)
                 {
                     Some(kind) => {
+                        let reason = FailureReason::from_fault(kind);
+                        obs::add("supervisor.faults", 1);
+                        obs::emit(
+                            Event::new(0, "fault")
+                                .attr("reason", reason.as_str())
+                                .attr("attempt", attempts),
+                        );
                         match kind {
                             FaultKind::Hang => {
                                 // Watchdog: the visit burns its full
                                 // timeout, then the browser is killed.
                                 lost_ms += cfg.visit_timeout_ms;
+                                obs::clock_advance(cfg.visit_timeout_ms);
+                                obs::emit(
+                                    Event::new(0, "watchdog_timeout")
+                                        .attr("ms", cfg.visit_timeout_ms),
+                                );
                                 *state = init(*worker);
                                 restarts += 1;
+                                obs::add("supervisor.restarts", 1);
+                                obs::emit(Event::new(0, "browser_restart"));
                             }
                             FaultKind::BrowserCrash => {
                                 *state = init(*worker);
                                 restarts += 1;
+                                obs::add("supervisor.restarts", 1);
+                                obs::emit(Event::new(0, "browser_restart"));
                             }
                             FaultKind::TabCrash => {
                                 // The content process dies mid-visit: the
@@ -361,40 +413,71 @@ where
                                 }));
                                 *state = init(*worker);
                                 restarts += 1;
+                                obs::add("supervisor.restarts", 1);
+                                obs::emit(Event::new(0, "browser_restart"));
                             }
                             // Navigation and transport errors fail fast
                             // and leave the browser healthy.
                             FaultKind::NavigationError | FaultKind::TransientHttp => {}
                         }
-                        FailureReason::from_fault(kind)
+                        reason
                     }
                     None => match catch_unwind(AssertUnwindSafe(|| visit(state, i, &item))) {
-                        Ok(r) => break VisitOutcome::Completed(r),
+                        Ok(r) => {
+                            drop(attempt_span);
+                            break VisitOutcome::Completed(r);
+                        }
                         Err(payload) => {
                             // Keep the cause visible even though the crawl
                             // survives it.
                             let _ = panic_message(payload.as_ref());
+                            obs::emit(Event::new(0, "visit_panic").attr("attempt", attempts));
                             *state = init(*worker);
                             restarts += 1;
+                            obs::add("supervisor.restarts", 1);
+                            obs::emit(Event::new(0, "browser_restart"));
                             FailureReason::Panic
                         }
                     },
                 };
+                drop(attempt_span);
                 if attempts >= cfg.retry.max_attempts {
                     break VisitOutcome::Failed { reason: failure, attempts };
                 }
-                lost_ms += cfg.retry.backoff_ms(attempts);
+                let backoff = cfg.retry.backoff_ms(attempts);
+                lost_ms += backoff;
+                obs::clock_advance(backoff);
+                obs::observe("supervisor.backoff_ms", backoff);
+                obs::emit(
+                    Event::new(0, "retry_backoff").attr("ms", backoff).attr("attempt", attempts),
+                );
             };
+            obs::observe("supervisor.attempts_per_visit", attempts as u64);
+            obs::emit(
+                Event::new(0, "visit_end")
+                    .attr("outcome", outcome_label(&outcome))
+                    .attr("attempts", attempts),
+            );
+            // `on_complete` runs inside the still-open visit scope so that
+            // checkpoint-write events land in this visit's trace.
             on_complete(i, &outcome, attempts);
+            drop(visit_span);
             ItemRun {
                 outcome,
                 attempts: attempts as u64,
                 restarts,
                 lost_ms,
                 attempts_final: attempts,
+                trace: obs::end_scope(),
             }
         },
     );
+
+    if let Some(journal) = obs::journal() {
+        for (i, run) in runs.iter().enumerate() {
+            journal.write_visit_events(i, &run.trace);
+        }
+    }
 
     let mut summary = CrawlSummary { total: n, ..CrawlSummary::default() };
     let mut by_reason = vec![0usize; FailureReason::all().len()];
@@ -430,7 +513,27 @@ where
         .filter(|(_, n)| *n > 0)
         .map(|(r, n)| (*r, n))
         .collect();
+    obs::add("supervisor.visits.completed", summary.completed as u64);
+    obs::add("supervisor.visits.failed", summary.failed as u64);
+    obs::add("supervisor.visits.interrupted", summary.interrupted as u64);
+    obs::emit(
+        Event::new(0, "crawl_end")
+            .attr("completed", summary.completed)
+            .attr("failed", summary.failed)
+            .attr("interrupted", summary.interrupted)
+            .attr("attempts", summary.attempts)
+            .attr("restarts", summary.restarts)
+            .attr("lost_ms", summary.lost_ms),
+    );
     CrawlOutcome { outcomes, attempts: attempts_per_item, summary }
+}
+
+fn outcome_label<R>(outcome: &VisitOutcome<R>) -> &'static str {
+    match outcome {
+        VisitOutcome::Completed(_) => "completed",
+        VisitOutcome::Failed { reason, .. } => reason.as_str(),
+        VisitOutcome::Interrupted => "interrupted",
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +541,41 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    #[test]
+    fn failure_reason_round_trips_and_rejects_garbage() {
+        for r in FailureReason::all() {
+            assert_eq!(FailureReason::parse(r.as_str()), Some(r), "{}", r.as_str());
+        }
+        proplite::run_cases(2000, 0xFA11, |rng| {
+            let s = match rng.u32_in(0, 2) {
+                0 => rng.ascii(0, 24),
+                1 => rng.any_string(0, 24),
+                // Near-misses: a valid name with one mutation.
+                _ => {
+                    let all = FailureReason::all();
+                    let base = all[rng.usize_in(0, all.len() - 1)].as_str();
+                    let mut s = base.to_string();
+                    match rng.u32_in(0, 2) {
+                        0 => s.push('x'),
+                        1 => s = s.to_uppercase(),
+                        _ => {
+                            s.pop();
+                        }
+                    }
+                    s
+                }
+            };
+            match FailureReason::parse(&s) {
+                // parse may only accept exact canonical names.
+                Some(r) => assert_eq!(r.as_str(), s),
+                None => assert!(
+                    FailureReason::all().iter().all(|r| r.as_str() != s),
+                    "rejected a canonical name: {s:?}"
+                ),
+            }
+        });
+    }
 
     fn meta_of(x: &u64) -> ItemMeta {
         ItemMeta { label: format!("item-{x}"), fault_key: *x, flaky: false }

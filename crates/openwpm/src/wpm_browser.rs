@@ -70,11 +70,33 @@ pub struct Browser {
     /// Browser instance number on the host (affects Ubuntu window offsets).
     pub instance: u32,
     visits: u64,
+    /// Logical key of the item being visited (e.g. site rank), set by the
+    /// crawl driver. When present, per-visit event-id seeds derive from
+    /// `(config seed, key, page counter)` instead of this browser's visit
+    /// history, so record content is independent of worker scheduling.
+    visit_key: Option<u64>,
+    /// Pages opened under the current visit key.
+    key_pages: u64,
 }
 
 impl Browser {
     pub fn new(config: BrowserConfig) -> Browser {
-        Browser { config, store: Rc::new(RefCell::new(RecordStore::new())), instance: 0, visits: 0 }
+        Browser {
+            config,
+            store: Rc::new(RefCell::new(RecordStore::new())),
+            instance: 0,
+            visits: 0,
+            visit_key: None,
+            key_pages: 0,
+        }
+    }
+
+    /// Key subsequent visits by `key` (resetting the per-key page counter).
+    /// Crawl drivers call this with the item's stable identity (site rank)
+    /// before each visit; seeds then depend only on `(seed, key, page)`.
+    pub fn set_visit_key(&mut self, key: u64) {
+        self.visit_key = Some(key);
+        self.key_pages = 0;
     }
 
     pub fn with_instance(mut self, instance: u32) -> Browser {
@@ -116,7 +138,22 @@ impl Browser {
         }
         let page_url = url.to_string();
         // Per-visit event-id seed, like OpenWPM's per-load random id.
-        let visit_seed = self.config.seed ^ self.visits.wrapping_mul(0x9E37_79B9);
+        // Keyed visits derive it from the item's stable identity so the
+        // same site produces the same ids under any worker count.
+        let visit_seed = match self.visit_key {
+            Some(key) => {
+                self.key_pages += 1;
+                let mut x = self.config.seed
+                    ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ self.key_pages.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^ (x >> 31)
+            }
+            None => self.config.seed ^ self.visits.wrapping_mul(0x9E37_79B9),
+        };
+        if obs::enabled() {
+            page.enable_profiling();
+        }
         let instrumented = match self.config.js_instrument {
             JsInstrumentKind::Off => true,
             JsInstrumentKind::Vanilla => {
@@ -147,6 +184,10 @@ impl Browser {
         } else {
             Vec::new()
         };
+        if !instrumented {
+            obs::add("instrument.hook_install_failures", 1);
+            obs::emit(obs::Event::new(0, "hook_install_failed").attr("page", page_url));
+        }
         (page, VisitStats { instrumented, script_errors: 0, honey_names, crashes: 0 })
     }
 
@@ -189,6 +230,11 @@ impl Browser {
         let (mut page, mut stats) = self.open_page(spec);
         let url = Url::parse(&spec.url).expect("visit spec URL must parse");
         let page_url = url.to_string();
+        let store_before = if obs::enabled() {
+            Some(StoreCounts::of(&self.store.borrow()))
+        } else {
+            None
+        };
 
         // Static load: main frame plus declared subresources.
         let mut static_reqs = vec![HttpRequest {
@@ -318,7 +364,72 @@ impl Browser {
                 }
             }
         }
+        if let Some(before) = store_before {
+            let after = StoreCounts::of(&self.store.borrow());
+            after.report_delta(&before);
+        }
+        if let Some(profile) = page.take_profile() {
+            obs::observe("jsengine.ops_per_visit", profile.ops);
+            obs::observe("jsengine.calls_per_visit", profile.calls);
+            obs::observe("jsengine.max_call_depth", profile.max_depth as u64);
+            obs::add("jsengine.evals", profile.evals);
+            obs::emit(
+                obs::Event::new(0, "js_profile")
+                    .attr("ops", profile.ops)
+                    .attr("calls", profile.calls)
+                    .attr("evals", profile.evals)
+                    .attr("max_depth", profile.max_depth),
+            );
+        }
         stats
+    }
+}
+
+/// Record-store section lengths, used to compute the per-visit deltas the
+/// telemetry layer reports (one batched event per visit, not one per
+/// record — a full scan commits millions of records).
+struct StoreCounts {
+    js_calls: usize,
+    http_requests: usize,
+    http_responses: usize,
+    saved_scripts: usize,
+    cookies: usize,
+    malformed: u64,
+}
+
+impl StoreCounts {
+    fn of(store: &RecordStore) -> StoreCounts {
+        StoreCounts {
+            js_calls: store.js_calls.len(),
+            http_requests: store.http_requests.len(),
+            http_responses: store.http_responses.len(),
+            saved_scripts: store.saved_scripts.len(),
+            cookies: store.cookies.len(),
+            malformed: store.malformed_events,
+        }
+    }
+
+    fn report_delta(&self, before: &StoreCounts) {
+        let js = (self.js_calls - before.js_calls) as u64;
+        let req = (self.http_requests - before.http_requests) as u64;
+        let resp = (self.http_responses - before.http_responses) as u64;
+        let scripts = (self.saved_scripts - before.saved_scripts) as u64;
+        let cookies = (self.cookies - before.cookies) as u64;
+        let malformed = self.malformed - before.malformed;
+        obs::add("records.js_calls", js);
+        obs::add("records.http_requests", req);
+        obs::add("records.http_responses", resp);
+        obs::add("records.saved_scripts", scripts);
+        obs::add("records.cookies", cookies);
+        obs::emit(
+            obs::Event::new(0, "records")
+                .attr("js_calls", js)
+                .attr("http_requests", req)
+                .attr("http_responses", resp)
+                .attr("saved_scripts", scripts)
+                .attr("cookies", cookies)
+                .attr("malformed", malformed),
+        );
     }
 }
 

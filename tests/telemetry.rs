@@ -1,0 +1,57 @@
+//! Telemetry determinism (the observability layer around Sec. 4's scan):
+//! the trace journal and the metric snapshot are functions of (seed, fault
+//! plan) alone. Worker count changes scheduling, wall-clock time and
+//! thread interleaving — none of which may leak into either artifact.
+
+use gullible::obs;
+use gullible::scan::{run_scan_supervised, ScanConfig};
+use openwpm::FaultPlan;
+
+/// One instrumented run: install a buffer journal, scan, return the
+/// journal bytes and the rendered metric snapshot, then reset the global
+/// telemetry state for the next run.
+fn traced_scan(workers: usize) -> (String, String) {
+    let journal = obs::install_journal(obs::Journal::buffer(false));
+    let cfg = ScanConfig {
+        workers,
+        faults: FaultPlan::adversarial(7),
+        ..ScanConfig::new(400, 42)
+    };
+    let report = run_scan_supervised(cfg, Vec::new(), &[], &|_, _, _| {});
+    assert_eq!(report.completion.total, 400);
+    journal.flush();
+    let trace = journal.buffer_contents().expect("buffer journal");
+    let metrics = obs::registry().snapshot().render();
+    obs::take_journal();
+    obs::reset();
+    (trace, metrics)
+}
+
+/// Same seed + same adversarial fault plan ⇒ byte-identical simulated-clock
+/// trace journals and metric snapshots, regardless of worker count.
+#[test]
+fn trace_and_metrics_are_worker_count_independent() {
+    let (trace2, metrics2) = traced_scan(2);
+    let (trace7, metrics7) = traced_scan(7);
+
+    assert!(!trace2.is_empty(), "journal must record the crawl");
+    assert!(metrics2.contains("supervisor.visits"), "metrics must record the crawl");
+
+    assert_eq!(metrics2, metrics7, "metric snapshot depends on worker count");
+    if trace2 != trace7 {
+        let diff = trace2
+            .lines()
+            .zip(trace7.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("first divergence at line {}:\n  {a}\n  {b}", i + 1))
+            .unwrap_or_else(|| "journals differ in length".to_string());
+        panic!("trace journal depends on worker count — {diff}");
+    }
+
+    // The journal is also well-formed: parses, clocks are monotone per
+    // scope, spans balance.
+    let summary = obs::validate::validate_journal(&trace2).expect("journal validates");
+    assert!(summary.lines > 400, "expected per-visit events, got {} lines", summary.lines);
+    assert!(summary.spans > 0);
+}
