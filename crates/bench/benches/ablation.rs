@@ -34,7 +34,7 @@ fn workload_spec() -> VisitSpec {
 
 fn visit_with(config: BrowserConfig) -> usize {
     let mut b = Browser::new(config);
-    b.visit(&workload_spec(), |_| SiteResponse::default());
+    let _ = b.visit(&workload_spec(), |_| SiteResponse::default());
     b.take_store().js_calls.len()
 }
 

@@ -56,7 +56,7 @@ fn main() {
             Url::parse("https://bench.test/").unwrap(),
             None,
         );
-        page.run_script(&detector, "bench.js").unwrap();
+        page.run_script((detector.as_str(), "bench.js")).unwrap();
         black_box(page.traffic().len());
     });
 

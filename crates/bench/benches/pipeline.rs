@@ -18,7 +18,7 @@ fn main() {
         (0..100_000).map(|r| pop.plan(r)).find(|p| p.first_party.is_some()).unwrap();
     timeit("scan/site_with_detector", 20, || {
         let mut browser = Browser::new(BrowserConfig::scanner(42));
-        black_box(scan_site(&mut browser, &with_detector, true));
+        let _ = black_box(scan_site(&mut browser, &with_detector, true));
     });
 
     let without_detector = (0..100_000)
@@ -27,7 +27,7 @@ fn main() {
         .unwrap();
     timeit("scan/site_without_detector", 20, || {
         let mut browser = Browser::new(BrowserConfig::scanner(42));
-        black_box(scan_site(&mut browser, &without_detector, true));
+        let _ = black_box(scan_site(&mut browser, &without_detector, true));
     });
 
     let compare_plan = (0..100_000)

@@ -3,15 +3,15 @@
 //! choices behind Sec. 4.1 of the paper on the same population.
 
 use gullible::report::{thousands, TextTable};
-use gullible::scan::{run_scan, ScanConfig};
+use gullible::scan::{Scan, ScanConfig};
 
 fn main() {
     bench::banner("ablation: analysis methods");
     let n = bench::n_sites().min(10_000); // ablations run several scans
     let base = ScanConfig { n_sites: n, seed: bench::seed(), workers: bench::workers(), ..ScanConfig::new(n, bench::seed()) };
 
-    let passive = run_scan(base);
-    let interactive = run_scan(ScanConfig { simulate_interaction: true, ..base });
+    let passive = Scan::new(base).run().expect("scan");
+    let interactive = Scan::new(ScanConfig { simulate_interaction: true, ..base }).run().expect("scan");
 
     let mut table = TextTable::new("analysis-method ablation (detector sites found)");
     table.header(&["pipeline", "sites", "vs combined"]);

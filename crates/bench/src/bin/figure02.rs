@@ -8,10 +8,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 fn own_keys(page: &mut Page, expr: &str) -> String {
-    page.run_script(
-        &format!("Object.getOwnPropertyNames({expr}).sort().join(', ')"),
+    page.run_script((
+        format!("Object.getOwnPropertyNames({expr}).sort().join(', ')"),
         "probe",
-    )
+    ))
     .unwrap()
     .as_str()
     .unwrap()

@@ -1,11 +1,11 @@
 //! Fig. 3 — detectors on front pages vs incl. subpages, per rank bucket.
 
 use gullible::report::{pct, thousands};
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Figure 3: front- vs subpage detectors per rank bucket");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let bucket = (report.n_sites / 20).max(1);
     println!("bucket size: {} ranks\n", thousands(bucket as u64));
     println!("{:<14} {:>12} {:>16}", "rank bucket", "front (dyn)", "front+sub (dyn)");

@@ -1,11 +1,11 @@
 //! Fig. 4 — detectors found on front pages: static vs dynamic, per bucket.
 
 use gullible::report::thousands;
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Figure 4: front-page detectors, static vs dynamic analysis");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let bucket = (report.n_sites / 20).max(1);
     println!("bucket size: {} ranks\n", thousands(bucket as u64));
     println!("{:<14} {:>10} {:>10}", "rank bucket", "static", "dynamic");

@@ -1,11 +1,11 @@
 //! Fig. 5 — common categories of sites with detectors.
 
 use gullible::report::TextTable;
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Figure 5: categories of detector sites");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let (first, third) = report.category_tallies();
     let total_first: u32 = first.values().sum();
     let total_third: u32 = third.values().sum();

@@ -14,7 +14,7 @@
 //! reports the resulting completion rate.
 
 use gullible::report::{pct, thousands};
-use gullible::{run_compare, run_scan, Client};
+use gullible::{run_compare, Client, Scan};
 use netsim::{CookieParty, ResourceType};
 use stats::descriptive::{fmt_pct, pct_change};
 
@@ -24,13 +24,15 @@ fn main() {
 
     // ---------- scan-based experiments ----------
     println!("--- running the Tranco scan (Sec. 4) ---");
-    let scan = match bench::env::checkpoint() {
-        Some(path) => gullible::run_scan_with_checkpoint(bench::scan_config(), &path)
-            .unwrap_or_else(|e| {
-                eprintln!("error: checkpoint file {}: {e}", path.display());
-                std::process::exit(2);
-            }),
-        None => run_scan(bench::scan_config()),
+    let scan = {
+        let mut builder = Scan::new(bench::scan_config());
+        if let Some(path) = bench::env::checkpoint() {
+            builder = builder.checkpoint(&path);
+        }
+        builder.run().unwrap_or_else(|e| {
+            eprintln!("error: checkpoint file: {e}");
+            std::process::exit(2);
+        })
     };
     println!("scan finished in {:.1?}", t0.elapsed());
     println!("{}\n", scan.coverage_line());

@@ -2,11 +2,11 @@
 //! union, identified vs without false positives).
 
 use gullible::report::{pct, thousands, TextTable};
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Table 5: sites with Selenium detectors");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let [(si, st), (di, dt), (ui, ut)] = report.table5();
     let n = report.n_sites as u64;
     let mut table = TextTable::new("Table 5 — sites with Selenium detectors (front + subpages)");

@@ -1,11 +1,11 @@
 //! Table 6 — sites with scripts probing OpenWPM-specific properties.
 
 use gullible::report::TextTable;
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Table 6: OpenWPM-specific detectors per provider");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let t6 = report.table6();
     let mut table = TextTable::new("Table 6 — OpenWPM-specific probes by provider");
     table.header(&["provider", "sites", "per property", "paper @100K"]);

@@ -1,11 +1,11 @@
 //! Table 7 — domains hosting third-party detector scripts.
 
 use gullible::report::{thousands, TextTable};
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Table 7: third-party detector hosting domains");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let t7 = report.table7();
     let total: u32 = t7.iter().map(|(_, n)| n).sum();
     let mut table = TextTable::new("Table 7 — third-party hosting domains (1 inclusion/site)");

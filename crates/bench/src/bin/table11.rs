@@ -1,11 +1,11 @@
 //! Table 11 — studies measuring webdriver-property access on front pages.
 
 use gullible::report::{pct, thousands, TextTable};
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Table 11: webdriver probing on front pages vs prior work");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let front_static = report.count(|s| s.front.static_true);
     let front_dynamic = report.count(|s| s.front.dynamic_true);
     let front_union = report.count(|s| s.front.union_true());

@@ -1,11 +1,11 @@
 //! Table 12 / Appx. A — first-party detector origin clusters.
 
 use gullible::report::{thousands, TextTable};
-use gullible::run_scan;
+use gullible::Scan;
 
 fn main() {
     bench::banner("Table 12: first-party detector attribution");
-    let report = run_scan(bench::scan_config());
+    let report = Scan::new(bench::scan_config()).run().expect("scan");
     let t12 = report.table12();
     let mut table = TextTable::new("Table 12 — first-party detector origins by URL pattern");
     table.header(&["origin", "sites", "paper @100K"]);

@@ -21,10 +21,14 @@
 //! | `GULLIBLE_FAULT_HTTP_PM`  | u32   | 0              | transient-HTTP-failure probability (per-mille) |
 //! | `GULLIBLE_FAULT_BOOST_PM` | u32   | 1000           | failure multiplier on flaky-flagged sites (per-mille) |
 //! | `GULLIBLE_FAULT_SEED`     | u64   | `0xFA017`      | fault-plan seed, independent of the population seed |
+//! | `GULLIBLE_COMPILE_CACHE`  | bool  | 1              | share compiled scripts across workers (`0` disables; ablation) |
+//! | `GULLIBLE_COMPILE_SHARDS` | usize | 16             | mutex stripes in the compile cache (set before first use) |
 //!
 //! Boolean knobs accept `1`, `true`, `yes` or `on` (anything else, or
-//! unset, is off). Numeric knobs that fail to parse fall back to their
-//! defaults rather than aborting a long run.
+//! unset, is off). Default-on boolean knobs (`GULLIBLE_COMPILE_CACHE`)
+//! are instead *disabled* by `0`, `false`, `no` or `off`. Numeric knobs
+//! that fail to parse fall back to their defaults rather than aborting a
+//! long run.
 
 use openwpm::FaultPlan;
 use std::path::PathBuf;
@@ -37,6 +41,15 @@ fn flag_knob(name: &str) -> bool {
     matches!(
         std::env::var(name).unwrap_or_default().to_ascii_lowercase().as_str(),
         "1" | "true" | "yes" | "on"
+    )
+}
+
+/// A boolean knob that defaults to *on*: only an explicit negative value
+/// turns it off.
+fn default_on_knob(name: &str) -> bool {
+    !matches!(
+        std::env::var(name).unwrap_or_default().to_ascii_lowercase().as_str(),
+        "0" | "false" | "no" | "off"
     )
 }
 
@@ -87,6 +100,20 @@ pub fn fault_plan() -> FaultPlan {
     FaultPlan::from_env()
 }
 
+/// `GULLIBLE_COMPILE_CACHE` — the shared script-compilation cache, on by
+/// default. The `--no-compile-cache` CLI flag (any binary) also disables
+/// it, for ablations.
+pub fn compile_cache() -> bool {
+    default_on_knob("GULLIBLE_COMPILE_CACHE")
+        && !std::env::args().any(|a| a == "--no-compile-cache")
+}
+
+/// `GULLIBLE_COMPILE_SHARDS` — mutex stripes in the compile cache. Takes
+/// effect only if set before the cache's first use.
+pub fn compile_shards() -> usize {
+    u64_knob("GULLIBLE_COMPILE_SHARDS", 16) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +137,15 @@ mod tests {
         assert!(!flag_knob("GULLIBLE_TEST_FLAG"));
         std::env::remove_var("GULLIBLE_TEST_FLAG");
         assert!(!flag_knob("GULLIBLE_TEST_FLAG"));
+
+        for off in ["0", "false", "NO", "Off"] {
+            std::env::set_var("GULLIBLE_TEST_ON", off);
+            assert!(!default_on_knob("GULLIBLE_TEST_ON"), "{off} should disable");
+        }
+        std::env::set_var("GULLIBLE_TEST_ON", "1");
+        assert!(default_on_knob("GULLIBLE_TEST_ON"));
+        std::env::remove_var("GULLIBLE_TEST_ON");
+        assert!(default_on_knob("GULLIBLE_TEST_ON"), "unset must default on");
 
         std::env::set_var("GULLIBLE_TEST_PATH", "/tmp/x.jsonl");
         assert_eq!(path_knob("GULLIBLE_TEST_PATH"), Some(PathBuf::from("/tmp/x.jsonl")));

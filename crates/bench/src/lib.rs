@@ -72,9 +72,19 @@ fn arm_telemetry() {
     }
 }
 
+/// Apply the compile-cache knobs (`GULLIBLE_COMPILE_CACHE`,
+/// `GULLIBLE_COMPILE_SHARDS`, the `--no-compile-cache` flag). Shard count
+/// only takes effect before the cache's first use, so this runs from
+/// [`banner`], ahead of any script compilation.
+fn arm_compile_cache() {
+    jsengine::set_cache_shards(env::compile_shards());
+    jsengine::set_cache_enabled(env::compile_cache());
+}
+
 /// Print the run header every binary starts with (and arm telemetry).
 pub fn banner(what: &str) {
     arm_telemetry();
+    arm_compile_cache();
     let faults = env::fault_plan();
     let weather = if faults.is_inert() {
         String::new()
@@ -85,8 +95,9 @@ pub fn banner(what: &str) {
             faults.seed
         )
     };
+    let cache = if jsengine::cache_enabled() { "" } else { ", compile cache OFF" };
     println!(
-        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}\n",
+        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}{cache}\n",
         env::sites(),
         env::seed(),
         env::workers()

@@ -23,17 +23,17 @@
 //! * `fetch` returns a synchronously-resolving thenable (a deliberate
 //!   simplification — the corpus only chains `.then`).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jsengine::interp::ErrorKind;
-use jsengine::{Interp, JsObject, ObjId, Property, Value};
+use jsengine::{Interp, JsObject, ObjId, Property, Slot, Value};
 use netsim::ResourceType;
 
-use crate::page::{FrameContext, PageShared, RealmWindow};
+use crate::page::{host_of, FrameContext, PageShared, RealmWindow};
 
 /// Insert an enumerable data property.
 fn data(it: &mut Interp, obj: ObjId, name: &str, v: Value) {
-    it.heap.get_mut(obj).props.insert(Rc::from(name), Property::data(v));
+    it.heap.get_mut(obj).props.insert(Arc::from(name), Property::data(v));
 }
 
 /// Insert an enumerable native method (WebIDL operations are enumerable).
@@ -56,7 +56,7 @@ fn idl_getter(
     expected_class: &'static str,
     f: impl Fn(&mut Interp, ObjId) -> Result<Value, jsengine::Thrown> + 'static,
 ) {
-    let name_owned: Rc<str> = Rc::from(name);
+    let name_owned: Arc<str> = Arc::from(name);
     let getter = it.alloc_native_fn(name, move |it, this, _args| {
         let name = &name_owned;
         let Some(id) = this.as_obj() else {
@@ -73,7 +73,7 @@ fn idl_getter(
     it.heap
         .get_mut(proto)
         .props
-        .insert(Rc::from(name), Property::accessor(Some(getter), None));
+        .insert(Arc::from(name), Property::accessor(Some(getter), None));
 }
 
 /// Expose an interface object (`window.Navigator` style): a non-constructible
@@ -85,15 +85,15 @@ fn expose_interface(it: &mut Interp, window: ObjId, name: &str, proto: ObjId) {
     it.heap
         .get_mut(ctor)
         .props
-        .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
+        .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
     it.heap
         .get_mut(proto)
         .props
-        .insert(Rc::from("constructor"), Property::data_hidden(Value::Obj(ctor)));
+        .insert(Arc::from("constructor"), Property::data_hidden(Value::Obj(ctor)));
     data(it, window, name, Value::Obj(ctor));
 }
 
-fn string_arg(it: &mut Interp, args: &[Value], i: usize) -> Result<Rc<str>, jsengine::Thrown> {
+fn string_arg(it: &mut Interp, args: &[Value], i: usize) -> Result<Arc<str>, jsengine::Thrown> {
     let v = args.get(i).cloned().unwrap_or(Value::Undefined);
     it.to_string_value(&v)
 }
@@ -129,38 +129,40 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
         .heap
         .alloc(JsObject::with_class(Some(html_element_proto), "HTMLCanvasElementPrototype"));
 
-    install_event_target(it, host, event_target_proto);
-    install_canvas_methods(it, host, canvas_proto);
-    install_node_methods(it, host, node_proto);
+    install_event_target(it, event_target_proto);
+    install_canvas_methods(it, canvas_proto);
+    install_node_methods(it, node_proto);
     install_element_methods(it, element_proto);
 
     // ----- navigator -----
     let navigator = it.heap.alloc(JsObject::with_class(Some(navigator_proto), "Navigator"));
     {
-        let h = host.clone();
-        idl_getter(it, navigator_proto, "userAgent", "Navigator", move |_it, _id| {
-            Ok(Value::str(h.borrow().profile.user_agent()))
+        idl_getter(it, navigator_proto, "userAgent", "Navigator", move |it, _id| {
+            let h = host_of(it);
+            let ua = h.borrow().profile.user_agent();
+            Ok(Value::str(ua))
         });
-        let h = host.clone();
-        idl_getter(it, navigator_proto, "webdriver", "Navigator", move |_it, _id| {
-            Ok(Value::Bool(h.borrow().profile.webdriver))
+        idl_getter(it, navigator_proto, "webdriver", "Navigator", move |it, _id| {
+            let h = host_of(it);
+            let wd = h.borrow().profile.webdriver;
+            Ok(Value::Bool(wd))
         });
-        let h = host.clone();
-        idl_getter(it, navigator_proto, "platform", "Navigator", move |_it, _id| {
-            Ok(Value::str(match h.borrow().profile.os {
+        idl_getter(it, navigator_proto, "platform", "Navigator", move |it, _id| {
+            let h = host_of(it);
+            let os = h.borrow().profile.os;
+            Ok(Value::str(match os {
                 crate::profile::Os::MacOs1015 => "MacIntel",
                 crate::profile::Os::Ubuntu1804 => "Linux x86_64",
             }))
         });
-        let h = host.clone();
-        idl_getter(it, navigator_proto, "language", "Navigator", move |_it, _id| {
-            Ok(Value::str(
-                h.borrow().profile.languages.first().copied().unwrap_or("en-US"),
-            ))
+        idl_getter(it, navigator_proto, "language", "Navigator", move |it, _id| {
+            let h = host_of(it);
+            let lang = h.borrow().profile.languages.first().copied().unwrap_or("en-US");
+            Ok(Value::str(lang))
         });
-        let h = host.clone();
         idl_getter(it, navigator_proto, "languages", "Navigator", move |it, _id| {
             let (langs, extra) = {
+                let h = host_of(it);
                 let hb = h.borrow();
                 (hb.profile.languages.clone(), hb.profile.extra_language_props)
             };
@@ -173,16 +175,14 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
             }
             Ok(Value::Obj(arr))
         });
-        let h = host.clone();
         idl_getter(it, navigator_proto, "plugins", "Navigator", move |it, _id| {
-            let _ = &h;
             Ok(Value::Obj(it.alloc_array(Vec::new())))
         });
         idl_getter(it, navigator_proto, "appVersion", "Navigator", move |_it, _id| {
             Ok(Value::str("5.0 (X11)"))
         });
-        let h = host.clone();
         method(it, navigator_proto, "sendBeacon", move |it, _this, args| {
+            let h = host_of(it);
             let url_s = string_arg(it, args, 0)?;
             let url = h.borrow().resolve_url(&url_s);
             let t = it.now_ms;
@@ -192,9 +192,10 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
         method(it, navigator_proto, "javaEnabled", |_it, _this, _args| {
             Ok(Value::Bool(false))
         });
-        let h = host.clone();
-        idl_getter(it, navigator_proto, "hardwareConcurrency", "Navigator", move |_it, _id| {
-            Ok(Value::Num(h.borrow().profile.hardware_concurrency as f64))
+        idl_getter(it, navigator_proto, "hardwareConcurrency", "Navigator", move |it, _id| {
+            let h = host_of(it);
+            let hc = h.borrow().profile.hardware_concurrency;
+            Ok(Value::Num(hc as f64))
         });
     }
 
@@ -203,8 +204,8 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
     {
         macro_rules! screen_getter {
             ($name:literal, $f:expr) => {{
-                let h = host.clone();
-                idl_getter(it, screen_proto, $name, "Screen", move |_it, _id| {
+                idl_getter(it, screen_proto, $name, "Screen", move |it, _id| {
+                    let h = host_of(it);
                     let p = &h.borrow().profile;
                     #[allow(clippy::redundant_closure_call)]
                     Ok(Value::Num(($f)(p) as f64))
@@ -227,8 +228,8 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
 
     // ----- document -----
     let document = it.heap.alloc(JsObject::with_class(Some(document_proto), "HTMLDocument"));
-    let body = make_element(it, host, html_element_proto, "body");
-    let head = make_element(it, host, html_element_proto, "head");
+    let body = make_element(it, html_element_proto, "body");
+    let head = make_element(it, html_element_proto, "head");
     data(it, document, "readyState", Value::str("complete"));
     data(it, document, "body", Value::Obj(body));
     data(it, document, "head", Value::Obj(head));
@@ -248,62 +249,61 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
     {
         // document.cookie accessor: reads/writes the JS-visible cookie
         // string; the cookie instrument observes stores host-side.
-        let h = host.clone();
-        let getter = it.alloc_native_fn("cookie", move |_it, _this, _args| {
-            Ok(Value::str(h.borrow().js_cookies.join("; ")))
+        let getter = it.alloc_native_fn("cookie", move |it, _this, _args| {
+            let h = host_of(it);
+            let joined = h.borrow().js_cookies.join("; ");
+            Ok(Value::str(joined))
         });
-        let h = host.clone();
         let setter = it.alloc_native_fn("cookie", move |it, _this, args| {
             let s = string_arg(it, args, 0)?;
-            h.borrow_mut().js_cookies.push(s.to_string());
+            host_of(it).borrow_mut().js_cookies.push(s.to_string());
             Ok(Value::Undefined)
         });
         it.heap
             .get_mut(document_proto)
             .props
-            .insert(Rc::from("cookie"), Property::accessor(Some(getter), Some(setter)));
+            .insert(Arc::from("cookie"), Property::accessor(Some(getter), Some(setter)));
     }
     {
         // document.fonts.check("12px FontName") — FontFaceSet.check.
         let fonts = it.alloc_object_with_class("FontFaceSet");
-        let h = host.clone();
         method(it, fonts, "check", move |it, _this, args| {
             let spec = string_arg(it, args, 0)?;
             let name = spec.split_once(' ').map(|(_, n)| n).unwrap_or(&spec);
             let name = name.trim_matches(['"', '\''].as_ref());
-            Ok(Value::Bool(h.borrow().profile.fonts.contains(&name)))
+            let h = host_of(it);
+            let present = h.borrow().profile.fonts.contains(&name);
+            Ok(Value::Bool(present))
         });
-        let h = host.clone();
-        let count = h.borrow().profile.fonts.len();
+        let count = host.borrow().profile.fonts.len();
         data(it, fonts, "size", Value::Num(count as f64));
         data(it, document, "fonts", Value::Obj(fonts));
     }
     {
-        let h = host.clone();
         let hep = html_element_proto;
         let cvp = canvas_proto;
         method(it, document_proto, "createElement", move |it, _this, args| {
             let tag = string_arg(it, args, 0)?;
-            Ok(Value::Obj(make_element_with_canvas(it, &h, hep, cvp, &tag)))
+            Ok(Value::Obj(make_element_with_canvas(it, hep, cvp, &tag)))
         });
-        let h = host.clone();
         let body_id = body;
         method(it, document_proto, "getElementById", move |it, _this, args| {
             let id = string_arg(it, args, 0)?;
-            Ok(lookup_element(it, &h, &id).unwrap_or(Value::Obj(body_id)))
+            let h = host_of(it);
+            Ok(lookup_element(&h, &id).unwrap_or(Value::Obj(body_id)))
         });
-        let h = host.clone();
         method(it, document_proto, "querySelector", move |it, _this, args| {
             let sel = string_arg(it, args, 0)?;
             let id = sel.trim_start_matches('#');
             // Pages in the simulation have no parsed static HTML; selector
             // misses fall back to <body> so verbatim PoC listings work.
-            Ok(lookup_element(it, &h, id).unwrap_or(Value::Obj(body_id)))
+            let h = host_of(it);
+            Ok(lookup_element(&h, id).unwrap_or(Value::Obj(body_id)))
         });
-        let h = host.clone();
         method(it, document_proto, "write", move |it, _this, args| {
             let html = string_arg(it, args, 0)?;
             if html.contains("<iframe") {
+                let h = host_of(it);
                 create_frame(it, &h, FrameContext::DocumentWrite);
             }
             Ok(Value::Undefined)
@@ -356,9 +356,9 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
     // ----- CustomEvent / Event -----
     install_events_ctor(it, window);
     // ----- Date -----
-    install_date(it, host, window);
+    install_date(it, window);
     // ----- fetch -----
-    install_fetch(it, host, window);
+    install_fetch(it, window);
 
     // ----- storage -----
     // localStorage / sessionStorage: per-realm in-page stores (enough for
@@ -397,13 +397,11 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
     }
 
     // ----- window.open -----
-    {
-        let h = host.clone();
-        method(it, window, "open", move |it, _this, _args| {
-            let rw = create_frame(it, &h, FrameContext::WindowOpen);
-            Ok(Value::Obj(rw.window))
-        });
-    }
+    method(it, window, "open", move |it, _this, _args| {
+        let h = host_of(it);
+        let rw = create_frame(it, &h, FrameContext::WindowOpen);
+        Ok(Value::Obj(rw.window))
+    });
 
     let rw = RealmWindow {
         window,
@@ -429,40 +427,40 @@ pub fn install_window(it: &mut Interp, host: &PageShared, is_top: bool) -> Realm
 
 // ------------------------------------------------------------ event target
 
-fn install_event_target(it: &mut Interp, host: &PageShared, proto: ObjId) {
-    let h = host.clone();
+fn install_event_target(it: &mut Interp, proto: ObjId) {
     method(it, proto, "addEventListener", move |it, this, args| {
         let Some(target) = this.as_obj() else {
             return Err(it.throw_error(ErrorKind::Type, "invalid EventTarget"));
         };
         let etype = string_arg(it, args, 0)?;
         let listener = args.get(1).cloned().unwrap_or(Value::Undefined);
-        h.borrow_mut()
+        host_of(it)
+            .borrow_mut()
             .listeners
             .entry((target.0, etype.to_string()))
             .or_default()
             .push(listener);
         Ok(Value::Undefined)
     });
-    let h = host.clone();
     method(it, proto, "removeEventListener", move |it, this, args| {
         let Some(target) = this.as_obj() else {
             return Ok(Value::Undefined);
         };
         let etype = string_arg(it, args, 0)?;
         let listener = args.get(1).cloned().unwrap_or(Value::Undefined);
+        let h = host_of(it);
         if let Some(ls) = h.borrow_mut().listeners.get_mut(&(target.0, etype.to_string())) {
             ls.retain(|l| !l.strict_eq(&listener));
         }
         Ok(Value::Undefined)
     });
-    let h = host.clone();
     method(it, proto, "dispatchEvent", move |it, this, args| {
         let event = args.first().cloned().unwrap_or(Value::Undefined);
         let etype = {
             let t = it.get_prop(&event, "type")?;
             it.to_string_value(&t)?
         };
+        let h = host_of(it);
         // JS listeners registered on this target.
         if let Some(target) = this.as_obj() {
             let listeners = h
@@ -505,19 +503,21 @@ fn install_events_ctor(it: &mut Interp, window: ObjId) {
     }
 }
 
-fn install_date(it: &mut Interp, host: &PageShared, window: ObjId) {
+fn install_date(it: &mut Interp, window: ObjId) {
     let date_proto = it.heap.alloc(JsObject::with_class(
         Some(it.intrinsics.object_proto),
         "DatePrototype",
     ));
     {
-        let h = host.clone();
         method(it, date_proto, "getTime", move |it, _this, _args| {
-            Ok(Value::Num((h.borrow().epoch_base_ms + it.now_ms) as f64))
+            let h = host_of(it);
+            let t = h.borrow().epoch_base_ms + it.now_ms;
+            Ok(Value::Num(t as f64))
         });
-        let h = host.clone();
-        method(it, date_proto, "getTimezoneOffset", move |_it, _this, _args| {
-            Ok(Value::Num(h.borrow().profile.timezone_offset_min as f64))
+        method(it, date_proto, "getTimezoneOffset", move |it, _this, _args| {
+            let h = host_of(it);
+            let tz = h.borrow().profile.timezone_offset_min;
+            Ok(Value::Num(tz as f64))
         });
         method(it, date_proto, "getFullYear", |_it, _this, _args| {
             Ok(Value::Num(2022.0))
@@ -534,20 +534,21 @@ fn install_date(it: &mut Interp, host: &PageShared, window: ObjId) {
     it.heap
         .get_mut(ctor)
         .props
-        .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(date_proto)));
+        .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(date_proto)));
     {
-        let h = host.clone();
         method(it, ctor, "now", move |it, _this, _args| {
-            Ok(Value::Num((h.borrow().epoch_base_ms + it.now_ms) as f64))
+            let h = host_of(it);
+            let t = h.borrow().epoch_base_ms + it.now_ms;
+            Ok(Value::Num(t as f64))
         });
     }
     data(it, window, "Date", Value::Obj(ctor));
 }
 
-fn install_fetch(it: &mut Interp, host: &PageShared, window: ObjId) {
-    let h = host.clone();
+fn install_fetch(it: &mut Interp, window: ObjId) {
     method(it, window, "fetch", move |it, _this, args| {
         let url_s = string_arg(it, args, 0)?;
+        let h = host_of(it);
         let url = h.borrow().resolve_url(&url_s);
         let t = it.now_ms;
         h.borrow_mut().push_request(url, ResourceType::XmlHttpRequest, t);
@@ -559,7 +560,7 @@ fn install_fetch(it: &mut Interp, host: &PageShared, window: ObjId) {
         let robj = it.alloc_object_with_class("Response");
         data(it, robj, "status", Value::Num(status as f64));
         data(it, robj, "ok", Value::Bool(status == 200));
-        let body_rc: Rc<str> = Rc::from(body);
+        let body_rc: Arc<str> = Arc::from(body);
         {
             let body_rc = body_rc.clone();
             method(it, robj, "text", move |it, _this, _args| {
@@ -607,25 +608,18 @@ pub fn make_thenable(it: &mut Interp, resolved: Value) -> Value {
 // ----------------------------------------------------------------- elements
 
 /// Create an element object for `tag`.
-pub fn make_element(
-    it: &mut Interp,
-    host: &PageShared,
-    html_element_proto: ObjId,
-    tag: &str,
-) -> ObjId {
-    make_element_with_canvas(it, host, html_element_proto, html_element_proto, tag)
+pub fn make_element(it: &mut Interp, html_element_proto: ObjId, tag: &str) -> ObjId {
+    make_element_with_canvas(it, html_element_proto, html_element_proto, tag)
 }
 
 /// Element creation with the realm's canvas prototype available (canvas
 /// elements chain through `HTMLCanvasElement.prototype`).
 pub fn make_element_with_canvas(
     it: &mut Interp,
-    host: &PageShared,
     html_element_proto: ObjId,
     canvas_proto: ObjId,
     tag: &str,
 ) -> ObjId {
-    let _ = host;
     let tag_lower = tag.to_ascii_lowercase();
     let class = match tag_lower.as_str() {
         "iframe" => "HTMLIFrameElement",
@@ -649,8 +643,7 @@ pub fn make_element_with_canvas(
 /// Canvas APIs on `HTMLCanvasElement.prototype` — `getContext` (WebGL per
 /// profile, Sec. 3.1) and `toDataURL` (a deterministic render hash standing
 /// in for canvas fingerprinting).
-fn install_canvas_methods(it: &mut Interp, host: &PageShared, canvas_proto: ObjId) {
-    let h = host.clone();
+fn install_canvas_methods(it: &mut Interp, canvas_proto: ObjId) {
     method(it, canvas_proto, "getContext", move |it, this, args| {
         let Some(id) = this.as_obj() else {
             return Err(it.throw_error(ErrorKind::Type, "getContext on non-canvas"));
@@ -660,7 +653,7 @@ fn install_canvas_methods(it: &mut Interp, host: &PageShared, canvas_proto: ObjI
         }
         let kind = string_arg(it, args, 0)?;
         if &*kind == "webgl" || &*kind == "experimental-webgl" {
-            let webgl = h.borrow().profile.webgl.clone();
+            let webgl = host_of(it).borrow().profile.webgl.clone();
             match webgl {
                 None => Ok(Value::Null), // headless: no WebGL at all
                 Some(profile) => Ok(Value::Obj(make_webgl_context(it, &profile))),
@@ -669,10 +662,10 @@ fn install_canvas_methods(it: &mut Interp, host: &PageShared, canvas_proto: ObjI
             Ok(Value::Obj(it.alloc_object_with_class("CanvasRenderingContext2D")))
         }
     });
-    let h = host.clone();
-    method(it, canvas_proto, "toDataURL", move |_it, _this, _args| {
+    method(it, canvas_proto, "toDataURL", move |it, _this, _args| {
         // Deterministic per-profile render hash: same GPU/driver → same
         // pixels, the premise of canvas fingerprinting.
+        let h = host_of(it);
         let hb = h.borrow();
         let mut x = hb.profile.geometry.screen_width as u64;
         x = x.wrapping_mul(0x100_0000_01B3)
@@ -685,13 +678,13 @@ fn install_canvas_methods(it: &mut Interp, host: &PageShared, canvas_proto: ObjI
 
 /// Methods shared by all nodes (on `Node.prototype`): `appendChild` is the
 /// DOM-modification entry the stealth frame protection must intercept.
-fn install_node_methods(it: &mut Interp, host: &PageShared, node_proto: ObjId) {
-    let h = host.clone();
+fn install_node_methods(it: &mut Interp, node_proto: ObjId) {
     method(it, node_proto, "appendChild", move |it, this, args| {
         let child = args.first().cloned().unwrap_or(Value::Undefined);
         let Some(child_id) = child.as_obj() else {
             return Err(it.throw_error(ErrorKind::Type, "appendChild requires a node"));
         };
+        let h = host_of(it);
         let class = it.heap.get(child_id).class.clone();
         match class.as_ref() {
             "HTMLIFrameElement" => {
@@ -747,8 +740,7 @@ fn install_element_methods(it: &mut Interp, element_proto: ObjId) {
     method(it, element_proto, "remove", |_it, _this, _args| Ok(Value::Undefined));
 }
 
-fn lookup_element(it: &Interp, host: &PageShared, id: &str) -> Option<Value> {
-    let _ = it;
+fn lookup_element(host: &PageShared, id: &str) -> Option<Value> {
     host.borrow().element_id(id).map(Value::Obj)
 }
 
@@ -779,6 +771,26 @@ fn make_webgl_context(it: &mut Interp, profile: &crate::webgl::WebGlProfile) -> 
         Ok(Value::Obj(it.alloc_array(exts)))
     });
     it.heap.alloc(JsObject::with_class(Some(proto), "WebGLRenderingContext"))
+}
+
+/// Re-point the per-page location data an installed realm baked in at
+/// build time (`location.href`/`host`/`hostname`/`pathname`/`protocol` and
+/// `document.domain`) at `url`. Property insertion positions are
+/// preserved, so a re-pointed clone is observably identical to a realm
+/// built for `url` from scratch.
+pub(crate) fn repoint_location(it: &mut Interp, rw: RealmWindow, url: &netsim::Url) {
+    let loc = it.heap.get(rw.window).props.get("location").and_then(|p| match &p.slot {
+        Slot::Data(Value::Obj(id)) => Some(*id),
+        _ => None,
+    });
+    if let Some(loc) = loc {
+        data(it, loc, "href", Value::str(url.to_string()));
+        data(it, loc, "host", Value::str(&url.host));
+        data(it, loc, "hostname", Value::str(&url.host));
+        data(it, loc, "pathname", Value::str(&url.path));
+        data(it, loc, "protocol", Value::str(format!("{}:", url.scheme)));
+    }
+    data(it, rw.document, "domain", Value::str(&url.host));
 }
 
 // ------------------------------------------------------------------ frames

@@ -23,6 +23,7 @@ pub mod csp;
 pub mod hostobjects;
 pub mod page;
 pub mod profile;
+pub mod realm;
 pub mod template;
 pub mod webgl;
 
@@ -30,6 +31,7 @@ pub use csp::CspPolicy;
 pub use page::{
     CspBlocked, EventSink, FrameContext, FrameHook, Page, PageHost, PageShared, RealmWindow,
 };
+pub use realm::PageTemplate;
 pub use profile::{FingerprintProfile, Os, RunMode, WindowGeometry};
 pub use template::{capture_template, diff, Template, TemplateDiff};
 pub use webgl::WebGlProfile;

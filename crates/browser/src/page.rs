@@ -18,7 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use jsengine::{EngineError, Interp, ObjId, Value};
+use jsengine::{EngineError, Interp, ObjId, ScriptSource, Value};
 use netsim::{HttpRequest, HttpResponse, ResourceType, Url};
 
 use crate::csp::CspPolicy;
@@ -71,7 +71,10 @@ pub struct RealmWindow {
 
 /// Host-side state of a page visit.
 pub struct PageHost {
-    pub profile: FingerprintProfile,
+    /// The client fingerprint this page presents. Shared (`Arc`) because
+    /// every page of a browser instance presents the same profile — the
+    /// browser builds it once and hands each page a reference.
+    pub profile: std::sync::Arc<FingerprintProfile>,
     pub page_url: Url,
     pub csp: Option<CspPolicy>,
     /// Count of CSP violations triggered (each also emits a `csp_report`
@@ -104,7 +107,11 @@ pub struct PageHost {
 }
 
 impl PageHost {
-    fn new(profile: FingerprintProfile, page_url: Url, csp: Option<CspPolicy>) -> PageHost {
+    pub(crate) fn new(
+        profile: std::sync::Arc<FingerprintProfile>,
+        page_url: Url,
+        csp: Option<CspPolicy>,
+    ) -> PageHost {
         PageHost {
             profile,
             page_url,
@@ -186,13 +193,31 @@ pub struct Page {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CspBlocked;
 
+/// The page host attached to an interpreter (set by [`Page::new`] and
+/// [`crate::realm::PageTemplate::instantiate`]). The native window
+/// functions fetch it through here at call time, so an installed realm
+/// carries no per-page captures and can serve as a clonable template.
+pub(crate) fn host_of(it: &Interp) -> PageShared {
+    it.host
+        .clone()
+        .expect("interpreter has no attached PageHost")
+        .downcast::<RefCell<PageHost>>()
+        .expect("attached interpreter host is not a PageHost")
+}
+
 impl Page {
     /// Load an (empty) page for `url` with the given client profile and
     /// optional site CSP. Site content is executed afterwards with
-    /// [`Page::run_script`].
-    pub fn new(profile: FingerprintProfile, url: Url, csp: Option<CspPolicy>) -> Page {
+    /// [`Page::run_script`]. The profile is accepted owned or pre-shared
+    /// (`Arc`); browsers opening many pages share one allocation.
+    pub fn new(
+        profile: impl Into<std::sync::Arc<FingerprintProfile>>,
+        url: Url,
+        csp: Option<CspPolicy>,
+    ) -> Page {
         let mut interp = Interp::new();
-        let host = Rc::new(RefCell::new(PageHost::new(profile, url, csp)));
+        let host = Rc::new(RefCell::new(PageHost::new(profile.into(), url, csp)));
+        interp.host = Some(host.clone());
         let top = hostobjects::install_window(&mut interp, &host, true);
         Page { interp, host, top }
     }
@@ -211,9 +236,14 @@ impl Page {
         );
     }
 
-    /// Run a page/site script in the top realm.
-    pub fn run_script(&mut self, src: &str, name: &str) -> Result<Value, EngineError> {
-        self.interp.eval_script(src, name)
+    /// Run a page/site script in the top realm. Accepts anything that
+    /// converts to a [`ScriptSource`]: raw text as a `(source, name)` pair
+    /// (parsed on the spot, uncached), or a
+    /// [`CompiledScript`](jsengine::CompiledScript) handle whose shared
+    /// parse is reused — the caller opts into the compile cache by passing
+    /// the latter; there is no duplicate method pair.
+    pub fn run_script(&mut self, script: impl Into<ScriptSource>) -> Result<Value, EngineError> {
+        self.interp.eval_source(&script.into())
     }
 
     /// Turn on interpreter profiling for this page (op counts, call depth,
@@ -232,7 +262,7 @@ impl Page {
     /// CSP `script-src` (Sec. 5.1.2): on a strict policy the injection is
     /// refused, a violation is recorded, and a `csp_report` request is
     /// emitted to the site's report endpoint.
-    pub fn dom_inject_script(&mut self, src: &str, name: &str) -> Result<Value, CspBlocked> {
+    pub fn dom_inject_script(&mut self, script: impl Into<ScriptSource>) -> Result<Value, CspBlocked> {
         let blocked = {
             let host = self.host.borrow();
             host.csp.as_ref().is_some_and(|c| c.blocks_inline_scripts)
@@ -255,7 +285,7 @@ impl Page {
         }
         // Injection executes in the page's global scope, exactly like an
         // appended <script> element.
-        self.interp.eval_script(src, name).map_err(|_| CspBlocked)
+        self.interp.eval_source(&script.into()).map_err(|_| CspBlocked)
     }
 
     /// Advance virtual time, draining due jobs (extension injections,
@@ -287,7 +317,7 @@ impl Page {
             .heap
             .get_mut(ev)
             .props
-            .insert(std::rc::Rc::from("type"), jsengine::Property::data(Value::str(kind)));
+            .insert(std::sync::Arc::from("type"), jsengine::Property::data(Value::str(kind)));
         for l in listeners {
             if matches!(&l, Value::Obj(id) if self.interp.heap.get(*id).is_callable()) {
                 let _ = self.interp.call(l, Value::Obj(doc), &[Value::Obj(ev)]);
@@ -322,9 +352,9 @@ mod tests {
     #[test]
     fn page_exposes_host_objects() {
         let mut p = page();
-        let ua = p.run_script("navigator.userAgent", "t").unwrap();
+        let ua = p.run_script(("navigator.userAgent", "t")).unwrap();
         assert!(ua.as_str().unwrap().contains("Firefox/90.0"));
-        let wd = p.run_script("navigator.webdriver", "t").unwrap();
+        let wd = p.run_script(("navigator.webdriver", "t")).unwrap();
         assert_eq!(wd, Value::Bool(true));
     }
 
@@ -335,7 +365,7 @@ mod tests {
             Url::parse("https://site.example.com/").unwrap(),
             None,
         );
-        let wd = p.run_script("navigator.webdriver", "t").unwrap();
+        let wd = p.run_script(("navigator.webdriver", "t")).unwrap();
         assert_eq!(wd, Value::Bool(false));
     }
 
@@ -346,22 +376,22 @@ mod tests {
             Url::parse("https://site.example.com/").unwrap(),
             Some(CspPolicy::strict("/csp-report")),
         );
-        let r = p.dom_inject_script("window.injected = 1;", "inject");
+        let r = p.dom_inject_script(("window.injected = 1;", "inject"));
         assert_eq!(r, Err(CspBlocked));
         assert_eq!(p.host.borrow().csp_violations, 1);
         let traffic = p.traffic();
         assert_eq!(traffic.len(), 1);
         assert_eq!(traffic[0].resource_type, ResourceType::CspReport);
         // The page never saw the injected global.
-        let v = p.run_script("typeof window.injected", "t").unwrap();
+        let v = p.run_script(("typeof window.injected", "t")).unwrap();
         assert_eq!(v.as_str().unwrap(), "undefined");
     }
 
     #[test]
     fn permissive_page_allows_injection() {
         let mut p = page();
-        p.dom_inject_script("window.injected = 42;", "inject").unwrap();
-        let v = p.run_script("window.injected", "t").unwrap();
+        p.dom_inject_script(("window.injected = 42;", "inject")).unwrap();
+        let v = p.run_script(("window.injected", "t")).unwrap();
         assert_eq!(v, Value::Num(42.0));
     }
 }

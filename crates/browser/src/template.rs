@@ -60,11 +60,11 @@ impl TemplateDiff {
 /// script. Cycles are broken per-path by an on-stack set.
 pub fn capture_template(page: &mut Page) -> Template {
     // Materialise WebGL exactly as the attack script would.
-    let _ = page.run_script(
+    let _ = page.run_script((
         "try { window.__tmplWebgl = document.createElement('canvas').getContext('webgl'); } \
          catch (e) { window.__tmplWebgl = null; }",
         "template-attack",
-    );
+    ));
     let mut t = Template::default();
     let root = page.top.window;
     // Global visited set: each object is expanded at its first-encountered
@@ -82,7 +82,7 @@ pub fn capture_template(page: &mut Page) -> Template {
         .collect();
     t.entries.retain(|k, _| !k.starts_with("window.__tmplWebgl"));
     t.entries.extend(webgl_entries);
-    let _ = page.run_script("delete window.__tmplWebgl;", "template-attack");
+    let _ = page.run_script(("delete window.__tmplWebgl;", "template-attack"));
     t
 }
 
@@ -126,7 +126,7 @@ fn walk(
     // through the *instance* — this is what `obj[key]` in the attack script
     // does, and it is how prototype accessors (e.g. `webdriver` on
     // `Navigator.prototype`) resolve to concrete values.
-    let mut keys: Vec<std::rc::Rc<str>> = Vec::new();
+    let mut keys: Vec<std::sync::Arc<str>> = Vec::new();
     {
         let mut seen = std::collections::HashSet::new();
         let mut cur = Some(id);
@@ -155,7 +155,7 @@ fn walk(
     if let Some(p) = proto {
         let sig = format!("proto:{}", page.interp.heap.get(p).class);
         out.entries.insert(format!("{path}.__proto__"), sig);
-        let own: Vec<std::rc::Rc<str>> =
+        let own: Vec<std::sync::Arc<str>> =
             page.interp.heap.get(p).props.keys().cloned().collect();
         out.entries.insert(
             format!("{path}.__proto__.#ownKeys"),

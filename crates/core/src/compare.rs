@@ -196,11 +196,13 @@ pub fn visit_one(
     let mut spec = visit_spec(plan, PageKind::Front);
     spec.dwell_override_s = Some(61);
     let flagged = Cell::new(false);
-    let stats = browser.visit(&spec, |traffic| {
-        let f = verdict_from_traffic(traffic);
-        flagged.set(f);
-        behaviour::site_response(plan, run, client_tag, f, flagged_before)
-    });
+    let stats = browser
+        .visit(&spec, |traffic| {
+            let f = verdict_from_traffic(traffic);
+            flagged.set(f);
+            behaviour::site_response(plan, run, client_tag, f, flagged_before)
+        })
+        .expect("generated plan URLs always parse");
     let store = browser.take_store();
     let easylist = webgen::blocklists::easylist();
     let easyprivacy = webgen::blocklists::easyprivacy();

@@ -44,8 +44,7 @@ pub mod surface;
 pub use obs;
 
 pub use compare::{run_compare, Client, CompareConfig, CompareReport};
-pub use scan::{
-    run_scan, run_scan_supervised, run_scan_with_checkpoint, ScanConfig, ScanReport,
-    SiteScanRecord,
-};
+#[allow(deprecated)]
+pub use scan::{run_scan, run_scan_supervised, run_scan_with_checkpoint};
+pub use scan::{Scan, ScanConfig, ScanReport, SiteScanRecord};
 pub use surface::{surface, validate, ClientKind, SurfaceReport};

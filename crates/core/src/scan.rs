@@ -16,8 +16,8 @@ use detect::{analyse, preprocess, DynamicClass, StaticPattern};
 use netsim::url::etld1_of;
 use netsim::Url;
 use openwpm::{
-    run_supervised, Browser, BrowserConfig, CrawlHistoryRecord, CrawlSummary, FailureReason,
-    FaultPlan, ItemMeta, RetryPolicy, SiteResponse, SupervisorConfig, VisitOutcome,
+    run_supervised_fallible, Browser, BrowserConfig, CrawlHistoryRecord, CrawlSummary,
+    FailureReason, FaultPlan, ItemMeta, RetryPolicy, SiteResponse, SupervisorConfig, VisitOutcome,
 };
 use webgen::{visit_spec, Category, PageKind, Population, SitePlan};
 
@@ -134,8 +134,14 @@ pub struct SiteScanRecord {
     pub script_hashes: Vec<u64>,
 }
 
-/// Scan one site with a scanning browser.
-pub fn scan_site(browser: &mut Browser, plan: &SitePlan, include_subpages: bool) -> SiteScanRecord {
+/// Scan one site with a scanning browser. A visit spec whose URL does not
+/// parse surfaces as a typed [`FailureReason`] for the supervisor to
+/// record, instead of panicking the worker.
+pub fn scan_site(
+    browser: &mut Browser,
+    plan: &SitePlan,
+    include_subpages: bool,
+) -> Result<SiteScanRecord, FailureReason> {
     let mut record = SiteScanRecord {
         rank: plan.rank,
         domain: plan.domain.clone(),
@@ -156,7 +162,7 @@ pub fn scan_site(browser: &mut Browser, plan: &SitePlan, include_subpages: bool)
     for page in pages {
         let mut spec = visit_spec(plan, page);
         spec.dwell_override_s = Some(61); // covers 500 ms-delayed probes + 60 s dwell
-        browser.visit(&spec, |_traffic| SiteResponse::default());
+        browser.visit(&spec, |_traffic| SiteResponse::default())?;
         let store = browser.take_store();
         let flags = classify_page(&store, plan, &mut record);
         if matches!(page, PageKind::Front) {
@@ -170,7 +176,7 @@ pub fn scan_site(browser: &mut Browser, plan: &SitePlan, include_subpages: bool)
     record.first_party_urls.dedup();
     record.openwpm_probes.sort();
     record.openwpm_probes.dedup();
-    record
+    Ok(record)
 }
 
 /// Classify one page's records; appends attribution data to `record`.
@@ -421,22 +427,156 @@ impl ScanReport {
     }
 }
 
+/// One configured scan session — the single entrypoint for plain,
+/// supervised and checkpointed scans:
+///
+/// ```ignore
+/// // Plain scan:
+/// let report = Scan::new(cfg).run()?;
+/// // Resumable scan with a completion callback:
+/// let report = Scan::new(cfg)
+///     .checkpoint("scan.ckpt")
+///     .on_complete(|rank, outcome, attempts| { /* progress */ })
+///     .run()?;
+/// ```
+///
+/// `run` only returns `Err` for checkpoint I/O failures; a scan without
+/// [`Scan::checkpoint`] cannot fail.
+pub struct Scan<'a> {
+    cfg: ScanConfig,
+    checkpoint: Option<std::path::PathBuf>,
+    prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
+    prior_attempts: Vec<u32>,
+    #[allow(clippy::type_complexity)]
+    on_complete: Option<Box<dyn Fn(usize, &VisitOutcome<SiteScanRecord>, u32) + Sync + 'a>>,
+}
+
+impl<'a> Scan<'a> {
+    pub fn new(cfg: ScanConfig) -> Scan<'a> {
+        Scan {
+            cfg,
+            checkpoint: None,
+            prior: Vec::new(),
+            prior_attempts: Vec::new(),
+            on_complete: None,
+        }
+    }
+
+    /// Checkpoint to `path`: previously-determined sites are loaded and
+    /// replayed, every newly-determined site is appended as soon as it
+    /// completes. Interrupt the process (or set `cfg.visit_budget`) and
+    /// run again with the same path to resume; the final aggregates are
+    /// identical to an uninterrupted run. Overrides [`Scan::resume_from`].
+    pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>) -> Scan<'a> {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resume from in-memory state: `prior[rank] = Some(outcome)` replays
+    /// a previously-determined outcome without re-visiting, and
+    /// `prior_attempts[rank]` carries its original attempt count (used by
+    /// the aggregated crawl history).
+    pub fn resume_from(
+        mut self,
+        prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
+        prior_attempts: Vec<u32>,
+    ) -> Scan<'a> {
+        self.prior = prior;
+        self.prior_attempts = prior_attempts;
+        self
+    }
+
+    /// Completion callback: fires once per newly-determined site (not for
+    /// replayed priors), from worker threads.
+    pub fn on_complete(
+        mut self,
+        f: impl Fn(usize, &VisitOutcome<SiteScanRecord>, u32) + Sync + 'a,
+    ) -> Scan<'a> {
+        self.on_complete = Some(Box::new(f));
+        self
+    }
+
+    /// Execute the session. `Err` only for checkpoint I/O failures.
+    pub fn run(self) -> std::io::Result<ScanReport> {
+        let cfg = self.cfg;
+        let user = self.on_complete;
+        let Some(path) = self.checkpoint else {
+            let report = match &user {
+                Some(f) => run_scan_inner(cfg, self.prior, &self.prior_attempts, f),
+                None => run_scan_inner(cfg, self.prior, &self.prior_attempts, &|_, _, _| {}),
+            };
+            return Ok(report);
+        };
+        let (prior, prior_attempts, dropped) = match std::fs::read_to_string(&path) {
+            Ok(contents) => load_checkpoint(&contents, cfg.n_sites),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                ((0..cfg.n_sites).map(|_| None).collect(), vec![0u32; cfg.n_sites as usize], 0)
+            }
+            Err(e) => return Err(e),
+        };
+        let replayed = prior.iter().filter(|p| p.is_some()).count();
+        obs::emit(
+            obs::Event::new(0, "checkpoint_load")
+                .attr("replayed", replayed)
+                .attr("dropped", dropped),
+        );
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        let writer = Mutex::new(std::io::BufWriter::new(file));
+        let mut report =
+            run_scan_inner(cfg, prior, &prior_attempts, &|rank, outcome, attempts| {
+                if let Some(line) = checkpoint_line(rank as u32, outcome, attempts) {
+                    let mut w = writer.lock().unwrap();
+                    // Write-and-flush per site keeps the checkpoint durable
+                    // at the cost of one syscall per site — negligible next
+                    // to a visit, and a kill loses at most the in-flight
+                    // line.
+                    let _ = writeln!(w, "{line}");
+                    let _ = w.flush();
+                    drop(w);
+                    obs::add("checkpoint.writes", 1);
+                    // Emitted inside the visit scope the supervisor holds
+                    // open during `on_complete`, so it lands in this site's
+                    // trace.
+                    obs::emit(obs::Event::new(0, "checkpoint_write").attr("rank", rank));
+                }
+                if let Some(f) = &user {
+                    f(rank, outcome, attempts);
+                }
+            });
+        report.completion.checkpoint_lines_dropped = dropped;
+        Ok(report)
+    }
+}
+
 /// Run the full scan under the supervised executor (no checkpointing).
+#[deprecated(note = "use the `Scan` builder: `Scan::new(cfg).run()`")]
 pub fn run_scan(cfg: ScanConfig) -> ScanReport {
-    run_scan_supervised(cfg, Vec::new(), &[], &|_, _, _| {})
+    Scan::new(cfg).run().expect("scan without checkpoint cannot fail")
 }
 
 /// Supervised scan with explicit resume state and a completion callback.
-///
-/// * `prior[rank] = Some(outcome)` replays a checkpointed outcome without
-///   re-visiting; `prior_attempts[rank]` carries its attempt count.
-/// * `on_complete(rank, outcome, attempts)` fires for each
-///   newly-determined site, from worker threads.
+#[deprecated(
+    note = "use the `Scan` builder: `Scan::new(cfg).resume_from(prior, attempts).on_complete(f).run()`"
+)]
 pub fn run_scan_supervised(
     cfg: ScanConfig,
     prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
     prior_attempts: &[u32],
     on_complete: &(impl Fn(usize, &VisitOutcome<SiteScanRecord>, u32) + Sync),
+) -> ScanReport {
+    Scan::new(cfg)
+        .resume_from(prior, prior_attempts.to_vec())
+        .on_complete(on_complete)
+        .run()
+        .expect("scan without checkpoint cannot fail")
+}
+
+/// The supervised scan core shared by every [`Scan`] flavour.
+fn run_scan_inner(
+    cfg: ScanConfig,
+    prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
+    prior_attempts: &[u32],
+    on_complete: &(dyn Fn(usize, &VisitOutcome<SiteScanRecord>, u32) + Sync),
 ) -> ScanReport {
     let pop = cfg.population();
     let ranks: Vec<u32> = (0..cfg.n_sites).collect();
@@ -444,7 +584,7 @@ pub fn run_scan_supervised(
     let seed = cfg.seed;
     let interact = cfg.simulate_interaction;
     let phase = obs::phase("scan.visits");
-    let crawl = run_supervised(
+    let crawl = run_supervised_fallible(
         ranks,
         cfg.workers,
         cfg.supervisor(),
@@ -712,47 +852,10 @@ pub fn load_checkpoint(
     (prior, attempts, dropped)
 }
 
-/// Run a scan with durable checkpointing: previously-determined sites are
-/// loaded from `path` and replayed, and every newly-determined site is
-/// appended to `path` as soon as it completes. Interrupt the process (or
-/// set `cfg.visit_budget`) and call again with the same `path` to resume;
-/// the final aggregates are identical to an uninterrupted run.
-pub fn run_scan_with_checkpoint(
-    cfg: ScanConfig,
-    path: &Path,
-) -> std::io::Result<ScanReport> {
-    let (prior, prior_attempts, dropped) = match std::fs::read_to_string(path) {
-        Ok(contents) => load_checkpoint(&contents, cfg.n_sites),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            ((0..cfg.n_sites).map(|_| None).collect(), vec![0u32; cfg.n_sites as usize], 0)
-        }
-        Err(e) => return Err(e),
-    };
-    let replayed = prior.iter().filter(|p| p.is_some()).count();
-    obs::emit(
-        obs::Event::new(0, "checkpoint_load")
-            .attr("replayed", replayed)
-            .attr("dropped", dropped),
-    );
-    let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    let writer = Mutex::new(std::io::BufWriter::new(file));
-    let mut report = run_scan_supervised(cfg, prior, &prior_attempts, &|rank, outcome, attempts| {
-        if let Some(line) = checkpoint_line(rank as u32, outcome, attempts) {
-            let mut w = writer.lock().unwrap();
-            // Write-and-flush per site keeps the checkpoint durable at
-            // the cost of one syscall per site — negligible next to a
-            // visit, and a kill loses at most the in-flight line.
-            let _ = writeln!(w, "{line}");
-            let _ = w.flush();
-            drop(w);
-            obs::add("checkpoint.writes", 1);
-            // Emitted inside the visit scope the supervisor holds open
-            // during `on_complete`, so it lands in this site's trace.
-            obs::emit(obs::Event::new(0, "checkpoint_write").attr("rank", rank));
-        }
-    });
-    report.completion.checkpoint_lines_dropped = dropped;
-    Ok(report)
+/// Run a scan with durable checkpointing.
+#[deprecated(note = "use the `Scan` builder: `Scan::new(cfg).checkpoint(path).run()`")]
+pub fn run_scan_with_checkpoint(cfg: ScanConfig, path: &Path) -> std::io::Result<ScanReport> {
+    Scan::new(cfg).checkpoint(path).run()
 }
 
 #[cfg(test)]
@@ -760,7 +863,7 @@ mod tests {
     use super::*;
 
     fn small_scan() -> ScanReport {
-        run_scan(ScanConfig { ..ScanConfig::new(800, 11) })
+        Scan::new(ScanConfig { ..ScanConfig::new(800, 11) }).run().expect("scan")
     }
 
     #[test]
@@ -859,11 +962,11 @@ mod tests {
         // Ablation: an HLISA-style interacting crawl executes the
         // hover-gated probes that the paper's non-interacting scan could
         // only find statically.
-        let passive = run_scan(ScanConfig::new(600, 11));
-        let active = run_scan(ScanConfig {
+        let passive = Scan::new(ScanConfig::new(600, 11)).run().expect("scan");
+        let active = Scan::new(ScanConfig {
             simulate_interaction: true,
             ..ScanConfig::new(600, 11)
-        });
+        }).run().expect("scan");
         let passive_dyn = passive.count(|s| s.site.dynamic_true);
         let active_dyn = active.count(|s| s.site.dynamic_true);
         assert!(
@@ -917,7 +1020,7 @@ mod tests {
             faults: FaultPlan::adversarial(21),
             ..ScanConfig::new(400, 55)
         };
-        let report = run_scan(cfg);
+        let report = Scan::new(cfg).run().expect("scan");
         assert_eq!(report.completion.total, 400);
         assert_eq!(report.sites.len(), report.completion.completed);
         assert_eq!(report.history.len(), 400);
@@ -937,8 +1040,8 @@ mod tests {
             faults: FaultPlan::adversarial(5),
             ..ScanConfig::new(300, 9)
         };
-        let a = run_scan(ScanConfig { workers: 1, ..base });
-        let b = run_scan(ScanConfig { workers: 4, ..base });
+        let a = Scan::new(ScanConfig { workers: 1, ..base }).run().expect("scan");
+        let b = Scan::new(ScanConfig { workers: 4, ..base }).run().expect("scan");
         assert_eq!(a.completion, b.completion);
         assert_eq!(a.history, b.history);
         assert_eq!(a.table5(), b.table5());
@@ -1014,7 +1117,7 @@ mod tests {
 
     #[test]
     fn load_checkpoint_counts_bad_lines_and_out_of_range_ranks() {
-        let rec = run_scan(ScanConfig::new(20, 3)).sites[4].clone();
+        let rec = Scan::new(ScanConfig::new(20, 3)).run().expect("scan").sites[4].clone();
         let good = checkpoint_line(4, &VisitOutcome::Completed(rec), 1).unwrap();
         let out_of_range = checkpoint_line(
             500,

@@ -125,7 +125,7 @@ pub fn client_page(kind: ClientKind, os: Os, mode: RunMode) -> Page {
 pub fn probe_fingerprint(page: &mut Page) -> ProbeFingerprint {
     let mut out = BTreeMap::new();
     for (name, expr) in PROBES {
-        let v = match page.run_script(expr, "fingerprint-probe.js") {
+        let v = match page.run_script((*expr, "fingerprint-probe.js")) {
             Ok(v) => page
                 .interp
                 .to_string_value(&v)
@@ -296,11 +296,11 @@ pub fn validator_script() -> &'static str {
 pub fn validate(kind: ClientKind, os: Os, mode: RunMode) -> (bool, String) {
     let mut page = client_page(kind, os, mode);
     let hit = page
-        .run_script(validator_script(), "https://validator.test/detect.js")
+        .run_script((validator_script(), "https://validator.test/detect.js"))
         .map(|v| v.truthy())
         .unwrap_or(false);
     let evidence = page
-        .run_script("window.__validator", "probe")
+        .run_script(("window.__validator", "probe"))
         .ok()
         .and_then(|v| v.as_str().map(str::to_owned))
         .unwrap_or_default();

@@ -285,7 +285,7 @@ mod tests {
     fn run_on(profile: FingerprintProfile, src: &str) -> Vec<(String, String)> {
         let mut page =
             Page::new(profile, Url::parse("https://site.test/").unwrap(), None);
-        page.run_script(src, "https://bd.test/detect.js").unwrap();
+        page.run_script((src, "https://bd.test/detect.js")).unwrap();
         page.advance(60_000);
         page.traffic()
             .iter()

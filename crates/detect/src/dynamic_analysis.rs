@@ -117,10 +117,10 @@ mod tests {
             dwell_override_s: Some(61),
             ..Default::default()
         };
-        let (mut page, _stats) = b.open_page(&spec);
+        let (mut page, _stats) = b.open_page(&spec).expect("test URL parses");
         watch::install(&mut page, b.store(), "https://site.test/".into());
         let names = honey::install(&mut page, b.store(), 77, 10);
-        let _ = page.run_script(src, script_url);
+        let _ = page.run_script((src, script_url));
         page.advance(61_000);
         let store = b.take_store();
         (observe(&store), names.len())

@@ -1,6 +1,6 @@
 //! Abstract syntax tree for the MiniJS subset.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Binary operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,9 +55,9 @@ pub enum AssignOp {
 /// Assignment / update targets.
 #[derive(Clone, Debug)]
 pub enum Target {
-    Ident(Rc<str>),
+    Ident(Arc<str>),
     /// `obj.key` — key resolved at parse time.
-    Member(Box<Expr>, Rc<str>),
+    Member(Box<Expr>, Arc<str>),
     /// `obj[expr]`.
     Index(Box<Expr>, Box<Expr>),
 }
@@ -66,20 +66,20 @@ pub enum Target {
 #[derive(Clone, Debug)]
 pub enum Expr {
     Num(f64),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Bool(bool),
     Null,
     Undefined,
     This,
-    Ident(Rc<str>),
+    Ident(Arc<str>),
     /// Array literal.
     Array(Vec<Expr>),
     /// Object literal: `(key, value)` pairs.
-    Object(Vec<(Rc<str>, Expr)>),
+    Object(Vec<(Arc<str>, Expr)>),
     /// Function expression (named or anonymous) and arrow functions.
-    Function(Rc<FunctionDef>),
+    Function(Arc<FunctionDef>),
     /// `base.key`.
-    Member { base: Box<Expr>, key: Rc<str>, line: u32 },
+    Member { base: Box<Expr>, key: Arc<str>, line: u32 },
     /// `base[index]`.
     Index { base: Box<Expr>, index: Box<Expr>, line: u32 },
     /// Call; when the callee is a member expression, `this` binds to the
@@ -107,15 +107,15 @@ pub enum Expr {
 #[derive(Clone, Debug)]
 pub struct FunctionDef {
     /// Function name; empty for anonymous functions.
-    pub name: Rc<str>,
-    pub params: Vec<Rc<str>>,
-    pub body: Rc<[Stmt]>,
+    pub name: Arc<str>,
+    pub params: Vec<Arc<str>>,
+    pub body: Arc<[Stmt]>,
     /// Verbatim source text of the definition (exactly what `toString`
     /// must return for script functions).
-    pub source: Rc<str>,
+    pub source: Arc<str>,
     /// Name of the script this function was defined in — surfaces in stack
     /// traces as `fn@script:line`, the signal Sec. 3.1.4 exploits.
-    pub script: Rc<str>,
+    pub script: Arc<str>,
     /// Line of the `function` keyword in the defining script.
     pub line: u32,
     /// Arrow functions bind `this` lexically.
@@ -128,8 +128,8 @@ pub enum Stmt {
     Expr(Expr),
     /// `var`/`let`/`const` — scoping is function-level for all three (the
     /// corpus does not rely on TDZ semantics).
-    VarDecl { name: Rc<str>, init: Option<Expr> },
-    FunctionDecl(Rc<FunctionDef>),
+    VarDecl { name: Arc<str>, init: Option<Expr> },
+    FunctionDecl(Arc<FunctionDef>),
     Return(Option<Expr>),
     If { cond: Expr, then: Vec<Stmt>, otherwise: Option<Vec<Stmt>> },
     While { cond: Expr, body: Vec<Stmt> },
@@ -141,15 +141,15 @@ pub enum Stmt {
         body: Vec<Stmt>,
     },
     /// `for (var k in obj)` — enumerates own + inherited enumerable keys.
-    ForIn { var: Rc<str>, object: Expr, body: Vec<Stmt> },
+    ForIn { var: Arc<str>, object: Expr, body: Vec<Stmt> },
     /// `for (var v of arr)` — arrays and strings.
-    ForOf { var: Rc<str>, object: Expr, body: Vec<Stmt> },
+    ForOf { var: Arc<str>, object: Expr, body: Vec<Stmt> },
     Break,
     Continue,
     Throw(Expr, u32),
     Try {
         body: Vec<Stmt>,
-        catch: Option<(Rc<str>, Vec<Stmt>)>,
+        catch: Option<(Arc<str>, Vec<Stmt>)>,
         finally: Option<Vec<Stmt>>,
     },
     Block(Vec<Stmt>),

@@ -6,7 +6,7 @@
 //! scripts, instrumentation wrappers and attack PoCs) is implemented —
 //! the subset is documented per function.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::interp::{ErrorKind, Interp};
 use crate::object::{Callable, ObjId, Property, Slot};
@@ -34,7 +34,7 @@ fn method(interp: &mut Interp, target: ObjId, name: &str,
         .heap
         .get_mut(target)
         .props
-        .insert(Rc::from(name), Property::data_hidden(Value::Obj(func)));
+        .insert(Arc::from(name), Property::data_hidden(Value::Obj(func)));
 }
 
 fn arg(args: &[Value], i: usize) -> Value {
@@ -55,12 +55,12 @@ fn install_object(interp: &mut Interp) {
         .heap
         .get_mut(ctor)
         .props
-        .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(object_proto)));
+        .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(object_proto)));
     interp
         .heap
         .get_mut(object_proto)
         .props
-        .insert(Rc::from("constructor"), Property::data_hidden(Value::Obj(ctor)));
+        .insert(Arc::from("constructor"), Property::data_hidden(Value::Obj(ctor)));
 
     method(interp, ctor, "keys", |it, _this, args| {
         let Some(id) = arg(args, 0).as_obj() else {
@@ -146,7 +146,7 @@ fn install_object(interp: &mut Interp) {
         it.heap
             .get_mut(id)
             .props
-            .insert(Rc::from(&*key), Property { slot, enumerable, writable });
+            .insert(Arc::from(&*key), Property { slot, enumerable, writable });
         Ok(arg(args, 0))
     });
 
@@ -163,23 +163,23 @@ fn install_object(interp: &mut Interp) {
         let writable = prop.writable;
         match prop.slot {
             Slot::Data(v) => {
-                it.heap.get_mut(out).props.insert(Rc::from("value"), Property::data(v));
+                it.heap.get_mut(out).props.insert(Arc::from("value"), Property::data(v));
                 it.heap
                     .get_mut(out)
                     .props
-                    .insert(Rc::from("writable"), Property::data(Value::Bool(writable)));
+                    .insert(Arc::from("writable"), Property::data(Value::Bool(writable)));
             }
             Slot::Accessor { get, set } => {
                 let g = get.map(Value::Obj).unwrap_or(Value::Undefined);
                 let s = set.map(Value::Obj).unwrap_or(Value::Undefined);
-                it.heap.get_mut(out).props.insert(Rc::from("get"), Property::data(g));
-                it.heap.get_mut(out).props.insert(Rc::from("set"), Property::data(s));
+                it.heap.get_mut(out).props.insert(Arc::from("get"), Property::data(g));
+                it.heap.get_mut(out).props.insert(Arc::from("set"), Property::data(s));
             }
         }
         it.heap
             .get_mut(out)
             .props
-            .insert(Rc::from("enumerable"), Property::data(Value::Bool(enumerable)));
+            .insert(Arc::from("enumerable"), Property::data(Value::Bool(enumerable)));
         Ok(Value::Obj(out))
     });
 
@@ -189,7 +189,7 @@ fn install_object(interp: &mut Interp) {
         };
         for src in args.iter().skip(1) {
             let Some(sid) = src.as_obj() else { continue };
-            let pairs: Vec<(Rc<str>, Value)> = it
+            let pairs: Vec<(Arc<str>, Value)> = it
                 .heap
                 .get(sid)
                 .props
@@ -210,7 +210,7 @@ fn install_object(interp: &mut Interp) {
     // freeze/isFrozen: recorded but not enforced (corpus only probes them).
     method(interp, ctor, "freeze", |_it, _this, args| Ok(arg(args, 0)));
 
-    interp.define_global(Rc::from("Object"), Value::Obj(ctor));
+    interp.define_global(Arc::from("Object"), Value::Obj(ctor));
 }
 
 fn install_object_proto(interp: &mut Interp) {
@@ -232,7 +232,7 @@ fn install_object_proto(interp: &mut Interp) {
     method(interp, proto, "toString", |it, this, _args| {
         let class = match this.as_obj() {
             Some(id) => it.heap.get(id).class.clone(),
-            None => Rc::from("Object"),
+            None => Arc::from("Object"),
         };
         Ok(Value::str(format!("[object {class}]")))
     });
@@ -345,13 +345,13 @@ fn install_array(interp: &mut Interp) {
         .heap
         .get_mut(ctor)
         .props
-        .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
+        .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
     method(interp, ctor, "isArray", |it, _this, args| {
         Ok(Value::Bool(
             arg(args, 0).as_obj().map(|id| it.heap.get(id).is_array()).unwrap_or(false),
         ))
     });
-    interp.define_global(Rc::from("Array"), Value::Obj(ctor));
+    interp.define_global(Arc::from("Array"), Value::Obj(ctor));
 
     fn with_elems<R>(
         it: &mut Interp,
@@ -399,7 +399,7 @@ fn install_array(interp: &mut Interp) {
     });
     method(interp, proto, "join", |it, this, args| {
         let sep = match arg(args, 0) {
-            Value::Undefined => Rc::from(","),
+            Value::Undefined => Arc::from(","),
             other => it.to_string_value(&other)?,
         };
         let items = with_elems(it, &this, |e| e.clone())?;
@@ -489,7 +489,7 @@ fn install_array(interp: &mut Interp) {
         // String sort only (sufficient for the corpus: sorting property
         // name lists in template attacks).
         let mut items = with_elems(it, &this, |e| e.clone())?;
-        let mut keyed: Vec<(Rc<str>, Value)> = Vec::with_capacity(items.len());
+        let mut keyed: Vec<(Arc<str>, Value)> = Vec::with_capacity(items.len());
         for v in items.drain(..) {
             let k = it.to_string_value(&v)?;
             keyed.push((k, v));
@@ -506,7 +506,7 @@ fn install_array(interp: &mut Interp) {
 fn install_string_proto(interp: &mut Interp) {
     let proto = interp.intrinsics.string_proto;
 
-    fn this_str(it: &mut Interp, this: &Value) -> Result<Rc<str>, crate::error::Thrown> {
+    fn this_str(it: &mut Interp, this: &Value) -> Result<Arc<str>, crate::error::Thrown> {
         it.to_string_value(this)
     }
 
@@ -658,8 +658,8 @@ fn install_string_proto(interp: &mut Interp) {
         .heap
         .get_mut(ctor)
         .props
-        .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
-    interp.define_global(Rc::from("String"), Value::Obj(ctor));
+        .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
+    interp.define_global(Arc::from("String"), Value::Obj(ctor));
 }
 
 // ------------------------------------------------------------------ Number
@@ -694,13 +694,13 @@ fn install_number_proto(interp: &mut Interp) {
         .heap
         .get_mut(ctor)
         .props
-        .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
-    interp.define_global(Rc::from("Number"), Value::Obj(ctor));
+        .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
+    interp.define_global(Arc::from("Number"), Value::Obj(ctor));
 
     let bool_ctor = interp.alloc_native_fn("Boolean", |_it, _this, args| {
         Ok(Value::Bool(arg(args, 0).truthy()))
     });
-    interp.define_global(Rc::from("Boolean"), Value::Obj(bool_ctor));
+    interp.define_global(Arc::from("Boolean"), Value::Obj(bool_ctor));
 }
 
 fn format_radix(mut n: i64, radix: u32) -> String {
@@ -736,15 +736,15 @@ fn install_errors(interp: &mut Interp) {
             .heap
             .get_mut(proto)
             .props
-            .insert(Rc::from("name"), Property::data_hidden(Value::str(name)));
+            .insert(Arc::from("name"), Property::data_hidden(Value::str(name)));
         interp
             .heap
             .get_mut(proto)
             .props
-            .insert(Rc::from("message"), Property::data_hidden(Value::str("")));
+            .insert(Arc::from("message"), Property::data_hidden(Value::str("")));
         let ctor = interp.alloc_native_fn(name, move |it, _this, args| {
             let msg = match args.first() {
-                Some(Value::Undefined) | None => Rc::from(""),
+                Some(Value::Undefined) | None => Arc::from(""),
                 Some(v) => it.to_string_value(v)?,
             };
             Ok(Value::Obj(it.alloc_error(kind, &msg)))
@@ -753,13 +753,13 @@ fn install_errors(interp: &mut Interp) {
             .heap
             .get_mut(ctor)
             .props
-            .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
+            .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(proto)));
         interp
             .heap
             .get_mut(proto)
             .props
-            .insert(Rc::from("constructor"), Property::data_hidden(Value::Obj(ctor)));
-        interp.define_global(Rc::from(name), Value::Obj(ctor));
+            .insert(Arc::from("constructor"), Property::data_hidden(Value::Obj(ctor)));
+        interp.define_global(Arc::from(name), Value::Obj(ctor));
     }
     let error_proto = interp.intrinsics.error_proto;
     method(interp, error_proto, "toString", |it, this, _args| {
@@ -814,7 +814,7 @@ fn install_math(interp: &mut Interp) {
         let bits = x.wrapping_mul(0x2545F4914F6CDD1D) >> 11;
         Ok(Value::Num(bits as f64 / (1u64 << 53) as f64))
     });
-    interp.define_global(Rc::from("Math"), Value::Obj(math));
+    interp.define_global(Arc::from("Math"), Value::Obj(math));
 }
 
 // -------------------------------------------------------------------- JSON
@@ -826,7 +826,7 @@ fn install_json(interp: &mut Interp) {
         stringify(it, &arg(args, 0), &mut out, 0)?;
         Ok(Value::str(out))
     });
-    interp.define_global(Rc::from("JSON"), Value::Obj(json));
+    interp.define_global(Arc::from("JSON"), Value::Obj(json));
 }
 
 fn stringify(
@@ -871,7 +871,7 @@ fn stringify(
                 out.push_str("null");
             } else {
                 out.push('{');
-                let pairs: Vec<(Rc<str>, Value)> = it
+                let pairs: Vec<(Arc<str>, Value)> = it
                     .heap
                     .get(*id)
                     .props
@@ -905,17 +905,17 @@ fn install_misc_globals(interp: &mut Interp) {
         .heap
         .get_mut(g)
         .props
-        .insert(Rc::from("NaN"), Property::data_hidden(Value::Num(f64::NAN)));
+        .insert(Arc::from("NaN"), Property::data_hidden(Value::Num(f64::NAN)));
     interp
         .heap
         .get_mut(g)
         .props
-        .insert(Rc::from("Infinity"), Property::data_hidden(Value::Num(f64::INFINITY)));
+        .insert(Arc::from("Infinity"), Property::data_hidden(Value::Num(f64::INFINITY)));
     interp
         .heap
         .get_mut(g)
         .props
-        .insert(Rc::from("globalThis"), Property::data_hidden(Value::Obj(g)));
+        .insert(Arc::from("globalThis"), Property::data_hidden(Value::Obj(g)));
 
     method(interp, g, "parseInt", |it, _this, args| {
         let s = it.to_string_value(&arg(args, 0))?;
@@ -1004,7 +1004,7 @@ fn install_misc_globals(interp: &mut Interp) {
         .heap
         .get_mut(g)
         .props
-        .insert(Rc::from("console"), Property::data_hidden(Value::Obj(console)));
+        .insert(Arc::from("console"), Property::data_hidden(Value::Obj(console)));
 
     // setTimeout / clearTimeout backed by the virtual-time job queue. The
     // host drives time with `Interp::advance_time`.

@@ -10,6 +10,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::*;
 use crate::error::{EngineError, Thrown};
@@ -25,7 +26,7 @@ pub type NativeFn = Rc<dyn Fn(&mut Interp, Value, &[Value]) -> Result<Value, Thr
 /// A lexical scope. Function-level scoping (`var` semantics).
 #[derive(Debug, Default)]
 pub struct Scope {
-    pub vars: HashMap<Rc<str>, Value>,
+    pub vars: HashMap<Arc<str>, Value>,
     pub parent: Option<ScopeRef>,
     /// `this` binding of the activation that created this scope; `None`
     /// means "inherit from parent" (arrow functions, blocks).
@@ -39,8 +40,8 @@ pub type ScopeRef = Rc<RefCell<Scope>>;
 /// instrumentation wrapper defined in an extension script.
 #[derive(Clone, Debug)]
 pub struct Frame {
-    pub name: Rc<str>,
-    pub script: Rc<str>,
+    pub name: Arc<str>,
+    pub script: Arc<str>,
     pub line: u32,
 }
 
@@ -100,6 +101,11 @@ pub struct Interp {
     pub rng_state: u64,
     /// Opt-in profiling hooks; `None` costs one branch per hook site.
     pub profiler: Option<Box<dyn Profiler>>,
+    /// Opaque embedder state. The browser crate attaches its per-page host
+    /// here so native functions can reach it *at call time* instead of
+    /// capturing it at install time — which is what makes an installed
+    /// realm reusable as a [`clone_realm`](Interp::clone_realm) template.
+    pub host: Option<Rc<dyn std::any::Any>>,
 }
 
 impl Default for Interp {
@@ -157,9 +163,59 @@ impl Interp {
             console: Vec::new(),
             rng_state: 0x9E3779B97F4A7C15,
             profiler: None,
+            host: None,
         };
         crate::builtins::install(&mut interp);
         interp
+    }
+
+    /// Duplicate this realm's object graph into a fresh interpreter.
+    ///
+    /// The heap, global object and intrinsics are cloned with object ids
+    /// preserved, and the global scope's bindings are copied; all transient
+    /// execution state — call stack, virtual clock, job queue, step count,
+    /// console, PRNG, profiler, host handle — resets to the [`Interp::new`]
+    /// defaults, so a clone behaves exactly like a freshly-built realm.
+    ///
+    /// Script functions closed over the *global* scope are re-bound to the
+    /// clone's global scope; closures over inner scopes keep pointing at
+    /// the original's (shared) environments, so a realm should be cloned
+    /// before running scripts that retain such closures. The intended use
+    /// is a host-object template: install the (purely native) embedder
+    /// surface once, then clone per page.
+    pub fn clone_realm(&self) -> Interp {
+        let mut heap = self.heap.clone();
+        let gs = self.global_scope.borrow();
+        let global_scope = Rc::new(RefCell::new(Scope {
+            vars: gs.vars.clone(),
+            parent: None,
+            this_val: gs.this_val.clone(),
+        }));
+        drop(gs);
+        for obj in heap.objects_mut() {
+            if let Some(Callable::Script { env, .. }) = &mut obj.call {
+                if Rc::ptr_eq(env, &self.global_scope) {
+                    *env = global_scope.clone();
+                }
+            }
+        }
+        Interp {
+            heap,
+            global: self.global,
+            intrinsics: self.intrinsics,
+            stack: Vec::new(),
+            global_scope,
+            now_ms: 0,
+            jobs: Vec::new(),
+            job_seq: 0,
+            step_limit: self.step_limit,
+            steps: 0,
+            max_depth: self.max_depth,
+            console: Vec::new(),
+            rng_state: 0x9E3779B97F4A7C15,
+            profiler: None,
+            host: None,
+        }
     }
 
     // ------------------------------------------------------------- public
@@ -168,9 +224,43 @@ impl Interp {
     /// Returns the value of the final expression statement.
     pub fn eval_script(&mut self, src: &str, script_name: &str) -> Result<Value, EngineError> {
         let program = parse(src, script_name)?;
+        self.eval_program(&program, &Arc::from(script_name))
+    }
+
+    /// Execute a pre-compiled script artifact. The shared
+    /// [`Program`](crate::ast::Program) is never mutated, so one
+    /// [`CompiledScript`](crate::compile::CompiledScript) can serve every
+    /// interpreter in the process.
+    pub fn eval_compiled(
+        &mut self,
+        compiled: &crate::compile::CompiledScript,
+    ) -> Result<Value, EngineError> {
+        let program = compiled.program().clone();
+        self.eval_program(&program, compiled.name())
+    }
+
+    /// Execute either form of [`ScriptSource`](crate::compile::ScriptSource):
+    /// raw text compiles on the spot (uncached); a compiled handle reuses
+    /// its shared parse.
+    pub fn eval_source(
+        &mut self,
+        source: &crate::compile::ScriptSource,
+    ) -> Result<Value, EngineError> {
+        match source {
+            crate::compile::ScriptSource::Raw { source, name } => self.eval_script(source, name),
+            crate::compile::ScriptSource::Compiled(cs) => self.eval_compiled(cs),
+        }
+    }
+
+    /// Execute an already-parsed top-level program under `script_name`.
+    pub fn eval_program(
+        &mut self,
+        program: &crate::ast::Program,
+        script_name: &Arc<str>,
+    ) -> Result<Value, EngineError> {
         self.stack.push(Frame {
-            name: Rc::from("(toplevel)"),
-            script: Rc::from(script_name),
+            name: Arc::from("(toplevel)"),
+            script: script_name.clone(),
             line: 1,
         });
         let scope = self.global_scope.clone();
@@ -259,7 +349,7 @@ impl Interp {
     /// Name of the script of the innermost frame, skipping frames whose
     /// script name satisfies `skip`. This is the engine-level equivalent of
     /// OpenWPM's `getOriginatingScriptContext`.
-    pub fn originating_script(&self, skip: &dyn Fn(&str) -> bool) -> Option<Rc<str>> {
+    pub fn originating_script(&self, skip: &dyn Fn(&str) -> bool) -> Option<Arc<str>> {
         self.stack.iter().rev().find(|f| !skip(&f.script)).map(|f| f.script.clone())
     }
 
@@ -299,19 +389,19 @@ impl Interp {
         f: impl Fn(&mut Interp, Value, &[Value]) -> Result<Value, Thrown> + 'static,
     ) -> ObjId {
         let mut obj = JsObject::with_class(Some(self.intrinsics.function_proto), "Function");
-        obj.call = Some(Callable::Native { name: Rc::from(name), f: Rc::new(f) });
+        obj.call = Some(Callable::Native { name: Arc::from(name), f: Rc::new(f) });
         obj.props.insert(
-            Rc::from("name"),
+            Arc::from("name"),
             Property { slot: Slot::Data(Value::str(name)), enumerable: false, writable: false },
         );
         self.heap.alloc(obj)
     }
 
     /// Allocate a script function closing over `env`.
-    pub fn alloc_script_fn(&mut self, def: Rc<FunctionDef>, env: ScopeRef) -> ObjId {
+    pub fn alloc_script_fn(&mut self, def: Arc<FunctionDef>, env: ScopeRef) -> ObjId {
         let mut obj = JsObject::with_class(Some(self.intrinsics.function_proto), "Function");
         obj.props.insert(
-            Rc::from("name"),
+            Arc::from("name"),
             Property {
                 slot: Slot::Data(Value::str(&def.name)),
                 enumerable: false,
@@ -323,13 +413,13 @@ impl Interp {
         // Every script function gets a `prototype` object for `new`.
         let proto_obj = self.alloc_object();
         self.heap.get_mut(proto_obj).props.insert(
-            Rc::from("constructor"),
+            Arc::from("constructor"),
             Property::data_hidden(Value::Obj(id)),
         );
         self.heap
             .get_mut(id)
             .props
-            .insert(Rc::from("prototype"), Property::data_hidden(Value::Obj(proto_obj)));
+            .insert(Arc::from("prototype"), Property::data_hidden(Value::Obj(proto_obj)));
         id
     }
 
@@ -343,8 +433,8 @@ impl Interp {
         };
         let stack = self.capture_stack_string();
         let mut obj = JsObject::with_class(Some(proto), "Error");
-        obj.props.insert(Rc::from("message"), Property::data_hidden(Value::str(message)));
-        obj.props.insert(Rc::from("stack"), Property::data_hidden(Value::str(stack)));
+        obj.props.insert(Arc::from("message"), Property::data_hidden(Value::str(message)));
+        obj.props.insert(Arc::from("stack"), Property::data_hidden(Value::str(stack)));
         self.heap.alloc(obj)
     }
 
@@ -360,7 +450,7 @@ impl Interp {
     }
 
     /// Define (or overwrite) a data property on the global object.
-    pub fn define_global(&mut self, name: Rc<str>, value: Value) {
+    pub fn define_global(&mut self, name: Arc<str>, value: Value) {
         let g = self.global;
         self.heap.get_mut(g).props.insert(name, Property::data(value));
     }
@@ -502,7 +592,7 @@ impl Interp {
             }
             cur = obj.proto;
         }
-        self.heap.get_mut(id).props.insert(Rc::from(key), Property::data(value));
+        self.heap.get_mut(id).props.insert(Arc::from(key), Property::data(value));
         Ok(())
     }
 
@@ -517,7 +607,7 @@ impl Interp {
     }
 
     /// String conversion that honours `toString` on objects.
-    pub fn to_string_value(&mut self, v: &Value) -> Result<Rc<str>, Thrown> {
+    pub fn to_string_value(&mut self, v: &Value) -> Result<Arc<str>, Thrown> {
         match v {
             Value::Str(s) => Ok(s.clone()),
             Value::Obj(id) => {
@@ -531,21 +621,21 @@ impl Interp {
                             parts.push(self.to_string_value(e)?.to_string());
                         }
                     }
-                    return Ok(Rc::from(parts.join(",")));
+                    return Ok(Arc::from(parts.join(",")));
                 }
                 let ts = self.get_prop(v, "toString")?;
                 if let Value::Obj(f) = &ts {
                     if self.heap.get(*f).is_callable() {
                         let r = self.call(ts, v.clone(), &[])?;
                         return match r {
-                            Value::Obj(_) => Ok(Rc::from("[object Object]")),
+                            Value::Obj(_) => Ok(Arc::from("[object Object]")),
                             prim => self.to_string_value(&prim),
                         };
                     }
                 }
-                Ok(Rc::from(format!("[object {}]", self.heap.get(*id).class)))
+                Ok(Arc::from(format!("[object {}]", self.heap.get(*id).class)))
             }
-            other => Ok(Rc::from(other.to_string())),
+            other => Ok(Arc::from(other.to_string())),
         }
     }
 
@@ -600,10 +690,10 @@ impl Interp {
                     scope
                         .borrow_mut()
                         .vars
-                        .insert(Rc::from("arguments"), Value::Obj(arguments));
+                        .insert(Arc::from("arguments"), Value::Obj(arguments));
                 }
-                let display_name: Rc<str> = if def.name.is_empty() {
-                    Rc::from("<anonymous>")
+                let display_name: Arc<str> = if def.name.is_empty() {
+                    Arc::from("<anonymous>")
                 } else {
                     def.name.clone()
                 };
@@ -878,8 +968,8 @@ impl Interp {
     }
 
     /// Enumerate `for`-`in` keys: own + inherited enumerable, deduplicated.
-    pub fn enumerate_keys(&self, v: &Value) -> Vec<Rc<str>> {
-        let mut out: Vec<Rc<str>> = Vec::new();
+    pub fn enumerate_keys(&self, v: &Value) -> Vec<Arc<str>> {
+        let mut out: Vec<Arc<str>> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         let Some(mut cur) = v.as_obj().map(Some).unwrap_or(None) else {
             return out;
@@ -888,7 +978,7 @@ impl Interp {
             let obj = self.heap.get(cur);
             if let Some(elems) = &obj.elements {
                 for i in 0..elems.len() {
-                    let k: Rc<str> = Rc::from(i.to_string());
+                    let k: Arc<str> = Arc::from(i.to_string());
                     if seen.insert(k.clone()) {
                         out.push(k);
                     }
@@ -909,7 +999,7 @@ impl Interp {
 
     // --------------------------------------------------------- expressions
 
-    fn declare(&mut self, scope: &ScopeRef, name: Rc<str>, v: Value) {
+    fn declare(&mut self, scope: &ScopeRef, name: Arc<str>, v: Value) {
         if Rc::ptr_eq(scope, &self.global_scope) {
             self.define_global(name, v);
         } else {
@@ -941,7 +1031,7 @@ impl Interp {
             {
                 let mut b = s.borrow_mut();
                 if b.vars.contains_key(name) {
-                    b.vars.insert(Rc::from(name), v);
+                    b.vars.insert(Arc::from(name), v);
                     return Ok(());
                 }
             }
@@ -1184,11 +1274,11 @@ impl Interp {
         if let Some(p) = &mut self.profiler {
             p.record_eval();
         }
-        let script_name: Rc<str> = self
+        let script_name: Arc<str> = self
             .stack
             .last()
-            .map(|f| Rc::from(format!("{} > eval", f.script)))
-            .unwrap_or_else(|| Rc::from("eval"));
+            .map(|f| Arc::from(format!("{} > eval", f.script)))
+            .unwrap_or_else(|| Arc::from("eval"));
         let program = match parse(&src, &script_name) {
             Ok(p) => p,
             Err(EngineError::Parse { line, message }) => {
@@ -1199,7 +1289,7 @@ impl Interp {
             }
             Err(_) => unreachable!("parse only returns Parse errors"),
         };
-        self.stack.push(Frame { name: Rc::from("eval"), script: script_name, line: 1 });
+        self.stack.push(Frame { name: Arc::from("eval"), script: script_name, line: 1 });
         let r = (|| {
             for stmt in &program.body {
                 if let Stmt::FunctionDecl(def) = stmt {

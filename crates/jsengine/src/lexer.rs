@@ -7,7 +7,7 @@
 //! operator set of ES5 expressions, and comments (line and block).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A lexical token with its source line (1-based), used for error reporting
 /// and for `Error.stack` line numbers.
@@ -24,8 +24,8 @@ pub struct Token {
 pub enum Tok {
     // Literals and names
     Num(f64),
-    Str(Rc<str>),
-    Ident(Rc<str>),
+    Str(Arc<str>),
+    Ident(Arc<str>),
     // Keywords
     Var,
     Let,
@@ -249,7 +249,7 @@ impl<'a> Lexer<'a> {
                 None | Some(b'\n') => return Err(self.err("unterminated string")),
                 Some(&c) if c == quote => {
                     self.pos += 1;
-                    return Ok(Tok::Str(Rc::from(s)));
+                    return Ok(Tok::Str(Arc::from(s)));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -337,7 +337,7 @@ impl<'a> Lexer<'a> {
             "null" => Tok::Null,
             "undefined" => Tok::Undefined,
             "this" => Tok::This,
-            _ => Tok::Ident(Rc::from(text)),
+            _ => Tok::Ident(Arc::from(text)),
         }
     }
 
@@ -442,7 +442,7 @@ mod tests {
             kinds("var x = 1 + 2;"),
             vec![
                 Tok::Var,
-                Tok::Ident(Rc::from("x")),
+                Tok::Ident(Arc::from("x")),
                 Tok::Assign,
                 Tok::Num(1.0),
                 Tok::Plus,
@@ -455,9 +455,9 @@ mod tests {
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(kinds(r#"'a\x41b'"#), vec![Tok::Str(Rc::from("aAb")), Tok::Eof]);
-        assert_eq!(kinds(r#""A""#), vec![Tok::Str(Rc::from("A")), Tok::Eof]);
-        assert_eq!(kinds("`tick`"), vec![Tok::Str(Rc::from("tick")), Tok::Eof]);
+        assert_eq!(kinds(r#"'a\x41b'"#), vec![Tok::Str(Arc::from("aAb")), Tok::Eof]);
+        assert_eq!(kinds(r#""A""#), vec![Tok::Str(Arc::from("A")), Tok::Eof]);
+        assert_eq!(kinds("`tick`"), vec![Tok::Str(Arc::from("tick")), Tok::Eof]);
     }
 
     #[test]
@@ -480,16 +480,16 @@ mod tests {
         assert_eq!(
             kinds("a === b !== c && d || !e"),
             vec![
-                Tok::Ident(Rc::from("a")),
+                Tok::Ident(Arc::from("a")),
                 Tok::EqEqEq,
-                Tok::Ident(Rc::from("b")),
+                Tok::Ident(Arc::from("b")),
                 Tok::NotEqEq,
-                Tok::Ident(Rc::from("c")),
+                Tok::Ident(Arc::from("c")),
                 Tok::AndAnd,
-                Tok::Ident(Rc::from("d")),
+                Tok::Ident(Arc::from("d")),
                 Tok::OrOr,
                 Tok::Not,
-                Tok::Ident(Rc::from("e")),
+                Tok::Ident(Arc::from("e")),
                 Tok::Eof
             ]
         );
@@ -514,9 +514,9 @@ mod tests {
         assert_eq!(
             kinds("x => x++"),
             vec![
-                Tok::Ident(Rc::from("x")),
+                Tok::Ident(Arc::from("x")),
                 Tok::Arrow,
-                Tok::Ident(Rc::from("x")),
+                Tok::Ident(Arc::from("x")),
                 Tok::PlusPlus,
                 Tok::Eof
             ]

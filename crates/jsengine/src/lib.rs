@@ -44,6 +44,7 @@
 //! native functions that close over host state.
 
 pub mod ast;
+pub mod compile;
 pub mod error;
 pub mod interp;
 pub mod lexer;
@@ -54,6 +55,10 @@ pub mod value;
 
 mod builtins;
 
+pub use compile::{
+    cache, cache_enabled, compile, compile_cached, set_cache_enabled, set_cache_shards,
+    CacheStats, CompileCache, CompiledScript, ScriptSource,
+};
 pub use error::{EngineError, Thrown};
 pub use interp::{Frame, Interp, NativeFn, ScopeRef};
 pub use profiler::{CountingProfiler, Profile, Profiler};

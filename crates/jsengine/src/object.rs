@@ -9,7 +9,7 @@
 //! describes.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::FunctionDef;
 use crate::interp::{NativeFn, ScopeRef};
@@ -57,8 +57,8 @@ impl Property {
 /// `for`-`in` and `Object.getOwnPropertyNames`).
 #[derive(Clone, Debug, Default)]
 pub struct PropMap {
-    entries: Vec<(Rc<str>, Property)>,
-    index: HashMap<Rc<str>, usize>,
+    entries: Vec<(Arc<str>, Property)>,
+    index: HashMap<Arc<str>, usize>,
 }
 
 impl PropMap {
@@ -83,7 +83,7 @@ impl PropMap {
 
     /// Insert or overwrite, preserving the original insertion position on
     /// overwrite (as JavaScript engines do).
-    pub fn insert(&mut self, key: Rc<str>, prop: Property) {
+    pub fn insert(&mut self, key: Arc<str>, prop: Property) {
         if let Some(&i) = self.index.get(&key) {
             self.entries[i].1 = prop;
         } else {
@@ -107,11 +107,11 @@ impl PropMap {
         }
     }
 
-    pub fn keys(&self) -> impl Iterator<Item = &Rc<str>> {
+    pub fn keys(&self) -> impl Iterator<Item = &Arc<str>> {
         self.entries.iter().map(|(k, _)| k)
     }
 
-    pub fn iter(&self) -> impl Iterator<Item = (&Rc<str>, &Property)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Property)> {
         self.entries.iter().map(|(k, p)| (k, p))
     }
 
@@ -131,11 +131,11 @@ pub enum Callable {
     /// the `function name() { [native code] }` rendering of `toString`, so a
     /// native-backed hook is indistinguishable from a pristine builtin via
     /// `toString` — the crux of the paper's stealth design (Sec. 6.1.1).
-    Native { name: Rc<str>, f: NativeFn },
+    Native { name: Arc<str>, f: NativeFn },
     /// A function defined in MiniJS source. `toString` returns the original
     /// source slice, which is how scripts detect OpenWPM's script-level
     /// wrappers (Listing 1 of the paper).
-    Script { def: Rc<FunctionDef>, env: ScopeRef },
+    Script { def: Arc<FunctionDef>, env: ScopeRef },
 }
 
 impl std::fmt::Debug for Callable {
@@ -148,7 +148,7 @@ impl std::fmt::Debug for Callable {
 }
 
 /// A heap object.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct JsObject {
     /// Prototype link (`Object.getPrototypeOf`).
     pub proto: Option<ObjId>,
@@ -159,7 +159,7 @@ pub struct JsObject {
     /// Internal class tag: `"Object"`, `"Function"`, `"Array"`, `"Error"`,
     /// and host classes such as `"Navigator"`, `"Window"`, `"HTMLElement"`.
     /// Host accessors use it to validate `this` (illegal-invocation errors).
-    pub class: Rc<str>,
+    pub class: Arc<str>,
     /// Dense backing store for arrays.
     pub elements: Option<Vec<Value>>,
     /// Host-attached opaque id; the browser crate uses it to link element
@@ -169,11 +169,11 @@ pub struct JsObject {
 
 impl JsObject {
     pub fn plain(proto: Option<ObjId>) -> JsObject {
-        JsObject { proto, class: Rc::from("Object"), ..Default::default() }
+        JsObject { proto, class: Arc::from("Object"), ..Default::default() }
     }
 
     pub fn with_class(proto: Option<ObjId>, class: &str) -> JsObject {
-        JsObject { proto, class: Rc::from(class), ..Default::default() }
+        JsObject { proto, class: Arc::from(class), ..Default::default() }
     }
 
     pub fn is_callable(&self) -> bool {
@@ -187,8 +187,10 @@ impl JsObject {
 
 /// The object heap. A plain growing arena: pages are short-lived and the
 /// whole realm is dropped after a visit, so no GC is needed (this mirrors
-/// how the reproduction uses one realm per page load).
-#[derive(Debug, Default)]
+/// how the reproduction uses one realm per page load). Cloning a heap
+/// duplicates every object while preserving ids — the basis of
+/// [`Interp::clone_realm`](crate::interp::Interp::clone_realm).
+#[derive(Clone, Debug, Default)]
 pub struct Heap {
     objects: Vec<JsObject>,
 }
@@ -212,6 +214,12 @@ impl Heap {
         &mut self.objects[id.0 as usize]
     }
 
+    /// Mutable iteration over every object (realm cloning re-binds
+    /// script-function environments with this).
+    pub fn objects_mut(&mut self) -> impl Iterator<Item = &mut JsObject> {
+        self.objects.iter_mut()
+    }
+
     pub fn len(&self) -> usize {
         self.objects.len()
     }
@@ -229,12 +237,12 @@ mod tests {
     fn propmap_preserves_insertion_order() {
         let mut m = PropMap::new();
         for k in ["b", "a", "c"] {
-            m.insert(Rc::from(k), Property::data(Value::Num(1.0)));
+            m.insert(Arc::from(k), Property::data(Value::Num(1.0)));
         }
         let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
         assert_eq!(keys, vec!["b", "a", "c"]);
         // Overwrite keeps position.
-        m.insert(Rc::from("a"), Property::data(Value::Num(2.0)));
+        m.insert(Arc::from("a"), Property::data(Value::Num(2.0)));
         let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
         assert_eq!(keys, vec!["b", "a", "c"]);
     }
@@ -243,12 +251,12 @@ mod tests {
     fn propmap_remove_reindexes() {
         let mut m = PropMap::new();
         for k in ["x", "y", "z"] {
-            m.insert(Rc::from(k), Property::data(Value::Num(0.0)));
+            m.insert(Arc::from(k), Property::data(Value::Num(0.0)));
         }
         assert!(m.remove("y"));
         assert!(!m.remove("y"));
         assert!(m.contains("z"));
-        m.insert(Rc::from("w"), Property::data(Value::Num(3.0)));
+        m.insert(Arc::from("w"), Property::data(Value::Num(3.0)));
         let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
         assert_eq!(keys, vec!["x", "z", "w"]);
         assert!(matches!(m.get("w").unwrap().slot, Slot::Data(Value::Num(n)) if n == 3.0));
@@ -259,7 +267,7 @@ mod tests {
         let mut h = Heap::new();
         let id = h.alloc(JsObject::plain(None));
         assert_eq!(h.get(id).class.as_ref(), "Object");
-        h.get_mut(id).props.insert(Rc::from("k"), Property::data(Value::Bool(true)));
+        h.get_mut(id).props.insert(Arc::from("k"), Property::data(Value::Bool(true)));
         assert!(h.get(id).props.contains("k"));
     }
 }

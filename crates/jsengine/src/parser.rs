@@ -6,7 +6,7 @@
 //! signal websites use to detect OpenWPM's JavaScript wrappers (paper
 //! Listing 1).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::*;
 use crate::error::EngineError;
@@ -18,7 +18,7 @@ pub fn parse(src: &str, script_name: &str) -> Result<Program, EngineError> {
         .map_err(|e| EngineError::Parse { line: e.line, message: e.message })?;
     let mut p = Parser {
         src,
-        script: Rc::from(script_name),
+        script: Arc::from(script_name),
         tokens,
         pos: 0,
     };
@@ -31,7 +31,7 @@ pub fn parse(src: &str, script_name: &str) -> Result<Program, EngineError> {
 
 struct Parser<'a> {
     src: &'a str,
-    script: Rc<str>,
+    script: Arc<str>,
     tokens: Vec<Token>,
     pos: usize,
 }
@@ -82,7 +82,7 @@ impl<'a> Parser<'a> {
         EngineError::Parse { line: self.line(), message: message.into() }
     }
 
-    fn ident(&mut self) -> Result<Rc<str>, EngineError> {
+    fn ident(&mut self) -> Result<Arc<str>, EngineError> {
         match self.peek().clone() {
             Tok::Ident(name) => {
                 self.bump();
@@ -91,7 +91,7 @@ impl<'a> Parser<'a> {
             // Contextual keywords usable as identifiers in the corpus.
             Tok::Of => {
                 self.bump();
-                Ok(Rc::from("of"))
+                Ok(Arc::from("of"))
             }
             other => Err(self.err(format!("expected identifier, found {other:?}"))),
         }
@@ -277,7 +277,7 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::RParen)?;
                 name
             } else {
-                Rc::from("_e")
+                Arc::from("_e")
             };
             self.expect(&Tok::LBrace)?;
             let cbody = self.block_body()?;
@@ -367,7 +367,7 @@ impl<'a> Parser<'a> {
         let save = self.pos;
         let start_tok = self.tokens[self.pos].start;
         let line = self.line();
-        let params: Vec<Rc<str>> = if let Tok::Ident(name) = self.peek().clone() {
+        let params: Vec<Arc<str>> = if let Tok::Ident(name) = self.peek().clone() {
             if *self.peek2() != Tok::Arrow {
                 return Ok(None);
             }
@@ -413,9 +413,9 @@ impl<'a> Parser<'a> {
             vec![Stmt::Return(Some(e))]
         };
         let end = self.tokens[self.pos].start;
-        let source: Rc<str> = Rc::from(self.src[start_tok..end].trim_end());
-        Ok(Some(Expr::Function(Rc::new(FunctionDef {
-            name: Rc::from(""),
+        let source: Arc<str> = Arc::from(self.src[start_tok..end].trim_end());
+        Ok(Some(Expr::Function(Arc::new(FunctionDef {
+            name: Arc::from(""),
             params,
             body: body.into(),
             source,
@@ -573,22 +573,22 @@ impl<'a> Parser<'a> {
     }
 
     /// Member names may be keywords (`obj.delete` etc.).
-    fn member_name(&mut self) -> Result<Rc<str>, EngineError> {
+    fn member_name(&mut self) -> Result<Arc<str>, EngineError> {
         let tok = self.bump();
-        let name: Rc<str> = match tok.kind {
+        let name: Arc<str> = match tok.kind {
             Tok::Ident(name) => name,
-            Tok::Delete => Rc::from("delete"),
-            Tok::New => Rc::from("new"),
-            Tok::In => Rc::from("in"),
-            Tok::Of => Rc::from("of"),
-            Tok::Catch => Rc::from("catch"),
-            Tok::Typeof => Rc::from("typeof"),
-            Tok::Throw => Rc::from("throw"),
-            Tok::This => Rc::from("this"),
-            Tok::Function => Rc::from("function"),
-            Tok::Return => Rc::from("return"),
-            Tok::Continue => Rc::from("continue"),
-            Tok::For => Rc::from("for"),
+            Tok::Delete => Arc::from("delete"),
+            Tok::New => Arc::from("new"),
+            Tok::In => Arc::from("in"),
+            Tok::Of => Arc::from("of"),
+            Tok::Catch => Arc::from("catch"),
+            Tok::Typeof => Arc::from("typeof"),
+            Tok::Throw => Arc::from("throw"),
+            Tok::This => Arc::from("this"),
+            Tok::Function => Arc::from("function"),
+            Tok::Return => Arc::from("return"),
+            Tok::Continue => Arc::from("continue"),
+            Tok::For => Arc::from("for"),
             other => {
                 return Err(EngineError::Parse {
                     line: tok.line,
@@ -651,7 +651,7 @@ impl<'a> Parser<'a> {
             }
             Tok::Of => {
                 self.bump();
-                Ok(Expr::Ident(Rc::from("of")))
+                Ok(Expr::Ident(Arc::from("of")))
             }
             Tok::LParen => {
                 self.bump();
@@ -689,14 +689,14 @@ impl<'a> Parser<'a> {
         let mut pairs = Vec::new();
         if !self.at(&Tok::RBrace) {
             loop {
-                let key: Rc<str> = match self.peek().clone() {
+                let key: Arc<str> = match self.peek().clone() {
                     Tok::Str(s) => {
                         self.bump();
                         s
                     }
                     Tok::Num(n) => {
                         self.bump();
-                        Rc::from(crate::value::number_to_string(n))
+                        Arc::from(crate::value::number_to_string(n))
                     }
                     _ => self.member_name()?,
                 };
@@ -721,16 +721,16 @@ impl<'a> Parser<'a> {
 
     /// Parse a `function name(params) { body }`; `require_name` for
     /// declarations.
-    fn function(&mut self, require_name: bool) -> Result<Rc<FunctionDef>, EngineError> {
+    fn function(&mut self, require_name: bool) -> Result<Arc<FunctionDef>, EngineError> {
         let start = self.tokens[self.pos].start;
         let line = self.line();
         self.expect(&Tok::Function)?;
-        let name: Rc<str> = if let Tok::Ident(_) = self.peek() {
+        let name: Arc<str> = if let Tok::Ident(_) = self.peek() {
             self.ident()?
         } else if require_name {
             return Err(self.err("function declaration requires a name"));
         } else {
-            Rc::from("")
+            Arc::from("")
         };
         self.expect(&Tok::LParen)?;
         let mut params = Vec::new();
@@ -749,8 +749,8 @@ impl<'a> Parser<'a> {
         // The function source runs from the `function` keyword through the
         // closing brace; the next token's start bounds it, so trim trailing
         // whitespace off the slice.
-        let source: Rc<str> = Rc::from(self.src[start..end].trim_end());
-        Ok(Rc::new(FunctionDef {
+        let source: Arc<str> = Arc::from(self.src[start..end].trim_end());
+        Ok(Arc::new(FunctionDef {
             name,
             params,
             body: body.into(),

@@ -1,7 +1,7 @@
 //! Runtime values.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::object::ObjId;
 
@@ -19,14 +19,14 @@ pub enum Value {
     Null,
     Bool(bool),
     Num(f64),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Obj(ObjId),
 }
 
 impl Value {
     /// Build a string value from anything string-like.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// JavaScript `===`.

@@ -103,17 +103,32 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+/// Metric-name prefix for values that reflect scheduling and caching luck
+/// rather than the modelled crawl (compile-cache hit/miss counts change
+/// with worker interleaving and process-level cache warmth). These metrics
+/// appear in [`Snapshot::render`] and the `[stats]` summary, but are
+/// excluded from [`Snapshot::render_deterministic`] and the telemetry
+/// [`Snapshot::digest`] — the digest must be byte-identical with the
+/// compile cache on and off, at any worker count.
+pub const NONDETERMINISTIC_PREFIX: &str = "cache.";
+
 impl Snapshot {
-    /// Stable text rendering (one line per metric, BTreeMap order).
-    pub fn render(&self) -> String {
+    fn render_where(&self, include: impl Fn(&str) -> bool) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
-            out.push_str(&format!("counter {name} {v}\n"));
+            if include(name) {
+                out.push_str(&format!("counter {name} {v}\n"));
+            }
         }
         for (name, v) in &self.gauges {
-            out.push_str(&format!("gauge {name} {v}\n"));
+            if include(name) {
+                out.push_str(&format!("gauge {name} {v}\n"));
+            }
         }
         for (name, h) in &self.histograms {
+            if !include(name) {
+                continue;
+            }
             out.push_str(&format!("histogram {name} count={} sum={} buckets=", h.count, h.sum));
             for (i, (b, n)) in h.buckets.iter().enumerate() {
                 if i > 0 {
@@ -126,10 +141,21 @@ impl Snapshot {
         out
     }
 
-    /// FNV-1a digest of the rendered snapshot — the telemetry digest
+    /// Stable text rendering (one line per metric, BTreeMap order).
+    pub fn render(&self) -> String {
+        self.render_where(|_| true)
+    }
+
+    /// [`Snapshot::render`] minus the [`NONDETERMINISTIC_PREFIX`] metrics:
+    /// a function of (seed, fault plan) alone.
+    pub fn render_deterministic(&self) -> String {
+        self.render_where(|name| !name.starts_with(NONDETERMINISTIC_PREFIX))
+    }
+
+    /// FNV-1a digest of the deterministic rendering — the telemetry digest
     /// carried by provenance footers.
     pub fn digest(&self) -> u64 {
-        crate::fnv1a(self.render().as_bytes())
+        crate::fnv1a(self.render_deterministic().as_bytes())
     }
 
     pub fn counter(&self, name: &str) -> u64 {
@@ -336,5 +362,20 @@ mod tests {
         let before = r.snapshot().digest();
         r.record_timing("scan", Duration::from_secs(1));
         assert_eq!(before, r.snapshot().digest());
+    }
+
+    #[test]
+    fn cache_metrics_excluded_from_digest_but_rendered() {
+        let r = Registry::new();
+        r.add("records.js_calls", 3);
+        let before = r.snapshot().digest();
+        r.add("cache.compile.hit", 7);
+        r.add("cache.compile.miss", 2);
+        r.add("cache.compile.bytes", 4096);
+        let snap = r.snapshot();
+        assert_eq!(before, snap.digest(), "cache.* must not perturb the digest");
+        assert!(snap.render().contains("cache.compile.hit 7"));
+        assert!(!snap.render_deterministic().contains("cache."));
+        assert!(snap.render_deterministic().contains("records.js_calls 3"));
     }
 }

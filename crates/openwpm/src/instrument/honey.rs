@@ -8,7 +8,7 @@
 //! classified "inconclusive" rather than "detector" unless it also probes
 //! `navigator.webdriver` deliberately.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use browser::{Page, RealmWindow};
 use jsengine::{Property, Slot, Value};
@@ -72,7 +72,7 @@ fn install_on_realm(
                 Ok(Value::Undefined)
             });
             it.heap.get_mut(target).props.insert(
-                Rc::from(name.as_str()),
+                Arc::from(name.as_str()),
                 Property {
                     slot: Slot::Accessor { get: Some(getter), set: None },
                     enumerable: true,
@@ -129,7 +129,7 @@ mod tests {
             Url::parse("https://site.test/").unwrap(),
             None,
         );
-        let store: StoreHandle = Rc::new(RefCell::new(crate::records::RecordStore::new()));
+        let store: StoreHandle = std::rc::Rc::new(RefCell::new(crate::records::RecordStore::new()));
         let names = install(&mut page, store.clone(), 99, count);
         (page, store, names)
     }
@@ -148,10 +148,10 @@ mod tests {
     #[test]
     fn iterator_script_trips_all_honey_properties() {
         let (mut page, store, names) = setup(8);
-        page.run_script(
+        page.run_script((
             "var sink = ''; for (var k in navigator) { sink += '' + navigator[k]; }",
             "https://fp.test/iterate.js",
-        )
+        ))
         .unwrap();
         let hits = hits_for_script(&store.borrow(), &names, "https://fp.test/iterate.js");
         assert_eq!(hits.hits, 8, "iterator must touch every honey property");
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn targeted_probe_misses_honey_properties() {
         let (mut page, store, names) = setup(8);
-        page.run_script("navigator.webdriver;", "https://bd.test/detect.js").unwrap();
+        page.run_script(("navigator.webdriver;", "https://bd.test/detect.js")).unwrap();
         let hits = hits_for_script(&store.borrow(), &names, "https://bd.test/detect.js");
         assert_eq!(hits.hits, 0);
         assert!(!hits.is_iterator());
@@ -171,7 +171,7 @@ mod tests {
     fn honey_properties_are_invisible_values() {
         let (mut page, _store, names) = setup(2);
         let v = page
-            .run_script(&format!("navigator.{} === undefined", names[0]), "p.js")
+            .run_script((format!("navigator.{} === undefined", names[0]), "p.js"))
             .unwrap();
         assert_eq!(v, Value::Bool(true));
     }

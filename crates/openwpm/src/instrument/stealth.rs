@@ -27,6 +27,7 @@
 //!   before page code can touch it.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use browser::{Page, RealmWindow};
 use jsengine::{Callable, Interp, ObjId, Property, Slot, Value};
@@ -168,7 +169,7 @@ fn hook_accessor(
         Ok(result)
     });
     it.heap.get_mut(proto).props.insert(
-        Rc::from(prop),
+        Arc::from(prop),
         Property {
             slot: Slot::Accessor { get: Some(hook), set },
             enumerable: existing.enumerable,
@@ -211,7 +212,7 @@ fn hook_method(
         it.call(Value::Obj(original), this, args)
     });
     it.heap.get_mut(proto).props.insert(
-        Rc::from(method),
+        Arc::from(method),
         Property {
             slot: Slot::Data(Value::Obj(hook)),
             enumerable: existing.enumerable,
@@ -246,7 +247,7 @@ mod tests {
     #[test]
     fn records_access_with_attribution() {
         let (mut page, store) = setup(None);
-        page.run_script("navigator.userAgent;", "https://site.test/app.js").unwrap();
+        page.run_script(("navigator.userAgent;", "https://site.test/app.js")).unwrap();
         let recs = store.borrow();
         assert_eq!(recs.js_calls.len(), 1);
         assert_eq!(recs.js_calls[0].symbol, "window.navigator.userAgent");
@@ -256,7 +257,7 @@ mod tests {
     #[test]
     fn webdriver_reports_false_but_access_is_logged() {
         let (mut page, store) = setup(None);
-        let v = page.run_script("navigator.webdriver", "d.js").unwrap();
+        let v = page.run_script(("navigator.webdriver", "d.js")).unwrap();
         assert_eq!(v, Value::Bool(false));
         assert_eq!(store.borrow().calls_to(".webdriver").count(), 1);
     }
@@ -265,14 +266,14 @@ mod tests {
     fn tostring_preserved_exactly() {
         let (mut page, _store) = setup(None);
         let v = page
-            .run_script("document.createElement.toString()", "d.js")
+            .run_script(("document.createElement.toString()", "d.js"))
             .unwrap();
         assert_eq!(v.as_str().unwrap(), "function createElement() {\n    [native code]\n}");
         let g = page
-            .run_script(
+            .run_script((
                 "Object.getOwnPropertyDescriptor(Navigator.prototype, 'userAgent').get.toString()",
                 "d.js",
-            )
+            ))
             .unwrap();
         assert!(g.as_str().unwrap().contains("[native code]"));
     }
@@ -280,21 +281,21 @@ mod tests {
     #[test]
     fn no_window_pollution_and_no_prototype_pollution() {
         let (mut page, _store) = setup(None);
-        let v = page.run_script("typeof window.getInstrumentJS", "d.js").unwrap();
+        let v = page.run_script(("typeof window.getInstrumentJS", "d.js")).unwrap();
         assert_eq!(v.as_str().unwrap(), "undefined");
         // appendChild stays on Node.prototype only.
         let v = page
-            .run_script(
+            .run_script((
                 "Object.getOwnPropertyNames(Document.prototype).includes('appendChild')",
                 "d.js",
-            )
+            ))
             .unwrap();
         assert_eq!(v, Value::Bool(false));
         let v = page
-            .run_script(
+            .run_script((
                 "Object.getOwnPropertyNames(Node.prototype).includes('appendChild')",
                 "d.js",
-            )
+            ))
             .unwrap();
         assert_eq!(v, Value::Bool(true));
     }
@@ -305,7 +306,7 @@ mod tests {
         // Goßen-style tamper check: calling the getter on the prototype
         // itself must throw, like an unmodified browser.
         let v = page
-            .run_script(
+            .run_script((
                 r#"
                 var desc = Object.getOwnPropertyDescriptor(Navigator.prototype, 'webdriver');
                 var threw = false;
@@ -313,7 +314,7 @@ mod tests {
                 threw
                 "#,
                 "d.js",
-            )
+            ))
             .unwrap();
         assert_eq!(v, Value::Bool(true));
     }
@@ -321,7 +322,7 @@ mod tests {
     #[test]
     fn immune_to_csp() {
         let (mut page, store) = setup(Some(CspPolicy::strict("/csp")));
-        page.run_script("navigator.userAgent;", "a.js").unwrap();
+        page.run_script(("navigator.userAgent;", "a.js")).unwrap();
         assert_eq!(store.borrow().js_calls.len(), 1);
         assert_eq!(page.host.borrow().csp_violations, 0);
     }
@@ -331,7 +332,7 @@ mod tests {
         // Listing 2 against the hardened client: shadowing
         // document.dispatchEvent intercepts nothing and blocks nothing.
         let (mut page, store) = setup(None);
-        page.run_script(
+        page.run_script((
             r#"
             var seen = [];
             document.dispatchEvent = function (ev) { seen.push(ev.type); };
@@ -339,10 +340,10 @@ mod tests {
             window.__seenCount = seen.length;
             "#,
             "https://attacker.test/a.js",
-        )
+        ))
         .unwrap();
         assert_eq!(store.borrow().calls_to(".userAgent").count(), 1);
-        let v = page.run_script("window.__seenCount", "probe").unwrap();
+        let v = page.run_script(("window.__seenCount", "probe")).unwrap();
         assert_eq!(v, Value::Num(0.0), "hijacker must capture no instrument events");
     }
 
@@ -350,14 +351,14 @@ mod tests {
     fn frames_are_instrumented_synchronously() {
         let (mut page, store) = setup(None);
         // Immediate access after creation — the attack that beats vanilla.
-        page.run_script(
+        page.run_script((
             r#"
             var f = document.createElement('iframe');
             document.body.appendChild(f);
             f.contentWindow.navigator.userAgent;
             "#,
             "https://site.test/attack.js",
-        )
+        ))
         .unwrap();
         let ua_calls = store.borrow().calls_to(".userAgent").count();
         assert_eq!(ua_calls, 1, "frame access must be recorded");
@@ -367,14 +368,14 @@ mod tests {
     fn stack_traces_clean_during_wrapped_calls() {
         let (mut page, _store) = setup(None);
         let v = page
-            .run_script(
+            .run_script((
                 r#"
                 function probe() { return new Error('x').stack; }
                 document.createElement('div');
                 probe()
                 "#,
                 "https://site.test/s.js",
-            )
+            ))
             .unwrap();
         let stack = v.as_str().unwrap().to_string();
         assert!(!stack.contains("openwpm"), "stack leaked instrument frames: {stack}");

@@ -11,7 +11,7 @@
 //! exactly what it would see on a current client, but the access lands in
 //! the record store.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use browser::Page;
 use jsengine::{Property, Slot, Value};
@@ -58,7 +58,7 @@ pub fn install(page: &mut Page, store: StoreHandle, page_url: String) {
             Ok(current.clone())
         });
         it.heap.get_mut(window).props.insert(
-            Rc::from(*prop),
+            Arc::from(*prop),
             Property {
                 slot: Slot::Accessor { get: Some(getter), set: None },
                 enumerable,
@@ -82,10 +82,10 @@ mod tests {
             dwell_override_s: Some(1),
             ..Default::default()
         };
-        let (mut page, _stats) = b.open_page(&spec);
+        let (mut page, _stats) = b.open_page(&spec).expect("test URL parses");
         install(&mut page, b.store(), "https://site.test/".into());
         let v = page
-            .run_script("typeof window.jsInstruments", "https://cheqzone.com/d.js")
+            .run_script(("typeof window.jsInstruments", "https://cheqzone.com/d.js"))
             .unwrap();
         assert_eq!(v.as_str().unwrap(), "undefined");
         // `typeof window.jsInstruments` performs the property read → logged.
@@ -105,11 +105,11 @@ mod tests {
             dwell_override_s: Some(1),
             ..Default::default()
         };
-        let (mut page, _stats) = b.open_page(&spec);
+        let (mut page, _stats) = b.open_page(&spec).expect("test URL parses");
         install(&mut page, b.store(), "p".into());
         // The vanilla instrument's leftover function is still a function
         // (still detectable!), and the probe is now also recorded.
-        let v = page.run_script("typeof window.getInstrumentJS", "probe.js").unwrap();
+        let v = page.run_script(("typeof window.getInstrumentJS", "probe.js")).unwrap();
         assert_eq!(v.as_str().unwrap(), "function");
         assert!(b
             .take_store()

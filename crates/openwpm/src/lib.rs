@@ -44,7 +44,7 @@ pub use records::{
     CrawlHistoryRecord, CrawlStatus, JsCallRecord, JsOperation, RecordStore, SavedScript,
 };
 pub use supervisor::{
-    run_supervised, CrawlOutcome, CrawlSummary, FailureReason, ItemMeta, RetryPolicy,
-    SupervisorConfig, VisitOutcome,
+    run_supervised, run_supervised_fallible, CrawlOutcome, CrawlSummary, FailureReason, ItemMeta,
+    RetryPolicy, SupervisorConfig, VisitOutcome,
 };
 pub use wpm_browser::{Browser, PageScript, SiteResponse, VisitSpec, VisitStats};

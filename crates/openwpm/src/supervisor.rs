@@ -45,6 +45,10 @@ pub enum FailureReason {
     NavigationError,
     TabCrash,
     TransientHttp,
+    /// The visit spec's URL does not parse — the visit can never succeed,
+    /// but the browser is healthy; the supervisor records the failure
+    /// instead of crashing the worker.
+    BadUrl,
     /// The visit code itself panicked (caught by `catch_unwind`).
     Panic,
 }
@@ -57,17 +61,19 @@ impl FailureReason {
             FailureReason::NavigationError => "navigation_error",
             FailureReason::TabCrash => "tab_crash",
             FailureReason::TransientHttp => "transient_http",
+            FailureReason::BadUrl => "bad_url",
             FailureReason::Panic => "panic",
         }
     }
 
-    pub fn all() -> [FailureReason; 6] {
+    pub fn all() -> [FailureReason; 7] {
         [
             FailureReason::BrowserCrash,
             FailureReason::Timeout,
             FailureReason::NavigationError,
             FailureReason::TabCrash,
             FailureReason::TransientHttp,
+            FailureReason::BadUrl,
             FailureReason::Panic,
         ]
     }
@@ -290,6 +296,38 @@ where
     W: Send,
     R: Send + Clone,
 {
+    run_supervised_fallible(
+        items,
+        workers,
+        cfg,
+        meta,
+        init,
+        move |state, i, item| Ok(visit(state, i, item)),
+        prior,
+        on_complete,
+    )
+}
+
+/// [`run_supervised`] for visits that can fail with a typed
+/// [`FailureReason`] of their own (e.g. an unparseable visit URL). An
+/// `Err` attempt leaves the browser healthy and is retried under the same
+/// [`RetryPolicy`] as injected faults; exhausted items surface as
+/// [`VisitOutcome::Failed`] with the visit's reason.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_fallible<W, R, S>(
+    items: Vec<W>,
+    workers: usize,
+    cfg: SupervisorConfig,
+    meta: impl Fn(&W) -> ItemMeta + Sync,
+    init: impl Fn(usize) -> S + Sync,
+    visit: impl Fn(&mut S, usize, &W) -> Result<R, FailureReason> + Sync,
+    prior: Vec<Option<VisitOutcome<R>>>,
+    on_complete: impl Fn(usize, &VisitOutcome<R>, u32) + Sync,
+) -> CrawlOutcome<R>
+where
+    W: Send,
+    R: Send + Clone,
+{
     let n = items.len();
     let injector = FaultInjector::new(cfg.faults);
     // Resolve up-front which indices actually run: priors replay, and a
@@ -423,9 +461,20 @@ where
                         reason
                     }
                     None => match catch_unwind(AssertUnwindSafe(|| visit(state, i, &item))) {
-                        Ok(r) => {
+                        Ok(Ok(r)) => {
                             drop(attempt_span);
                             break VisitOutcome::Completed(r);
+                        }
+                        Ok(Err(reason)) => {
+                            // Typed visit failure: the browser stays
+                            // healthy (no restart), the attempt is charged
+                            // and retried under the normal policy.
+                            obs::emit(
+                                Event::new(0, "visit_error")
+                                    .attr("reason", reason.as_str())
+                                    .attr("attempt", attempts),
+                            );
+                            reason
                         }
                         Err(payload) => {
                             // Keep the cause visible even though the crawl

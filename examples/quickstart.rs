@@ -22,7 +22,8 @@ fn main() {
                 source: corpus::selenium_detector(
                     Technique::Plain,
                     "https://botwall.example.net/bd/verdict",
-                ),
+                )
+                .into(),
                 content_type: "text/javascript".into(),
             },
         ],
@@ -36,7 +37,7 @@ fn main() {
     ] {
         let mut browser = Browser::new(config);
         let mut verdict = None;
-        browser.visit(&spec, |traffic| {
+        let _ = browser.visit(&spec, |traffic| {
             verdict = traffic
                 .iter()
                 .find(|r| r.url.path == "/bd/verdict")

@@ -5,12 +5,12 @@
 //! Run with: `cargo run --release --example wild_scan -p gullible`
 
 use gullible::report::pct;
-use gullible::{run_scan, ScanConfig};
+use gullible::{Scan, ScanConfig};
 
 fn main() {
     let n = 3_000;
     println!("scanning {n} synthetic sites (front page + up to 3 subpages each)…\n");
-    let report = run_scan(ScanConfig::new(n, 42));
+    let report = Scan::new(ScanConfig::new(n, 42)).run().expect("scan");
 
     let [(si, st), (di, dt), (ui, ut)] = report.table5();
     println!("sites with Selenium detectors (front + subpages):");

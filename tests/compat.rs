@@ -1,0 +1,67 @@
+//! Compatibility shims: the pre-builder scan entrypoints stay callable
+//! (behind `#[deprecated]`) and return exactly what the `Scan` builder
+//! returns. This is the only place in the tree still allowed to call
+//! them — everything else uses `Scan::new(cfg)…run()`.
+#![allow(deprecated)]
+
+use gullible::scan::{run_scan, run_scan_supervised, run_scan_with_checkpoint, Scan, ScanConfig};
+
+#[test]
+fn run_scan_matches_builder() {
+    let cfg = ScanConfig::new(120, 5);
+    let old = run_scan(cfg);
+    let new = Scan::new(cfg).run().expect("scan without checkpoint cannot fail");
+    assert_eq!(old.sites, new.sites);
+    assert_eq!(old.completion, new.completion);
+    assert_eq!(old.table5(), new.table5());
+}
+
+#[test]
+fn run_scan_supervised_matches_builder() {
+    let cfg = ScanConfig::new(100, 9);
+    let old_calls = std::sync::atomic::AtomicU32::new(0);
+    let new_calls = std::sync::atomic::AtomicU32::new(0);
+    let old = run_scan_supervised(cfg, Vec::new(), &[], &|_, _, _| {
+        old_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    let new = Scan::new(cfg)
+        .on_complete(|_, _, _| {
+            // borrows a stack local — the builder's `'a` lifetime allows it
+            new_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        })
+        .run()
+        .expect("scan without checkpoint cannot fail");
+    assert_eq!(old.sites, new.sites);
+    assert_eq!(old.history, new.history);
+    assert_eq!(
+        old_calls.into_inner(),
+        new_calls.into_inner(),
+        "completion callback must fire identically through both entrypoints"
+    );
+}
+
+#[test]
+fn run_scan_with_checkpoint_matches_builder() {
+    let cfg = ScanConfig::new(80, 13);
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("gullible-compat-a-{}.ckpt", std::process::id()));
+    let b = dir.join(format!("gullible-compat-b-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+
+    let old = run_scan_with_checkpoint(cfg, &a).expect("old entrypoint");
+    let new = Scan::new(cfg).checkpoint(&b).run().expect("builder");
+    assert_eq!(old.sites, new.sites);
+    assert_eq!(old.completion.completed, new.completion.completed);
+    // Line order follows worker completion order (scheduling-dependent);
+    // the recorded outcomes themselves must agree exactly.
+    let lines = |p: &std::path::Path| {
+        let mut v: Vec<String> =
+            std::fs::read_to_string(p).unwrap().lines().map(String::from).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(lines(&a), lines(&b), "checkpoint contents must agree");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}

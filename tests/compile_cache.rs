@@ -1,0 +1,115 @@
+//! Integration tests for the shared script-compilation cache and the
+//! wider shared-artifact layer it gates (realm templates, shared
+//! profiles): the cache must be a *pure* optimisation — invisible in every
+//! measured artifact — while staying correct under concurrency and bounded
+//! in growth.
+//!
+//! The cache and the telemetry registry are process-wide; these tests
+//! serialise on one mutex so the parallel test runner cannot interleave
+//! their resets.
+
+use std::sync::{Arc, Mutex};
+
+use gullible::obs;
+use gullible::scan::{Scan, ScanConfig};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn scan_cfg() -> ScanConfig {
+    let mut cfg = ScanConfig::new(600, 7);
+    cfg.workers = 2;
+    cfg
+}
+
+/// The headline ablation invariant, at test scale: the same seed scanned
+/// with the cache on and off yields identical Table 5 output, identical
+/// per-site records, and a byte-identical telemetry digest.
+#[test]
+fn cache_is_invisible_to_results_and_telemetry() {
+    let _g = SERIAL.lock().unwrap();
+    let leg = |cache_on: bool| {
+        obs::reset();
+        obs::set_stats(true);
+        jsengine::cache().clear();
+        jsengine::set_cache_enabled(cache_on);
+        let report = Scan::new(scan_cfg()).run().expect("scan");
+        let digest = obs::registry().snapshot().digest();
+        (report, digest)
+    };
+    let (on, digest_on) = leg(true);
+    let (off, digest_off) = leg(false);
+    obs::reset();
+    jsengine::set_cache_enabled(true);
+
+    assert_eq!(on.table5(), off.table5(), "table 5 must not depend on the cache");
+    assert_eq!(on.sites, off.sites, "per-site records must not depend on the cache");
+    assert_eq!(on.history, off.history);
+    assert_eq!(
+        digest_on, digest_off,
+        "telemetry digest differs: {digest_on:016x} (cache) vs {digest_off:016x} (no cache)"
+    );
+}
+
+/// Hammer the cache from many threads: every thread compiling the same
+/// body set must converge on one shared artifact per body, with the entry
+/// count bounded by the number of unique bodies (never by call count).
+#[test]
+fn concurrent_compiles_share_one_artifact_per_body() {
+    let _g = SERIAL.lock().unwrap();
+    jsengine::set_cache_enabled(true);
+    jsengine::cache().clear();
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..24).map(|i| format!("var stress{i} = {i}; stress{i} + 1;")).collect(),
+    );
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let bodies = bodies.clone();
+            std::thread::spawn(move || {
+                for _round in 0..40 {
+                    for (i, body) in bodies.iter().enumerate() {
+                        let cs = jsengine::compile_cached(body, &format!("stress{i}.js"))
+                            .expect("stress script compiles");
+                        assert_eq!(cs.name().as_ref(), format!("stress{i}.js"));
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("stress thread panicked");
+    }
+
+    let stats = jsengine::cache().stats();
+    assert_eq!(stats.entries, 24, "one entry per unique body");
+    // 8 threads × 40 rounds × 24 bodies; racing first compiles may record
+    // a few extra misses (parse happens outside the shard lock), but the
+    // steady state is all hits.
+    assert_eq!(stats.hits + stats.misses, 8 * 40 * 24);
+    assert!(stats.misses < 24 + 8, "misses {} not bounded by unique bodies", stats.misses);
+
+    // After the dust settles, everyone gets pointer-identical programs.
+    let a = jsengine::compile_cached(&bodies[0], "stress0.js").unwrap();
+    let b = jsengine::compile_cached(&bodies[0], "stress0.js").unwrap();
+    assert!(Arc::ptr_eq(a.program(), b.program()));
+}
+
+/// Recompiling the same bodies forever must not grow the cache: size is
+/// bounded by the unique-body count, not the compile count.
+#[test]
+fn growth_is_bounded_by_unique_bodies() {
+    let _g = SERIAL.lock().unwrap();
+    jsengine::set_cache_enabled(true);
+    jsengine::cache().clear();
+    for round in 0..10 {
+        for i in 0..20 {
+            jsengine::compile_cached(&format!("var g{i} = {i};"), "growth.js")
+                .expect("growth script compiles");
+        }
+        let stats = jsengine::cache().stats();
+        assert_eq!(stats.entries, 20, "round {round}: cache grew past the unique-body count");
+    }
+    let stats = jsengine::cache().stats();
+    assert_eq!(stats.misses, 20);
+    assert_eq!(stats.hits, 9 * 20);
+    jsengine::cache().clear();
+}

@@ -1,7 +1,7 @@
 //! Determinism guarantees: the whole reproduction derives from a single
 //! seed, so identical configurations must produce identical results.
 
-use gullible::scan::{run_scan, ScanConfig};
+use gullible::scan::{Scan, ScanConfig};
 use gullible::{run_compare, CompareConfig};
 use webgen::Population;
 
@@ -30,8 +30,8 @@ fn different_seeds_give_different_webs() {
 #[test]
 fn scans_are_reproducible() {
     let cfg = ScanConfig { workers: 3, ..ScanConfig::new(400, 55) };
-    let r1 = run_scan(cfg);
-    let r2 = run_scan(cfg);
+    let r1 = Scan::new(cfg).run().expect("scan");
+    let r2 = Scan::new(cfg).run().expect("scan");
     assert_eq!(r1.table5(), r2.table5());
     assert_eq!(r1.table7(), r2.table7());
     for (a, b) in r1.sites.iter().zip(&r2.sites) {
@@ -58,8 +58,8 @@ fn comparisons_are_reproducible() {
 fn worker_count_does_not_change_results() {
     let base = ScanConfig { workers: 1, ..ScanConfig::new(300, 77) };
     let par = ScanConfig { workers: 4, ..base };
-    let r1 = run_scan(base);
-    let r4 = run_scan(par);
+    let r1 = Scan::new(base).run().expect("scan");
+    let r4 = Scan::new(par).run().expect("scan");
     assert_eq!(r1.table5(), r4.table5());
     assert_eq!(r1.table12(), r4.table12());
 }

@@ -1,7 +1,7 @@
 //! Cross-crate end-to-end tests: the full pipeline against the population's
 //! ground truth (which the pipeline itself never reads).
 
-use gullible::scan::{run_scan, ScanConfig};
+use gullible::scan::{Scan, ScanConfig};
 use gullible::{run_compare, CompareConfig};
 use webgen::Population;
 
@@ -10,7 +10,7 @@ fn scan_findings_match_population_ground_truth() {
     let n = 1_200;
     let seed = 2022;
     let pop = Population::new(n, seed);
-    let report = run_scan(ScanConfig { workers: 2, ..ScanConfig::new(n, seed) });
+    let report = Scan::new(ScanConfig { workers: 2, ..ScanConfig::new(n, seed) }).run().expect("scan");
     assert_eq!(report.sites.len(), n as usize);
 
     let mut missed_reachable = 0;
@@ -46,7 +46,7 @@ fn scan_openwpm_providers_match_assignment() {
     let n = 2_500;
     let seed = 7;
     let pop = Population::new(n, seed);
-    let report = run_scan(ScanConfig { workers: 2, include_subpages: false, ..ScanConfig::new(n, seed) });
+    let report = Scan::new(ScanConfig { workers: 2, include_subpages: false, ..ScanConfig::new(n, seed) }).run().expect("scan");
     // Every plan-assigned cheqzone site (plain technique) must be found.
     let t6 = report.table6();
     let planned_cheq = (0..n)
@@ -80,7 +80,7 @@ fn compare_shape_holds_on_tiny_population() {
 
 #[test]
 fn scan_report_internal_consistency() {
-    let report = run_scan(ScanConfig { workers: 2, ..ScanConfig::new(600, 3) });
+    let report = Scan::new(ScanConfig { workers: 2, ..ScanConfig::new(600, 3) }).run().expect("scan");
     // Front implies site (cumulative flags).
     for s in &report.sites {
         if s.front.static_true {
@@ -107,7 +107,7 @@ fn scan_report_internal_consistency() {
 fn first_party_inclusions_subset_of_first_party_sites() {
     let n = 2_000;
     let pop = Population::new(n, 9);
-    let report = run_scan(ScanConfig { workers: 2, include_subpages: false, ..ScanConfig::new(n, 9) });
+    let report = Scan::new(ScanConfig { workers: 2, include_subpages: false, ..ScanConfig::new(n, 9) }).run().expect("scan");
     for s in &report.sites {
         if !s.first_party_urls.is_empty() {
             let plan = pop.plan(s.rank);

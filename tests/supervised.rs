@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 
 use gullible::scan::{
-    checkpoint_line, decode_site_record, encode_site_record, parse_checkpoint_line, run_scan,
-    run_scan_with_checkpoint, PageFlags, ScanConfig, SiteScanRecord,
+    checkpoint_line, decode_site_record, encode_site_record, parse_checkpoint_line, PageFlags,
+    Scan, ScanConfig, SiteScanRecord,
 };
 use openwpm::{CrawlStatus, FailureReason, FaultPlan, VisitOutcome};
 use webgen::Category;
@@ -28,7 +28,7 @@ fn adversarial_thousand_site_scan_degrades_gracefully() {
         faults: FaultPlan::adversarial(7),
         ..ScanConfig::new(1_000, 42)
     };
-    let report = run_scan(cfg);
+    let report = Scan::new(cfg).run().expect("scan");
 
     assert_eq!(report.completion.total, 1_000);
     assert_eq!(report.history.len(), 1_000);
@@ -63,8 +63,8 @@ fn faulty_scan_aggregates_are_deterministic() {
         workers: 3,
         ..ScanConfig::new(400, 11)
     };
-    let a = run_scan(cfg);
-    let b = run_scan(cfg);
+    let a = Scan::new(cfg).run().expect("scan");
+    let b = Scan::new(cfg).run().expect("scan");
     assert_eq!(a.completion, b.completion);
     assert_eq!(a.history, b.history);
     assert_eq!(a.table5(), b.table5());
@@ -83,13 +83,14 @@ fn killed_and_resumed_scan_matches_uninterrupted() {
         workers: 2,
         ..ScanConfig::new(300, 23)
     };
-    let uninterrupted = run_scan(base);
+    let uninterrupted = Scan::new(base).run().expect("scan");
 
     let path = tmp_checkpoint("resume");
     // First leg: budget admits only 120 of 300 sites, rest interrupted.
-    let first =
-        run_scan_with_checkpoint(ScanConfig { visit_budget: Some(120), ..base }, &path)
-            .expect("first leg");
+    let first = Scan::new(ScanConfig { visit_budget: Some(120), ..base })
+        .checkpoint(&path)
+        .run()
+        .expect("first leg");
     assert_eq!(first.completion.interrupted, 180);
     assert!(first.completion.completed < uninterrupted.completion.completed);
 
@@ -98,7 +99,7 @@ fn killed_and_resumed_scan_matches_uninterrupted() {
     // tables, the coverage line — must be byte-identical to the run that
     // was never interrupted. (Effort telemetry like attempts/restarts is
     // per-process-leg and deliberately not checkpointed.)
-    let resumed = run_scan_with_checkpoint(base, &path).expect("second leg");
+    let resumed = Scan::new(base).checkpoint(&path).run().expect("second leg");
     assert_eq!(resumed.completion.completed, uninterrupted.completion.completed);
     assert_eq!(resumed.completion.failed, uninterrupted.completion.failed);
     assert_eq!(resumed.completion.interrupted, 0);
@@ -119,17 +120,19 @@ fn killed_and_resumed_scan_matches_uninterrupted() {
 #[test]
 fn torn_checkpoint_line_is_survivable() {
     let base = ScanConfig { workers: 2, ..ScanConfig::new(150, 31) };
-    let uninterrupted = run_scan(base);
+    let uninterrupted = Scan::new(base).run().expect("scan");
 
     let path = tmp_checkpoint("torn");
-    run_scan_with_checkpoint(ScanConfig { visit_budget: Some(60), ..base }, &path)
+    Scan::new(ScanConfig { visit_budget: Some(60), ..base })
+        .checkpoint(&path)
+        .run()
         .expect("first leg");
     // Tear the last line in half.
     let contents = std::fs::read_to_string(&path).unwrap();
     let keep = contents.len() - contents.lines().last().unwrap().len() / 2 - 1;
     std::fs::write(&path, &contents[..keep]).unwrap();
 
-    let resumed = run_scan_with_checkpoint(base, &path).expect("second leg");
+    let resumed = Scan::new(base).checkpoint(&path).run().expect("second leg");
     assert_eq!(resumed.completion.completed, uninterrupted.completion.completed);
     assert_eq!(resumed.completion.interrupted, 0);
     assert_eq!(resumed.sites, uninterrupted.sites);

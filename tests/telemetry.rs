@@ -4,7 +4,7 @@
 //! thread interleaving — none of which may leak into either artifact.
 
 use gullible::obs;
-use gullible::scan::{run_scan_supervised, ScanConfig};
+use gullible::scan::{Scan, ScanConfig};
 use openwpm::FaultPlan;
 
 /// One instrumented run: install a buffer journal, scan, return the
@@ -17,11 +17,13 @@ fn traced_scan(workers: usize) -> (String, String) {
         faults: FaultPlan::adversarial(7),
         ..ScanConfig::new(400, 42)
     };
-    let report = run_scan_supervised(cfg, Vec::new(), &[], &|_, _, _| {});
+    let report = Scan::new(cfg).run().expect("scan");
     assert_eq!(report.completion.total, 400);
     journal.flush();
     let trace = journal.buffer_contents().expect("buffer journal");
-    let metrics = obs::registry().snapshot().render();
+    // `render_deterministic` omits the `cache.*` accounting, which varies
+    // with worker interleaving and process-level cache warmth by design.
+    let metrics = obs::registry().snapshot().render_deterministic();
     obs::take_journal();
     obs::reset();
     (trace, metrics)
