@@ -1,0 +1,538 @@
+//! # archive — content-addressed crawl bundle store
+//!
+//! A *bundle* pins one crawl to disk so it can be re-measured later
+//! (Hantke et al.'s *Web Execution Bundles* applied to the simulated
+//! crawl): everything a visit served is archived once, keyed by content,
+//! and a replayed run re-executes the measurement pipeline from the
+//! archive instead of regenerating the web.
+//!
+//! This crate is the storage layer only — it knows nothing about scans.
+//! A bundle is a directory with two append-only files:
+//!
+//! * `manifest.gar` — one checksummed text line per record: a versioned
+//!   header carrying an opaque config payload, one entry per archived
+//!   item, and a final commit line. Every line ends with its own FNV-64
+//!   checksum, so a torn final write (crawl killed mid-line) is detected
+//!   and dropped rather than half-parsed.
+//! * `blobs.gar` — the content-addressed store: each body is written at
+//!   most once under its FNV-1a 64-bit hash (the same script-identity
+//!   hash the corpus statistics use), length-prefixed and self-verifying.
+//!
+//! Both files are append-only and flushed per record, so a killed crawl
+//! leaves a readable prefix; [`BundleReader::open`] reports dropped tails
+//! instead of failing. Higher layers decide what payloads mean and
+//! whether an uncommitted bundle is usable.
+//!
+//! All bookkeeping lands under `archive.*` metrics, which are excluded
+//! from the telemetry digest (like `cache.*`): recording a crawl must not
+//! perturb its provenance.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bundle on-disk format version. Bump on any incompatible change to the
+/// manifest or blob framing; readers refuse other versions with a clear
+/// error instead of mis-parsing.
+pub const BUNDLE_FORMAT_VERSION: u32 = 1;
+
+const MANIFEST_FILE: &str = "manifest.gar";
+const BLOBS_FILE: &str = "blobs.gar";
+const MANIFEST_MAGIC: &str = "gullible-bundle";
+const BLOBS_MAGIC: &str = "gullible-blobs";
+
+/// Separator between a manifest line's body and its checksum (cannot occur
+/// in payloads — [`BundleWriter::append_entry`] rejects it).
+const US: char = '\x1f';
+
+/// FNV-1a 64-bit — the workspace's standard content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+fn frame(body: &str) -> String {
+    format!("{body}{US}{:016x}", fnv1a(body.as_bytes()))
+}
+
+fn unframe(line: &str) -> Option<&str> {
+    let (body, sum) = line.rsplit_once(US)?;
+    (u64::from_str_radix(sum, 16).ok()? == fnv1a(body.as_bytes())).then_some(body)
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Counters accumulated while writing one bundle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Manifest entries appended.
+    pub entries: u64,
+    /// Unique blobs written to the store.
+    pub blobs_written: u64,
+    /// Bytes of unique blob content written.
+    pub blob_bytes: u64,
+    /// Blob puts answered by the store without writing (content already
+    /// archived) — the dedup count the corpus statistics predict.
+    pub dedup_hits: u64,
+}
+
+struct BlobWriter {
+    file: BufWriter<File>,
+    seen: HashSet<u64>,
+    written: u64,
+    bytes: u64,
+    dedup: u64,
+}
+
+/// Writes one bundle: create, then [`put_blob`](BundleWriter::put_blob) /
+/// [`append_entry`](BundleWriter::append_entry) from any thread, then
+/// [`commit`](BundleWriter::commit). Every record is flushed as it is
+/// appended, so a killed run leaves a readable (uncommitted) prefix.
+pub struct BundleWriter {
+    dir: PathBuf,
+    manifest: Mutex<BufWriter<File>>,
+    blobs: Mutex<BlobWriter>,
+    entries: AtomicU64,
+}
+
+impl BundleWriter {
+    /// Create (or overwrite) the bundle at `dir` with an opaque config
+    /// payload in the header. The payload must not contain `\n` or the
+    /// checksum separator.
+    pub fn create(dir: impl Into<PathBuf>, config: &str) -> io::Result<BundleWriter> {
+        let dir = dir.into();
+        check_payload(config)?;
+        std::fs::create_dir_all(&dir)?;
+        let mut manifest = BufWriter::new(File::create(dir.join(MANIFEST_FILE))?);
+        writeln!(
+            manifest,
+            "{}",
+            frame(&format!("{MANIFEST_MAGIC} v{BUNDLE_FORMAT_VERSION}{US}{config}"))
+        )?;
+        manifest.flush()?;
+        let mut blobs = BufWriter::new(File::create(dir.join(BLOBS_FILE))?);
+        writeln!(blobs, "{BLOBS_MAGIC} v{BUNDLE_FORMAT_VERSION}")?;
+        blobs.flush()?;
+        Ok(BundleWriter {
+            dir,
+            manifest: Mutex::new(manifest),
+            blobs: Mutex::new(BlobWriter {
+                file: blobs,
+                seen: HashSet::new(),
+                written: 0,
+                bytes: 0,
+                dedup: 0,
+            }),
+            entries: AtomicU64::new(0),
+        })
+    }
+
+    /// Directory this bundle is being written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Archive `body` under its FNV-64 content hash, writing it only if
+    /// the store has not seen that content yet. Returns the hash.
+    pub fn put_blob(&self, body: &str) -> io::Result<u64> {
+        let hash = fnv1a(body.as_bytes());
+        let mut w = self.blobs.lock().unwrap();
+        if !w.seen.insert(hash) {
+            w.dedup += 1;
+            obs::add("archive.dedup.hits", 1);
+            return Ok(hash);
+        }
+        writeln!(w.file, "b {hash:016x} {}", body.len())?;
+        w.file.write_all(body.as_bytes())?;
+        w.file.write_all(b"\n")?;
+        w.file.flush()?;
+        w.written += 1;
+        w.bytes += body.len() as u64;
+        obs::add("archive.write.blobs", 1);
+        obs::add("archive.write.blob_bytes", body.len() as u64);
+        Ok(hash)
+    }
+
+    /// Append one opaque entry line (checksummed) to the manifest and
+    /// flush it. Entries from worker threads land in completion order;
+    /// readers must not rely on file order.
+    pub fn append_entry(&self, payload: &str) -> io::Result<()> {
+        check_payload(payload)?;
+        let line = frame(&format!("s{US}{payload}"));
+        let mut m = self.manifest.lock().unwrap();
+        writeln!(m, "{line}")?;
+        m.flush()?;
+        drop(m);
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        obs::add("archive.write.entries", 1);
+        Ok(())
+    }
+
+    /// Seal the bundle with a commit payload (run summary, digests). A
+    /// reader treats a bundle without a commit line as torn.
+    pub fn commit(self, payload: &str) -> io::Result<WriteStats> {
+        check_payload(payload)?;
+        let mut m = self.manifest.into_inner().unwrap();
+        writeln!(m, "{}", frame(&format!("c{US}{payload}")))?;
+        m.flush()?;
+        m.get_ref().sync_all()?;
+        let b = self.blobs.into_inner().unwrap();
+        let mut file = b.file;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+        Ok(WriteStats {
+            entries: self.entries.load(Ordering::Relaxed),
+            blobs_written: b.written,
+            blob_bytes: b.bytes,
+            dedup_hits: b.dedup,
+        })
+    }
+}
+
+fn check_payload(payload: &str) -> io::Result<()> {
+    if payload.contains('\n') || payload.contains(US) {
+        return Err(invalid(
+            "bundle payload must not contain newlines or \\x1f".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// A bundle read back from disk. Payload semantics belong to the caller;
+/// this layer only validates framing, versions and checksums.
+#[derive(Debug)]
+pub struct BundleReader {
+    /// Opaque config payload from the header line.
+    pub config: String,
+    /// Entry payloads, in file (completion) order.
+    pub entries: Vec<String>,
+    /// Commit payload; `None` for a torn (uncommitted) bundle.
+    pub commit: Option<String>,
+    /// Content-addressed blob store: FNV-64 hash → body.
+    pub blobs: HashMap<u64, Arc<str>>,
+    /// Manifest lines dropped (torn or corrupt) — non-zero means the
+    /// recording crawl was killed or the file was damaged.
+    pub dropped_lines: usize,
+    /// The blob file ended mid-record; everything before the tear was
+    /// recovered.
+    pub torn_blob_tail: bool,
+}
+
+impl BundleReader {
+    /// Open and validate the bundle at `dir`. Fails with a clear error on
+    /// a missing file or a format-version mismatch; torn tails are
+    /// recovered and *counted*, not errors.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<BundleReader> {
+        let dir = dir.as_ref();
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).map_err(|e| {
+            io::Error::new(e.kind(), format!("{}: {e}", dir.join(MANIFEST_FILE).display()))
+        })?;
+        let mut lines = manifest.lines();
+        let header = lines
+            .next()
+            .and_then(unframe)
+            .ok_or_else(|| invalid(format!("{}: missing or corrupt bundle header", dir.display())))?;
+        let (magic, config) = header.split_once(US).unwrap_or((header, ""));
+        let version = magic
+            .strip_prefix(MANIFEST_MAGIC)
+            .map(str::trim)
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| invalid(format!("{}: not a bundle manifest", dir.display())))?;
+        if version != BUNDLE_FORMAT_VERSION {
+            return Err(invalid(format!(
+                "{}: bundle format v{version}, this build reads v{BUNDLE_FORMAT_VERSION} — \
+                 re-record the bundle with this build",
+                dir.display()
+            )));
+        }
+        let mut entries = Vec::new();
+        let mut commit = None;
+        let mut dropped = 0usize;
+        for line in lines {
+            match unframe(line).and_then(|body| body.split_once(US)) {
+                Some(("s", payload)) => entries.push(payload.to_string()),
+                Some(("c", payload)) => commit = Some(payload.to_string()),
+                _ => {
+                    dropped += 1;
+                    obs::add("archive.read.dropped_lines", 1);
+                }
+            }
+        }
+        obs::add("archive.read.entries", entries.len() as u64);
+
+        let (blobs, torn_blob_tail) = read_blobs(&dir.join(BLOBS_FILE))?;
+        obs::add("archive.read.blobs", blobs.len() as u64);
+        Ok(BundleReader {
+            config: config.to_string(),
+            entries,
+            commit,
+            blobs,
+            dropped_lines: dropped,
+            torn_blob_tail,
+        })
+    }
+
+    /// Body for a content hash, if archived.
+    pub fn blob(&self, hash: u64) -> Option<Arc<str>> {
+        self.blobs.get(&hash).cloned()
+    }
+}
+
+fn read_blobs(path: &Path) -> io::Result<(HashMap<u64, Arc<str>>, bool)> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?
+        .read_to_end(&mut bytes)?;
+    let header_end = bytes
+        .iter()
+        .position(|b| *b == b'\n')
+        .ok_or_else(|| invalid(format!("{}: missing blob-store header", path.display())))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| invalid(format!("{}: corrupt blob-store header", path.display())))?;
+    let version = header
+        .strip_prefix(BLOBS_MAGIC)
+        .map(str::trim)
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| invalid(format!("{}: not a blob store", path.display())))?;
+    if version != BUNDLE_FORMAT_VERSION {
+        return Err(invalid(format!(
+            "{}: blob-store format v{version}, this build reads v{BUNDLE_FORMAT_VERSION}",
+            path.display()
+        )));
+    }
+    let mut blobs = HashMap::new();
+    let mut pos = header_end + 1;
+    let mut torn = false;
+    while pos < bytes.len() {
+        // `b <hash16> <len>\n<len bytes>\n` — anything that fails to frame
+        // or verify is a torn tail: stop there (later records, if any,
+        // were never synced in a consistent state).
+        let Some(rel) = bytes[pos..].iter().position(|b| *b == b'\n') else {
+            torn = true;
+            break;
+        };
+        let parsed = std::str::from_utf8(&bytes[pos..pos + rel]).ok().and_then(|line| {
+            let rest = line.strip_prefix("b ")?;
+            let (hash, len) = rest.split_once(' ')?;
+            Some((u64::from_str_radix(hash, 16).ok()?, len.parse::<usize>().ok()?))
+        });
+        let Some((hash, len)) = parsed else {
+            torn = true;
+            break;
+        };
+        let body_start = pos + rel + 1;
+        let body_end = body_start + len;
+        if body_end + 1 > bytes.len() || bytes[body_end] != b'\n' {
+            torn = true;
+            break;
+        }
+        let Ok(body) = std::str::from_utf8(&bytes[body_start..body_end]) else {
+            torn = true;
+            break;
+        };
+        if fnv1a(body.as_bytes()) != hash {
+            torn = true;
+            break;
+        }
+        blobs.insert(hash, Arc::<str>::from(body));
+        pos = body_end + 1;
+    }
+    if torn {
+        obs::add("archive.read.torn_blob_tail", 1);
+    }
+    Ok((blobs, torn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gullible-archive-{}-{}-{tag}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_bundle(dir: &Path) -> WriteStats {
+        let w = BundleWriter::create(dir, "sites=3").unwrap();
+        let h1 = w.put_blob("var a = 1;").unwrap();
+        let h2 = w.put_blob("var b = 2;").unwrap();
+        let dup = w.put_blob("var a = 1;").unwrap();
+        assert_eq!(h1, dup);
+        assert_ne!(h1, h2);
+        w.append_entry(&format!("site0 {h1:016x}")).unwrap();
+        w.append_entry(&format!("site1 {h2:016x}")).unwrap();
+        w.append_entry("site2").unwrap();
+        w.commit("done=3").unwrap()
+    }
+
+    #[test]
+    fn roundtrip_entries_blobs_and_commit() {
+        let dir = tmpdir("roundtrip");
+        let stats = sample_bundle(&dir);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.blobs_written, 2);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.blob_bytes, 20);
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert_eq!(r.config, "sites=3");
+        assert_eq!(r.entries.len(), 3);
+        assert!(r.entries[0].starts_with("site0"));
+        assert_eq!(r.commit.as_deref(), Some("done=3"));
+        assert_eq!(r.blobs.len(), 2);
+        assert_eq!(r.blob(fnv1a(b"var a = 1;")).as_deref(), Some("var a = 1;"));
+        assert_eq!(r.dropped_lines, 0);
+        assert!(!r.torn_blob_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_dropped_and_counted() {
+        let dir = tmpdir("torn-manifest");
+        sample_bundle(&dir);
+        let path = dir.join(MANIFEST_FILE);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Kill the run mid-write: drop the commit line and half of the
+        // last entry line.
+        let lines: Vec<&str> = contents.lines().collect();
+        let torn_last = &lines[3][..lines[3].len() / 2];
+        let torn = format!("{}\n{}\n{}\n{torn_last}", lines[0], lines[1], lines[2]);
+        std::fs::write(&path, torn).unwrap();
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert_eq!(r.entries.len(), 2, "intact entries survive");
+        assert_eq!(r.commit, None, "torn bundle has no commit");
+        assert_eq!(r.dropped_lines, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_blob_tail_keeps_verified_prefix() {
+        let dir = tmpdir("torn-blobs");
+        sample_bundle(&dir);
+        let path = dir.join(BLOBS_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        // Tear mid-way through the last blob's body.
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert!(r.torn_blob_tail);
+        assert_eq!(r.blobs.len(), 1, "first blob still verifies");
+        assert!(r.blob(fnv1a(b"var a = 1;")).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_blob_body_fails_verification() {
+        let dir = tmpdir("bitflip");
+        sample_bundle(&dir);
+        let path = dir.join(BLOBS_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the first blob body (after its header line).
+        let first_body = bytes.iter().position(|b| *b == b'\n').unwrap() + 1;
+        let second_line = first_body
+            + bytes[first_body..].iter().position(|b| *b == b'\n').unwrap()
+            + 1;
+        bytes[second_line + 2] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let r = BundleReader::open(&dir).unwrap();
+        // The flipped blob and everything after it are dropped.
+        assert!(r.torn_blob_tail);
+        assert_eq!(r.blobs.len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clear_error() {
+        let dir = tmpdir("version");
+        sample_bundle(&dir);
+        let path = dir.join(MANIFEST_FILE);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = contents.lines().map(String::from).collect();
+        let body = format!("{MANIFEST_MAGIC} v99{US}sites=3");
+        lines[0] = frame(&body);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let err = BundleReader::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("v99") && msg.contains("v1"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_header_checksum_is_rejected() {
+        let dir = tmpdir("tamper");
+        sample_bundle(&dir);
+        let path = dir.join(MANIFEST_FILE);
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        // Tamper with the config without re-checksumming.
+        contents = contents.replacen("sites=3", "sites=4", 1);
+        std::fs::write(&path, contents).unwrap();
+        let err = BundleReader::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn payloads_with_framing_bytes_are_rejected() {
+        let dir = tmpdir("payload");
+        let w = BundleWriter::create(&dir, "c").unwrap();
+        assert!(w.append_entry("a\nb").is_err());
+        assert!(w.append_entry("a\x1fb").is_err());
+        assert!(w.append_entry("plain").is_ok());
+        w.commit("ok").unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_bundle_is_not_found() {
+        let err = BundleReader::open(tmpdir("missing")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_store() {
+        let dir = tmpdir("concurrent");
+        let w = BundleWriter::create(&dir, "c").unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let w = &w;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        // Heavy cross-thread duplication: 25 distinct bodies.
+                        w.put_blob(&format!("body-{}", i % 25)).unwrap();
+                        w.append_entry(&format!("t{t}-e{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = w.commit("done").unwrap();
+        assert_eq!(stats.entries, 400);
+        assert_eq!(stats.blobs_written, 25);
+        assert_eq!(stats.dedup_hits, 375);
+        let r = BundleReader::open(&dir).unwrap();
+        assert_eq!(r.entries.len(), 400);
+        assert_eq!(r.blobs.len(), 25);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

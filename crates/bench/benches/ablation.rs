@@ -5,6 +5,8 @@
 //! * honey properties on vs off — cost of the iterator filter;
 //! * instrumented vs bare page — total instrumentation tax.
 
+#![deny(deprecated)]
+
 use std::hint::black_box;
 
 use bench::timeit;

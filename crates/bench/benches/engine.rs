@@ -2,6 +2,8 @@
 //! template capture. Quantifies the "tree-walking interpreter vs bytecode"
 //! design decision from DESIGN.md.
 
+#![deny(deprecated)]
+
 use std::hint::black_box;
 
 use bench::timeit;

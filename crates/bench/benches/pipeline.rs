@@ -1,6 +1,8 @@
 //! Pipeline benchmarks: scan and comparison throughput per site, static
 //! analysis over scripts — the costs that bound paper-scale runs.
 
+#![deny(deprecated)]
+
 use std::hint::black_box;
 
 use bench::timeit;

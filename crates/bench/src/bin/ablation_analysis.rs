@@ -2,6 +2,8 @@
 //! and without honey properties and interaction — quantifying the design
 //! choices behind Sec. 4.1 of the paper on the same population.
 
+#![deny(deprecated)]
+
 use gullible::report::{thousands, TextTable};
 use gullible::scan::{Scan, ScanConfig};
 

@@ -10,6 +10,8 @@
 //! Exits non-zero if the two runs disagree on any result or the speedup
 //! target is missed, so CI can gate on it.
 
+#![deny(deprecated)]
+
 use gullible::{Scan, ScanConfig};
 use gullible::obs;
 

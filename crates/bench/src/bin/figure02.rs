@@ -1,5 +1,7 @@
 //! Fig. 2 — prototype pollution by the vanilla JS instrument.
 
+#![deny(deprecated)]
+
 use browser::{FingerprintProfile, Os, Page, RunMode};
 use netsim::Url;
 use openwpm::instrument::vanilla;

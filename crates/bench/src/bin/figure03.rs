@@ -1,5 +1,7 @@
 //! Fig. 3 — detectors on front pages vs incl. subpages, per rank bucket.
 
+#![deny(deprecated)]
+
 use gullible::report::{pct, thousands};
 use gullible::Scan;
 

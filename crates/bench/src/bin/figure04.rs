@@ -1,5 +1,7 @@
 //! Fig. 4 — detectors found on front pages: static vs dynamic, per bucket.
 
+#![deny(deprecated)]
+
 use gullible::report::thousands;
 use gullible::Scan;
 

@@ -1,5 +1,7 @@
 //! Fig. 5 — common categories of sites with detectors.
 
+#![deny(deprecated)]
+
 use gullible::report::TextTable;
 use gullible::Scan;
 

@@ -1,5 +1,7 @@
 //! Fig. 6 — per-API call coverage of WPM relative to WPM_hide.
 
+#![deny(deprecated)]
+
 use gullible::report::TextTable;
 use gullible::run_compare;
 

@@ -13,6 +13,8 @@
 //! faults (see `bench` crate docs); the coverage line under the scan tables
 //! reports the resulting completion rate.
 
+#![deny(deprecated)]
+
 use gullible::report::{pct, thousands};
 use gullible::{run_compare, Client, Scan};
 use netsim::{CookieParty, ResourceType};

@@ -1,5 +1,7 @@
 //! Table 1 — measurement characteristics of 72 OpenWPM-based studies.
 
+#![deny(deprecated)]
+
 use gullible::literature::{studies, tally};
 use gullible::report::TextTable;
 

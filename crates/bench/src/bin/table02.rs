@@ -1,5 +1,7 @@
 //! Table 2 — deviating properties of each OpenWPM setup vs stock Firefox.
 
+#![deny(deprecated)]
+
 use browser::{Os, RunMode};
 use gullible::report::TextTable;
 use gullible::surface::{surface, ClientKind};

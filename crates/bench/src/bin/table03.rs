@@ -1,5 +1,7 @@
 //! Table 3 — screen properties for the OpenWPM run-mode configurations.
 
+#![deny(deprecated)]
+
 use browser::{FingerprintProfile, Os, RunMode};
 use gullible::report::TextTable;
 

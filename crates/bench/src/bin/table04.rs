@@ -1,5 +1,7 @@
 //! Table 4 — WebGL vendor and screen.avail{Top,Left} for Ubuntu modes.
 
+#![deny(deprecated)]
+
 use browser::{FingerprintProfile, Os, RunMode};
 use gullible::report::TextTable;
 

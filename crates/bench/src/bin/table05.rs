@@ -1,6 +1,8 @@
 //! Table 5 — number of websites with Selenium detectors (static / dynamic /
 //! union, identified vs without false positives).
 
+#![deny(deprecated)]
+
 use gullible::report::{pct, thousands, TextTable};
 use gullible::Scan;
 

@@ -1,5 +1,7 @@
 //! Table 6 — sites with scripts probing OpenWPM-specific properties.
 
+#![deny(deprecated)]
+
 use gullible::report::TextTable;
 use gullible::Scan;
 

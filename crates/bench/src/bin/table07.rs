@@ -1,5 +1,7 @@
 //! Table 7 — domains hosting third-party detector scripts.
 
+#![deny(deprecated)]
+
 use gullible::report::{thousands, TextTable};
 use gullible::Scan;
 

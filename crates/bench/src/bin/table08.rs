@@ -1,5 +1,7 @@
 //! Table 8 — comparison of HTTP request resource types, WPM vs WPM_hide.
 
+#![deny(deprecated)]
+
 use gullible::report::{thousands, TextTable};
 use gullible::run_compare;
 use netsim::ResourceType;

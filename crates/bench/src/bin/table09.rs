@@ -1,5 +1,7 @@
 //! Table 9 — HTTP requests to ad/tracker resources (EasyList/EasyPrivacy).
 
+#![deny(deprecated)]
+
 use gullible::report::{thousands, TextTable};
 use gullible::run_compare;
 use stats::descriptive::{fmt_pct, pct_change};

@@ -1,5 +1,7 @@
 //! Table 10 — served cookies and tracking cookies, WPM vs WPM_hide.
 
+#![deny(deprecated)]
+
 use gullible::report::{thousands, TextTable};
 use gullible::{run_compare, Client};
 use netsim::CookieParty;

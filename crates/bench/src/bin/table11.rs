@@ -1,5 +1,7 @@
 //! Table 11 — studies measuring webdriver-property access on front pages.
 
+#![deny(deprecated)]
+
 use gullible::report::{pct, thousands, TextTable};
 use gullible::Scan;
 

@@ -1,5 +1,7 @@
 //! Table 12 / Appx. A — first-party detector origin clusters.
 
+#![deny(deprecated)]
+
 use gullible::report::{thousands, TextTable};
 use gullible::Scan;
 

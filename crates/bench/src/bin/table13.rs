@@ -1,5 +1,7 @@
 //! Table 13 / Appx. B — static-analysis pattern evaluation.
 
+#![deny(deprecated)]
+
 use detect::corpus::{self, Technique};
 use detect::static_analysis::{preprocess, StaticPattern};
 use gullible::report::TextTable;

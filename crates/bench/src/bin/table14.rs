@@ -1,5 +1,7 @@
 //! Table 14 / Appx. C — Firefox-release lag of OpenWPM.
 
+#![deny(deprecated)]
+
 use gullible::literature::{days_from_civil, firefox_lag, FIREFOX_TIMELINE};
 use gullible::report::TextTable;
 

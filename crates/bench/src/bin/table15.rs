@@ -4,6 +4,8 @@
 //! (the appendix table is not fully machine-readable); identities are the
 //! paper's.
 
+#![deny(deprecated)]
+
 use gullible::literature::{studies, StudyMode};
 use gullible::report::TextTable;
 

@@ -7,6 +7,8 @@
 //! cargo run --release -p bench --bin trace_check -- /tmp/trace.jsonl
 //! ```
 
+#![deny(deprecated)]
+
 use gullible::obs::validate::validate_journal;
 
 fn main() {

@@ -23,6 +23,7 @@
 //! | `GULLIBLE_FAULT_SEED`     | u64   | `0xFA017`      | fault-plan seed, independent of the population seed |
 //! | `GULLIBLE_COMPILE_CACHE`  | bool  | 1              | share compiled scripts across workers (`0` disables; ablation) |
 //! | `GULLIBLE_COMPILE_SHARDS` | usize | 16             | mutex stripes in the compile cache (set before first use) |
+//! | `GULLIBLE_BUNDLE`         | path  | unset          | crawl-bundle directory for `archive_record`/`archive_replay` (positional arg wins) |
 //!
 //! Boolean knobs accept `1`, `true`, `yes` or `on` (anything else, or
 //! unset, is off). Default-on boolean knobs (`GULLIBLE_COMPILE_CACHE`)
@@ -112,6 +113,17 @@ pub fn compile_cache() -> bool {
 /// effect only if set before the cache's first use.
 pub fn compile_shards() -> usize {
     u64_knob("GULLIBLE_COMPILE_SHARDS", 16) as usize
+}
+
+/// `GULLIBLE_BUNDLE` — crawl-bundle directory for the archive binaries.
+pub fn bundle() -> Option<PathBuf> {
+    path_knob("GULLIBLE_BUNDLE")
+}
+
+/// Positional (non-flag) CLI arguments, in order — the archive binaries
+/// take bundle directories this way, ahead of `GULLIBLE_BUNDLE`.
+pub fn positional_args() -> Vec<String> {
+    std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect()
 }
 
 #[cfg(test)]

@@ -21,6 +21,8 @@
 //! machine-readable `[provenance]` footer, so every regenerated table
 //! carries its seed, config hash and telemetry digest.
 
+#![deny(deprecated)]
+
 use gullible::{obs, CompareConfig, ScanConfig};
 
 pub mod env;
@@ -47,6 +49,22 @@ pub fn scan_config() -> ScanConfig {
     cfg.workers = env::workers();
     cfg.faults = env::fault_plan();
     cfg
+}
+
+/// Crawl-bundle directory for the archive binaries: the first positional
+/// CLI argument, else `GULLIBLE_BUNDLE`, else a (sites, seed)-scoped
+/// directory under the system temp dir — the same default for
+/// `archive_record` and `archive_replay`, so a record-then-replay pair
+/// needs no arguments at all.
+pub fn bundle_dir() -> std::path::PathBuf {
+    env::positional_args()
+        .into_iter()
+        .next()
+        .map(std::path::PathBuf::from)
+        .or_else(env::bundle)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("gullible-bundle-{}x{}", env::sites(), env::seed()))
+        })
 }
 
 /// Standard comparison configuration from the environment.

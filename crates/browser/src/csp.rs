@@ -31,6 +31,32 @@ impl CspPolicy {
     pub fn permissive() -> CspPolicy {
         CspPolicy { blocks_inline_scripts: false, report_uri: None }
     }
+
+    /// Compact archive encoding: `{0|1}|{report_uri}` (empty uri = none).
+    /// The crawl archive stores each page's policy so a replayed visit
+    /// produces the same CSP violations (and `csp_report` rows) as the
+    /// recorded one.
+    pub fn encode(&self) -> String {
+        format!(
+            "{}|{}",
+            self.blocks_inline_scripts as u8,
+            self.report_uri.as_deref().unwrap_or("")
+        )
+    }
+
+    /// Inverse of [`CspPolicy::encode`]; `None` on malformed input.
+    pub fn decode(s: &str) -> Option<CspPolicy> {
+        let (flag, uri) = s.split_once('|')?;
+        let blocks_inline_scripts = match flag {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        Some(CspPolicy {
+            blocks_inline_scripts,
+            report_uri: (!uri.is_empty()).then(|| uri.to_owned()),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -42,5 +68,19 @@ mod tests {
         assert!(CspPolicy::strict("/csp-report").blocks_inline_scripts);
         assert!(!CspPolicy::permissive().blocks_inline_scripts);
         assert_eq!(CspPolicy::strict("/r").report_uri.as_deref(), Some("/r"));
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        for p in [
+            CspPolicy::permissive(),
+            CspPolicy::strict("https://w000001.com/csp-report"),
+            CspPolicy { blocks_inline_scripts: true, report_uri: None },
+        ] {
+            assert_eq!(CspPolicy::decode(&p.encode()).as_ref(), Some(&p));
+        }
+        assert_eq!(CspPolicy::decode(""), None);
+        assert_eq!(CspPolicy::decode("2|/r"), None);
+        assert_eq!(CspPolicy::decode("yes|/r"), None);
     }
 }

@@ -34,6 +34,7 @@
 //! assert!(!identified);
 //! ```
 
+pub mod archive;
 pub mod attacks;
 pub mod compare;
 pub mod literature;
@@ -43,8 +44,14 @@ pub mod surface;
 
 pub use obs;
 
+pub use archive::{
+    diff_bundles, ArchiveStats, BundleDiff, CommitInfo, ReplayBundle, ReplayStats, SiteDelta,
+};
 pub use compare::{run_compare, Client, CompareConfig, CompareReport};
 #[allow(deprecated)]
 pub use scan::{run_scan, run_scan_supervised, run_scan_with_checkpoint};
-pub use scan::{Scan, ScanConfig, ScanReport, SiteScanRecord};
+pub use scan::{
+    scan_site_visit, site_visit, Scan, ScanConfig, ScanReport, SiteScanRecord, SiteVisit,
+    CHECKPOINT_FORMAT_VERSION,
+};
 pub use surface::{surface, validate, ClientKind, SurfaceReport};

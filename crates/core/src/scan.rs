@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use detect::{analyse, preprocess, DynamicClass, StaticPattern};
 use netsim::url::etld1_of;
@@ -18,8 +18,11 @@ use netsim::Url;
 use openwpm::{
     run_supervised_fallible, Browser, BrowserConfig, CrawlHistoryRecord, CrawlSummary,
     FailureReason, FaultPlan, ItemMeta, RetryPolicy, SiteResponse, SupervisorConfig, VisitOutcome,
+    VisitSpec,
 };
 use webgen::{visit_spec, Category, PageKind, Population, SitePlan};
+
+use crate::archive::{ArchiveStats, Recorder, ReplayBundle, ReplayStats, Verifier};
 
 /// Scan configuration.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +70,7 @@ impl ScanConfig {
         }
     }
 
-    fn population(&self) -> Population {
+    pub(crate) fn population(&self) -> Population {
         let mut pop = Population::new(self.n_sites, self.seed);
         pop.targets.flaky_per_100k = self.flaky_sites_per_100k;
         pop
@@ -134,6 +137,48 @@ pub struct SiteScanRecord {
     pub script_hashes: Vec<u64>,
 }
 
+/// Everything one site serves for a scan: identity plus the fully
+/// materialised page specs the browser will visit, in order (front first).
+/// Built from a generated [`SitePlan`] for live scans, or decoded from a
+/// crawl bundle for replays — `scan_site_visit` cannot tell the
+/// difference, which is what makes archived re-measurement exact.
+#[derive(Clone, Debug)]
+pub struct SiteVisit {
+    pub rank: u32,
+    pub domain: String,
+    pub categories: Vec<Category>,
+    /// Chronically flaky site (boosted fault rates).
+    pub flaky: bool,
+    pub pages: Vec<VisitSpec>,
+}
+
+/// Materialise a site's visit from its generated plan: the front page and
+/// (for deep scans) up to three subpages, each with the scan dwell that
+/// covers 500 ms-delayed probes plus the 60 s dwell.
+pub fn site_visit(plan: &SitePlan, include_subpages: bool) -> SiteVisit {
+    let mut kinds = vec![PageKind::Front];
+    if include_subpages {
+        for i in 0..plan.subpage_count.min(3) {
+            kinds.push(PageKind::Subpage(i));
+        }
+    }
+    let pages = kinds
+        .into_iter()
+        .map(|kind| {
+            let mut spec = visit_spec(plan, kind);
+            spec.dwell_override_s = Some(61);
+            spec
+        })
+        .collect();
+    SiteVisit {
+        rank: plan.rank,
+        domain: plan.domain.clone(),
+        categories: plan.categories.clone(),
+        flaky: plan.flaky,
+        pages,
+    }
+}
+
 /// Scan one site with a scanning browser. A visit spec whose URL does not
 /// parse surfaces as a typed [`FailureReason`] for the supervisor to
 /// record, instead of panicking the worker.
@@ -142,10 +187,23 @@ pub fn scan_site(
     plan: &SitePlan,
     include_subpages: bool,
 ) -> Result<SiteScanRecord, FailureReason> {
+    scan_site_visit(browser, &site_visit(plan, include_subpages), false)
+}
+
+/// Scan one materialised [`SiteVisit`] (live or replayed). With `capture`
+/// set, a folded [`openwpm::StoreCapture`] fingerprint of every record the
+/// visit produced is parked in the worker's capture slot for the
+/// archive Recorder/Verifier hook to collect.
+pub fn scan_site_visit(
+    browser: &mut Browser,
+    visit: &SiteVisit,
+    capture: bool,
+) -> Result<SiteScanRecord, FailureReason> {
+    crate::archive::stash_capture(None);
     let mut record = SiteScanRecord {
-        rank: plan.rank,
-        domain: plan.domain.clone(),
-        categories: plan.categories.clone(),
+        rank: visit.rank,
+        domain: visit.domain.clone(),
+        categories: visit.categories.clone(),
         front: PageFlags::default(),
         site: PageFlags::default(),
         openwpm_probes: Vec::new(),
@@ -153,19 +211,15 @@ pub fn scan_site(
         first_party_urls: Vec::new(),
         script_hashes: Vec::new(),
     };
-    let mut pages = vec![PageKind::Front];
-    if include_subpages {
-        for i in 0..plan.subpage_count.min(3) {
-            pages.push(PageKind::Subpage(i));
-        }
-    }
-    for page in pages {
-        let mut spec = visit_spec(plan, page);
-        spec.dwell_override_s = Some(61); // covers 500 ms-delayed probes + 60 s dwell
-        browser.visit(&spec, |_traffic| SiteResponse::default())?;
+    let mut captures = Vec::new();
+    for (i, spec) in visit.pages.iter().enumerate() {
+        browser.visit(spec, |_traffic| SiteResponse::default())?;
         let store = browser.take_store();
-        let flags = classify_page(&store, plan, &mut record);
-        if matches!(page, PageKind::Front) {
+        if capture {
+            captures.push(store.capture());
+        }
+        let flags = classify_page(&store, &visit.domain, &mut record);
+        if i == 0 {
             record.front = flags;
         }
         record.site.or(flags);
@@ -176,17 +230,20 @@ pub fn scan_site(
     record.first_party_urls.dedup();
     record.openwpm_probes.sort();
     record.openwpm_probes.dedup();
+    if capture {
+        crate::archive::stash_capture(Some(crate::archive::fold_captures(&captures)));
+    }
     Ok(record)
 }
 
 /// Classify one page's records; appends attribution data to `record`.
 fn classify_page(
     store: &openwpm::RecordStore,
-    plan: &SitePlan,
+    domain: &str,
     record: &mut SiteScanRecord,
 ) -> PageFlags {
     let mut flags = PageFlags::default();
-    let site_etld1 = etld1_of(&plan.domain);
+    let site_etld1 = etld1_of(domain);
 
     // --- static pipeline over saved scripts ---
     let mut static_by_url: BTreeMap<&str, detect::StaticFinding> = BTreeMap::new();
@@ -294,6 +351,10 @@ pub struct ScanReport {
     pub completion: CrawlSummary,
     /// Per-site `crawl_history` rows (ok / failed / interrupted).
     pub history: Vec<CrawlHistoryRecord>,
+    /// Bundle statistics when the scan was recorded (`Scan::record`).
+    pub archive: Option<ArchiveStats>,
+    /// Verification statistics when the scan was replayed (`Scan::replay`).
+    pub replay: Option<ReplayStats>,
 }
 
 impl ScanReport {
@@ -445,6 +506,8 @@ impl ScanReport {
 pub struct Scan<'a> {
     cfg: ScanConfig,
     checkpoint: Option<std::path::PathBuf>,
+    record_dir: Option<std::path::PathBuf>,
+    replay_dir: Option<std::path::PathBuf>,
     prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
     prior_attempts: Vec<u32>,
     #[allow(clippy::type_complexity)]
@@ -456,10 +519,34 @@ impl<'a> Scan<'a> {
         Scan {
             cfg,
             checkpoint: None,
+            record_dir: None,
+            replay_dir: None,
             prior: Vec::new(),
             prior_attempts: Vec::new(),
             on_complete: None,
         }
+    }
+
+    /// Record the scan into a crawl bundle at `dir`: every served script
+    /// body (content-deduplicated), page structure, typed outcome and
+    /// record fingerprint is archived, and the bundle is sealed with the
+    /// run's Table 5 and telemetry digest. Incompatible with
+    /// [`Scan::checkpoint`]/[`Scan::resume_from`] (replayed priors skip
+    /// the completion hook, which would leave holes in the bundle).
+    pub fn record(mut self, dir: impl Into<std::path::PathBuf>) -> Scan<'a> {
+        self.record_dir = Some(dir.into());
+        self
+    }
+
+    /// Re-run the whole measurement pipeline from the bundle at `dir`
+    /// instead of generating sites: the recorded scan configuration is
+    /// adopted (only `workers` is kept from this scan's config), pages are
+    /// served from the archive, and every re-derived outcome is verified
+    /// against the recorded one ([`ScanReport::replay`]). Incompatible
+    /// with checkpoint/record/resume_from.
+    pub fn replay(mut self, dir: impl Into<std::path::PathBuf>) -> Scan<'a> {
+        self.replay_dir = Some(dir.into());
+        self
     }
 
     /// Checkpoint to `path`: previously-determined sites are loaded and
@@ -496,19 +583,36 @@ impl<'a> Scan<'a> {
         self
     }
 
-    /// Execute the session. `Err` only for checkpoint I/O failures.
+    /// Execute the session. `Err` only for checkpoint/bundle I/O failures
+    /// or an invalid mode combination.
     pub fn run(self) -> std::io::Result<ScanReport> {
+        if self.replay_dir.is_some() {
+            return self.run_replay();
+        }
+        if self.record_dir.is_some() {
+            return self.run_record();
+        }
         let cfg = self.cfg;
+        let source = ScanSource::live(&cfg);
         let user = self.on_complete;
         let Some(path) = self.checkpoint else {
             let report = match &user {
-                Some(f) => run_scan_inner(cfg, self.prior, &self.prior_attempts, f),
-                None => run_scan_inner(cfg, self.prior, &self.prior_attempts, &|_, _, _| {}),
+                Some(f) => {
+                    run_scan_inner(cfg, &source, self.prior, &self.prior_attempts, f, false)
+                }
+                None => run_scan_inner(
+                    cfg,
+                    &source,
+                    self.prior,
+                    &self.prior_attempts,
+                    &|_, _, _| {},
+                    false,
+                ),
             };
             return Ok(report);
         };
         let (prior, prior_attempts, dropped) = match std::fs::read_to_string(&path) {
-            Ok(contents) => load_checkpoint(&contents, cfg.n_sites),
+            Ok(contents) => load_checkpoint(checkpoint_body(&contents, &path)?, cfg.n_sites),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 ((0..cfg.n_sites).map(|_| None).collect(), vec![0u32; cfg.n_sites as usize], 0)
             }
@@ -521,9 +625,15 @@ impl<'a> Scan<'a> {
                 .attr("dropped", dropped),
         );
         let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        if file.metadata()?.len() == 0 {
+            // Fresh file: stamp the format version so a future (or past)
+            // build can refuse it loudly instead of mis-parsing.
+            let mut f = &file;
+            writeln!(f, "{}", checkpoint_header())?;
+        }
         let writer = Mutex::new(std::io::BufWriter::new(file));
         let mut report =
-            run_scan_inner(cfg, prior, &prior_attempts, &|rank, outcome, attempts| {
+            run_scan_inner(cfg, &source, prior, &prior_attempts, &|rank, outcome, attempts| {
                 if let Some(line) = checkpoint_line(rank as u32, outcome, attempts) {
                     let mut w = writer.lock().unwrap();
                     // Write-and-flush per site keeps the checkpoint durable
@@ -542,8 +652,74 @@ impl<'a> Scan<'a> {
                 if let Some(f) = &user {
                     f(rank, outcome, attempts);
                 }
-            });
+            }, false);
         report.completion.checkpoint_lines_dropped = dropped;
+        Ok(report)
+    }
+
+    fn run_record(self) -> std::io::Result<ScanReport> {
+        if self.checkpoint.is_some() || !self.prior.is_empty() {
+            // Replayed priors skip `on_complete`, which would leave holes
+            // in the bundle — a recording run must determine every site.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Scan::record cannot be combined with checkpoint/resume_from",
+            ));
+        }
+        let cfg = self.cfg;
+        let dir = self.record_dir.expect("run_record requires record_dir");
+        let recorder = Recorder::create(&dir, &cfg)?;
+        let user = self.on_complete;
+        let source = ScanSource::live(&cfg);
+        let prior = (0..cfg.n_sites).map(|_| None).collect();
+        let mut report = run_scan_inner(
+            cfg,
+            &source,
+            prior,
+            &[],
+            &|rank, outcome, attempts| {
+                recorder.record(rank, outcome, attempts);
+                if let Some(f) = &user {
+                    f(rank, outcome, attempts);
+                }
+            },
+            true,
+        );
+        report.archive = Some(recorder.finish(&report)?);
+        Ok(report)
+    }
+
+    fn run_replay(self) -> std::io::Result<ScanReport> {
+        if self.checkpoint.is_some() || self.record_dir.is_some() || !self.prior.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Scan::replay cannot be combined with checkpoint/record/resume_from",
+            ));
+        }
+        let dir = self.replay_dir.expect("run_replay requires replay_dir");
+        let bundle = Arc::new(ReplayBundle::open(&dir)?);
+        // The recorded experiment defines the configuration; only the
+        // degree of parallelism stays the caller's (results are
+        // worker-count independent).
+        let cfg = bundle.scan_config(self.cfg.workers);
+        let verifier = Verifier::new(Arc::clone(&bundle));
+        let user = self.on_complete;
+        let source = ScanSource::Replay(bundle);
+        let prior = (0..cfg.n_sites).map(|_| None).collect();
+        let mut report = run_scan_inner(
+            cfg,
+            &source,
+            prior,
+            &[],
+            &|rank, outcome, attempts| {
+                verifier.check(rank, outcome, attempts);
+                if let Some(f) = &user {
+                    f(rank, outcome, attempts);
+                }
+            },
+            true,
+        );
+        report.replay = Some(verifier.stats());
         Ok(report)
     }
 }
@@ -571,16 +747,76 @@ pub fn run_scan_supervised(
         .expect("scan without checkpoint cannot fail")
 }
 
+/// Where a scan's site content comes from: the deterministic generator
+/// (live) or a recorded crawl bundle (replay). `run_scan_inner` is
+/// source-agnostic — the supervisor, browser, instruments and detection
+/// pipeline run identically either way.
+pub(crate) enum ScanSource {
+    Live { pop: Population, include_subpages: bool },
+    Replay(Arc<ReplayBundle>),
+}
+
+impl ScanSource {
+    fn live(cfg: &ScanConfig) -> ScanSource {
+        ScanSource::Live { pop: cfg.population(), include_subpages: cfg.include_subpages }
+    }
+
+    fn meta(&self, rank: u32) -> ItemMeta {
+        match self {
+            ScanSource::Live { pop, .. } => {
+                let plan = pop.plan(rank);
+                ItemMeta {
+                    label: plan.front_url().to_string(),
+                    fault_key: rank as u64,
+                    flaky: plan.flaky,
+                }
+            }
+            ScanSource::Replay(bundle) => {
+                let visit = &bundle.site(rank).visit;
+                ItemMeta {
+                    label: self.front_url(rank),
+                    fault_key: rank as u64,
+                    flaky: visit.flaky,
+                }
+            }
+        }
+    }
+
+    fn front_url(&self, rank: u32) -> String {
+        match self {
+            ScanSource::Live { pop, .. } => pop.plan(rank).front_url().to_string(),
+            ScanSource::Replay(bundle) => bundle
+                .site(rank)
+                .visit
+                .pages
+                .first()
+                .map(|p| p.url.clone())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn site_visit(&self, rank: u32) -> SiteVisit {
+        match self {
+            ScanSource::Live { pop, include_subpages } => {
+                site_visit(&pop.plan(rank), *include_subpages)
+            }
+            // Script bodies are `Arc<str>`, so cloning a recorded visit is
+            // pointer-cheap.
+            ScanSource::Replay(bundle) => bundle.site(rank).visit.clone(),
+        }
+    }
+}
+
 /// The supervised scan core shared by every [`Scan`] flavour.
 fn run_scan_inner(
     cfg: ScanConfig,
+    source: &ScanSource,
     prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
     prior_attempts: &[u32],
     on_complete: &(dyn Fn(usize, &VisitOutcome<SiteScanRecord>, u32) + Sync),
+    capture: bool,
 ) -> ScanReport {
-    let pop = cfg.population();
     let ranks: Vec<u32> = (0..cfg.n_sites).collect();
-    let include_subpages = cfg.include_subpages;
     let seed = cfg.seed;
     let interact = cfg.simulate_interaction;
     let phase = obs::phase("scan.visits");
@@ -588,14 +824,7 @@ fn run_scan_inner(
         ranks,
         cfg.workers,
         cfg.supervisor(),
-        |rank: &u32| {
-            let plan = pop.plan(*rank);
-            ItemMeta {
-                label: plan.front_url().to_string(),
-                fault_key: *rank as u64,
-                flaky: plan.flaky,
-            }
-        },
+        |rank: &u32| source.meta(*rank),
         move |worker| {
             // Every worker gets the *same* config seed: per-visit event-id
             // seeds are keyed by site rank (`set_visit_key` below), so a
@@ -607,8 +836,8 @@ fn run_scan_inner(
         },
         move |browser, _idx, rank: &u32| {
             browser.set_visit_key(*rank as u64);
-            let plan = pop.plan(*rank);
-            scan_site(browser, &plan, include_subpages)
+            let visit = source.site_visit(*rank);
+            scan_site_visit(browser, &visit, capture)
         },
         prior,
         on_complete,
@@ -619,7 +848,7 @@ fn run_scan_inner(
     let mut history = Vec::with_capacity(crawl.outcomes.len());
     for (i, outcome) in crawl.outcomes.into_iter().enumerate() {
         let rank = i as u32;
-        let url = pop.plan(rank).front_url().to_string();
+        let url = source.front_url(rank);
         // Replayed priors report 0 attempts this run; fall back to the
         // checkpointed count so a resumed history matches the original.
         let attempts = if crawl.attempts[i] > 0 {
@@ -645,7 +874,14 @@ fn run_scan_inner(
             }
         }
     }
-    ScanReport { n_sites: cfg.n_sites, sites, completion: crawl.summary, history }
+    ScanReport {
+        n_sites: cfg.n_sites,
+        sites,
+        completion: crawl.summary,
+        history,
+        archive: None,
+        replay: None,
+    }
 }
 
 // --- checkpoint serialisation ---------------------------------------------
@@ -666,6 +902,58 @@ const US: char = '\x1f';
 const RS: char = '\x1e';
 const GS: char = '\x1d';
 const FS: char = '\x1c';
+
+/// Checkpoint file format version. Bumped whenever the line encoding
+/// changes incompatibly; v2 introduced the header line itself. A version
+/// mismatch is a hard error — before the header existed, an old-format
+/// file would silently parse as "all lines torn" and the crawl would
+/// quietly start over, exactly the kind of silent degradation the paper
+/// warns about.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+const CHECKPOINT_MAGIC: &str = "gullible-checkpoint v";
+
+fn checkpoint_header() -> String {
+    format!("{CHECKPOINT_MAGIC}{CHECKPOINT_FORMAT_VERSION}")
+}
+
+/// Validate a checkpoint file's header line and return the body (the
+/// site lines). Empty files are fine (fresh checkpoint); a missing or
+/// mismatched header is a hard, descriptive error.
+fn checkpoint_body<'s>(contents: &'s str, path: &Path) -> std::io::Result<&'s str> {
+    if contents.is_empty() {
+        return Ok(contents);
+    }
+    let (first, body) = contents.split_once('\n').unwrap_or((contents, ""));
+    let Some(v) = first.strip_prefix(CHECKPOINT_MAGIC) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{}: not a v{CHECKPOINT_FORMAT_VERSION} checkpoint (missing \
+                 '{CHECKPOINT_MAGIC}N' header) — written by a pre-versioning build? \
+                 Delete it or re-crawl with a matching build.",
+                path.display()
+            ),
+        ));
+    };
+    let version: u32 = v.trim().parse().map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: corrupt checkpoint header {first:?}", path.display()),
+        )
+    })?;
+    if version != CHECKPOINT_FORMAT_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{}: checkpoint format v{version} but this build reads \
+                 v{CHECKPOINT_FORMAT_VERSION} — resume with the matching build or re-crawl",
+                path.display()
+            ),
+        ));
+    }
+    Ok(body)
+}
 
 fn flags_encode(f: &PageFlags) -> String {
     [f.static_identified, f.static_true, f.dynamic_identified, f.dynamic_true]

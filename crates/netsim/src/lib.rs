@@ -21,8 +21,10 @@ pub mod blocklist;
 pub mod cookies;
 pub mod http;
 pub mod url;
+pub mod wire;
 
 pub use blocklist::{Blocklist, BlocklistKind};
 pub use cookies::{Cookie, CookieJar, CookieParty};
 pub use http::{FlakyNetwork, HttpRequest, HttpResponse, ResourceType};
 pub use url::Url;
+pub use wire::ResponseSummary;

@@ -29,7 +29,9 @@ pub mod validate;
 
 pub use event::{push_json_string, AttrVal, Event, SpanMark};
 pub use journal::Journal;
-pub use metrics::{bucket_of, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use metrics::{
+    bucket_of, Histogram, HistogramSnapshot, Registry, Snapshot, NONDETERMINISTIC_PREFIXES,
+};
 pub use scope::{begin_scope, clock_advance, clock_ms, end_scope, scope_active};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -103,14 +103,16 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
-/// Metric-name prefix for values that reflect scheduling and caching luck
-/// rather than the modelled crawl (compile-cache hit/miss counts change
-/// with worker interleaving and process-level cache warmth). These metrics
-/// appear in [`Snapshot::render`] and the `[stats]` summary, but are
-/// excluded from [`Snapshot::render_deterministic`] and the telemetry
-/// [`Snapshot::digest`] — the digest must be byte-identical with the
-/// compile cache on and off, at any worker count.
-pub const NONDETERMINISTIC_PREFIX: &str = "cache.";
+/// Metric-name prefixes for values that reflect scheduling and caching
+/// luck rather than the modelled crawl: compile-cache hit/miss counts
+/// change with worker interleaving and process-level cache warmth, and
+/// archive bookkeeping depends on whether a run records, replays, or does
+/// neither. These metrics appear in [`Snapshot::render`] and the `[stats]`
+/// summary, but are excluded from [`Snapshot::render_deterministic`] and
+/// the telemetry [`Snapshot::digest`] — the digest must be byte-identical
+/// with the compile cache on and off, at any worker count, and between a
+/// live run and its archive replay.
+pub const NONDETERMINISTIC_PREFIXES: &[&str] = &["cache.", "archive."];
 
 impl Snapshot {
     fn render_where(&self, include: impl Fn(&str) -> bool) -> String {
@@ -146,10 +148,10 @@ impl Snapshot {
         self.render_where(|_| true)
     }
 
-    /// [`Snapshot::render`] minus the [`NONDETERMINISTIC_PREFIX`] metrics:
-    /// a function of (seed, fault plan) alone.
+    /// [`Snapshot::render`] minus the [`NONDETERMINISTIC_PREFIXES`]
+    /// metrics: a function of (seed, fault plan) alone.
     pub fn render_deterministic(&self) -> String {
-        self.render_where(|name| !name.starts_with(NONDETERMINISTIC_PREFIX))
+        self.render_where(|name| !NONDETERMINISTIC_PREFIXES.iter().any(|p| name.starts_with(p)))
     }
 
     /// FNV-1a digest of the deterministic rendering — the telemetry digest
@@ -377,5 +379,19 @@ mod tests {
         assert!(snap.render().contains("cache.compile.hit 7"));
         assert!(!snap.render_deterministic().contains("cache."));
         assert!(snap.render_deterministic().contains("records.js_calls 3"));
+    }
+
+    #[test]
+    fn archive_metrics_excluded_from_digest_but_rendered() {
+        let r = Registry::new();
+        r.add("records.js_calls", 3);
+        let before = r.snapshot().digest();
+        r.add("archive.write.entries", 200);
+        r.add("archive.write.blobs", 41);
+        r.add("archive.dedup.hits", 159);
+        let snap = r.snapshot();
+        assert_eq!(before, snap.digest(), "archive.* must not perturb the digest");
+        assert!(snap.render().contains("archive.dedup.hits 159"));
+        assert!(!snap.render_deterministic().contains("archive."));
     }
 }

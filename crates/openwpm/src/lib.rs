@@ -42,6 +42,7 @@ pub use config::{BrowserConfig, HttpSaveMode, JsInstrumentKind, StealthSettings}
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use records::{
     CrawlHistoryRecord, CrawlStatus, JsCallRecord, JsOperation, RecordStore, SavedScript,
+    StoreCapture,
 };
 pub use supervisor::{
     run_supervised, run_supervised_fallible, CrawlOutcome, CrawlSummary, FailureReason, ItemMeta,

@@ -280,6 +280,13 @@ impl RecordStore {
         out
     }
 
+    /// Fingerprint this store for the crawl archive: per-table record
+    /// counts plus one order-dependent digest over every field of every
+    /// record. See [`StoreCapture`].
+    pub fn capture(&self) -> StoreCapture {
+        StoreCapture::of(self)
+    }
+
     /// Merge another store (after subpage visits).
     pub fn merge(&mut self, other: RecordStore) {
         self.js_calls.extend(other.js_calls);
@@ -290,6 +297,107 @@ impl RecordStore {
         self.crawl_history.extend(other.crawl_history);
         self.malformed_events += other.malformed_events;
     }
+}
+
+/// A [`RecordStore`] fingerprint, captured per visit by the crawl archive
+/// and re-computed during replay: per-table counts plus an order-dependent
+/// FNV-64 digest over every field of every record. A replayed visit whose
+/// re-derived records differ from the recorded ones in *any* field — an
+/// extra JS call, a shifted timestamp, a changed cookie value — produces a
+/// different digest, which the replay verifier reports as a divergence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCapture {
+    pub js_calls: u64,
+    pub http_requests: u64,
+    pub http_responses: u64,
+    pub saved_scripts: u64,
+    pub cookies: u64,
+    pub crawl_history: u64,
+    pub malformed_events: u64,
+    /// Order-dependent FNV-64 over all record fields.
+    pub digest: u64,
+}
+
+/// Archive encoding separator (ASCII `GS`): safe inside manifest payloads,
+/// which only reject `US` and newlines.
+const CAPTURE_SEP: char = '\x1d';
+
+impl StoreCapture {
+    /// Fingerprint `store`. The digest folds the SQL dump (which covers
+    /// js_calls, http_requests, saved scripts, cookies and crawl_history
+    /// field-by-field) and then each HTTP response's wire line — responses
+    /// are the one table the dump omits, and their bodies enter via the
+    /// body hash in [`netsim::wire::encode_response`].
+    pub fn of(store: &RecordStore) -> StoreCapture {
+        let mut h = obs::fnv1a(store.render_sql_dump().as_bytes());
+        for resp in &store.http_responses {
+            h = fnv_fold(h, netsim::wire::encode_response(resp).as_bytes());
+        }
+        h = fnv_fold(h, store.malformed_events.to_string().as_bytes());
+        StoreCapture {
+            js_calls: store.js_calls.len() as u64,
+            http_requests: store.http_requests.len() as u64,
+            http_responses: store.http_responses.len() as u64,
+            saved_scripts: store.saved_scripts.len() as u64,
+            cookies: store.cookies.len() as u64,
+            crawl_history: store.crawl_history.len() as u64,
+            malformed_events: store.malformed_events,
+            digest: h,
+        }
+    }
+
+    /// Archive encoding: GS-joined counts then the digest in hex.
+    pub fn encode(&self) -> String {
+        let s = CAPTURE_SEP;
+        format!(
+            "{}{s}{}{s}{}{s}{}{s}{}{s}{}{s}{}{s}{:016x}",
+            self.js_calls,
+            self.http_requests,
+            self.http_responses,
+            self.saved_scripts,
+            self.cookies,
+            self.crawl_history,
+            self.malformed_events,
+            self.digest
+        )
+    }
+
+    /// Inverse of [`StoreCapture::encode`]; `None` on malformed input.
+    pub fn decode(s: &str) -> Option<StoreCapture> {
+        let parts: Vec<&str> = s.split(CAPTURE_SEP).collect();
+        let [a, b, c, d, e, f, g, digest] = parts.as_slice() else {
+            return None;
+        };
+        Some(StoreCapture {
+            js_calls: a.parse().ok()?,
+            http_requests: b.parse().ok()?,
+            http_responses: c.parse().ok()?,
+            saved_scripts: d.parse().ok()?,
+            cookies: e.parse().ok()?,
+            crawl_history: f.parse().ok()?,
+            malformed_events: g.parse().ok()?,
+            digest: u64::from_str_radix(digest, 16).ok()?,
+        })
+    }
+
+    /// Total records across all tables (diff reporting).
+    pub fn total_records(&self) -> u64 {
+        self.js_calls
+            + self.http_requests
+            + self.http_responses
+            + self.saved_scripts
+            + self.cookies
+            + self.crawl_history
+    }
+}
+
+/// Continue an FNV-1a fold over more bytes.
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -445,6 +553,49 @@ mod tests {
         let sql = RecordStore::render_crawl_history(&[evil]);
         assert!(sql.contains("''); DROP TABLE"));
         assert!(sql.contains("nav''err"));
+    }
+
+    #[test]
+    fn capture_roundtrip_and_field_sensitivity() {
+        let mut store = RecordStore::new();
+        store.js_calls.push(rec("v"));
+        store.http_requests.push(HttpRequest {
+            url: netsim::Url::parse("https://cdn.a.com/x.js").unwrap(),
+            page: netsim::Url::parse("https://a.com/").unwrap(),
+            resource_type: netsim::ResourceType::Script,
+            method: "GET",
+            time_ms: 5,
+        });
+        store.http_responses.push(HttpResponse {
+            url: netsim::Url::parse("https://cdn.a.com/x.js").unwrap(),
+            status: 200,
+            content_type: "text/javascript".into(),
+            body: "var x;".into(),
+        });
+        store.crawl_history.push(CrawlHistoryRecord::ok(0, "https://a.com/", 1));
+
+        let cap = store.capture();
+        assert_eq!(cap.js_calls, 1);
+        assert_eq!(cap.http_requests, 1);
+        assert_eq!(cap.http_responses, 1);
+        assert_eq!(cap.crawl_history, 1);
+        assert_eq!(cap.total_records(), 4);
+        assert_eq!(StoreCapture::decode(&cap.encode()), Some(cap));
+
+        // Any field change shifts the digest — including a response body,
+        // which only enters via its hash.
+        let mut tweaked = store.clone();
+        tweaked.http_responses[0].body = "var y;".into();
+        let cap2 = tweaked.capture();
+        assert_eq!(cap.total_records(), cap2.total_records());
+        assert_ne!(cap.digest, cap2.digest);
+
+        let mut tweaked = store.clone();
+        tweaked.js_calls[0].time_ms += 1;
+        assert_ne!(cap.digest, tweaked.capture().digest);
+
+        assert!(StoreCapture::decode("").is_none());
+        assert!(StoreCapture::decode("1\x1d2").is_none());
     }
 
     #[test]

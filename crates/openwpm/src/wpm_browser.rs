@@ -26,6 +26,14 @@ pub struct PageScript {
     pub content_type: String,
 }
 
+impl PageScript {
+    /// FNV-64 of the body — the script's identity in the corpus statistics,
+    /// the compile cache, and the crawl archive's blob store.
+    pub fn content_hash(&self) -> u64 {
+        obs::fnv1a(self.source.as_bytes())
+    }
+}
+
 /// Everything a site serves for one page visit.
 #[derive(Clone, Debug, Default)]
 pub struct VisitSpec {

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example fingerprint_surface -p gullible`
 
+#![deny(deprecated)]
+
 use browser::{Os, RunMode};
 use gullible::surface::{surface, validate, ClientKind};
 

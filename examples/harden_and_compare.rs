@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example harden_and_compare -p gullible`
 
+#![deny(deprecated)]
+
 use gullible::attacks::{self, Target};
 use gullible::{run_compare, Client, CompareConfig};
 use netsim::{CookieParty, ResourceType};

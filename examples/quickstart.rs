@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart -p gullible`
 
+#![deny(deprecated)]
+
 use detect::corpus::{self, Technique};
 use openwpm::{Browser, BrowserConfig, PageScript, SiteResponse, VisitSpec};
 

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example wild_scan -p gullible`
 
+#![deny(deprecated)]
+
 use gullible::report::pct;
 use gullible::{Scan, ScanConfig};
 

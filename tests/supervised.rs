@@ -140,6 +140,48 @@ fn torn_checkpoint_line_is_survivable() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Checkpoint files are stamped with a format version; files from another
+/// version (or from before versioning existed) are refused with a clear
+/// error instead of being mis-parsed as "all lines torn" — which would
+/// silently restart the crawl from zero.
+#[test]
+fn checkpoint_format_version_is_stamped_and_validated() {
+    let base = ScanConfig { workers: 2, ..ScanConfig::new(40, 13) };
+
+    // A fresh checkpoint leads with the version header.
+    let path = tmp_checkpoint("version");
+    Scan::new(base).checkpoint(&path).run().expect("scan");
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let expected = format!("gullible-checkpoint v{}", gullible::CHECKPOINT_FORMAT_VERSION);
+    assert_eq!(contents.lines().next(), Some(expected.as_str()));
+
+    // Resuming from it works (header is not mistaken for a site line).
+    let resumed = Scan::new(base).checkpoint(&path).run().expect("resume");
+    assert_eq!(resumed.completion.checkpoint_lines_dropped, 0);
+
+    // A future/past version is refused, naming both versions.
+    let body = contents.split_once('\n').unwrap().1;
+    std::fs::write(&path, format!("gullible-checkpoint v999\n{body}")).unwrap();
+    let err = Scan::new(base).checkpoint(&path).run().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("v999"), "{msg}");
+    assert!(msg.contains(&format!("v{}", gullible::CHECKPOINT_FORMAT_VERSION)), "{msg}");
+
+    // A pre-versioning file (no header at all) is refused, not restarted.
+    std::fs::write(&path, body).unwrap();
+    let err = Scan::new(base).checkpoint(&path).run().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("pre-versioning"), "{err}");
+
+    // A mangled header is refused too.
+    std::fs::write(&path, format!("gullible-checkpoint vX\n{body}")).unwrap();
+    let err = Scan::new(base).checkpoint(&path).run().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    let _ = std::fs::remove_file(&path);
+}
+
 fn arbitrary_record(rng: &mut proplite::Rng) -> SiteScanRecord {
     let flags = |rng: &mut proplite::Rng| PageFlags {
         static_identified: rng.bool(),
