@@ -1,0 +1,111 @@
+//! Scheduler micro-benchmarks: fixed coordination cost and throughput of
+//! `run_parallel` at n = 100K no-op items.
+//!
+//! The old executor allocated one `Mutex<Option<W>>` per item plus a
+//! global `Mutex<Vec<Option<R>>>` for results — 2n mutexes of fixed cost
+//! before the first visit ran. `old_executor` below reimplements that
+//! scheme so the suite keeps measuring it side by side with the
+//! work-stealing scheduler, whose synchronisation state is O(workers).
+//! On no-op items the entire measurement *is* coordination overhead,
+//! which is exactly the cost the scheduler was built to shed.
+
+#![deny(deprecated)]
+
+use std::hint::black_box;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bench::timeit;
+use openwpm::run_parallel;
+
+/// The pre-work-stealing executor, kept verbatim as a baseline: shared
+/// cursor, one mutex per item, one global results mutex.
+fn old_executor<W, R, S>(
+    items: Vec<W>,
+    workers: usize,
+    init: impl Fn(usize) -> S + Sync,
+    step: impl Fn(&mut S, usize, W) -> R + Sync,
+) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+{
+    let workers = workers.max(1);
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let results = Mutex::new(slots);
+    let cursor = AtomicUsize::new(0);
+    let mut boxed: Vec<Mutex<Option<W>>> = Vec::with_capacity(n);
+    for item in items {
+        boxed.push(Mutex::new(Some(item)));
+    }
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let results = &results;
+            let cursor = &cursor;
+            let boxed = &boxed;
+            let init = &init;
+            let step = &step;
+            scope.spawn(move || {
+                let mut state = match catch_unwind(AssertUnwindSafe(|| init(w))) {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = boxed[i].lock().unwrap().take().expect("item taken once");
+                    let r = step(&mut state, i, item);
+                    results.lock().unwrap()[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
+}
+
+const N: usize = 100_000;
+
+fn main() {
+    let items = || (0..N as u64).collect::<Vec<u64>>();
+
+    // Pure coordination: no-op steps, so every nanosecond is scheduler tax.
+    for workers in [1usize, 4, 8] {
+        timeit(&format!("sched/noop_100k/old/{workers}w"), 5, || {
+            black_box(old_executor(items(), workers, |_| (), |_, _, x| x));
+        });
+        timeit(&format!("sched/noop_100k/new/{workers}w"), 5, || {
+            black_box(run_parallel(items(), workers, |_| (), |_, _, x| x));
+        });
+    }
+
+    // A small per-item payload, closer to a real (if tiny) visit.
+    for workers in [1usize, 8] {
+        timeit(&format!("sched/spin_100k/new/{workers}w"), 3, || {
+            black_box(run_parallel(
+                items(),
+                workers,
+                |_| 0u64,
+                |acc, _, x| {
+                    let mut h = x ^ 0x9E37_79B9_7F4A_7C15;
+                    for _ in 0..32 {
+                        h = h.wrapping_mul(0x0000_0100_0000_01b3).rotate_left(17);
+                    }
+                    *acc = acc.wrapping_add(h);
+                    h
+                },
+            ));
+        });
+    }
+
+    bench::bench_footer("scheduler");
+}

@@ -8,11 +8,11 @@
 //! queued jobs).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::ast::*;
+use crate::atom::{Atom, AtomMap};
 use crate::error::{EngineError, Thrown};
 use crate::object::{Callable, Heap, JsObject, ObjId, Property, Slot};
 use crate::parser::parse;
@@ -24,9 +24,12 @@ use crate::value::Value;
 pub type NativeFn = Rc<dyn Fn(&mut Interp, Value, &[Value]) -> Result<Value, Thrown>>;
 
 /// A lexical scope. Function-level scoping (`var` semantics).
+///
+/// Bindings are keyed by interned [`Atom`]s, so walking the scope chain
+/// probes `u32` keys instead of re-hashing the identifier at every level.
 #[derive(Debug, Default)]
 pub struct Scope {
-    pub vars: HashMap<Arc<str>, Value>,
+    pub vars: AtomMap<Value>,
     pub parent: Option<ScopeRef>,
     /// `this` binding of the activation that created this scope; `None`
     /// means "inherit from parent" (arrow functions, blocks).
@@ -132,7 +135,7 @@ impl Interp {
         let global = heap.alloc(JsObject::with_class(Some(object_proto), "Window"));
 
         let global_scope = Rc::new(RefCell::new(Scope {
-            vars: HashMap::new(),
+            vars: AtomMap::default(),
             parent: None,
             this_val: Some(Value::Obj(global)),
         }));
@@ -675,14 +678,15 @@ impl Interp {
             Callable::Native { f, .. } => f(self, this, args),
             Callable::Script { def, env } => {
                 let scope = Rc::new(RefCell::new(Scope {
-                    vars: HashMap::new(),
+                    vars: AtomMap::default(),
                     parent: Some(env),
                     this_val: if def.is_arrow { None } else { Some(this) },
                 }));
                 {
                     let mut s = scope.borrow_mut();
                     for (i, p) in def.params.iter().enumerate() {
-                        s.vars.insert(p.clone(), args.get(i).cloned().unwrap_or(Value::Undefined));
+                        s.vars
+                            .insert(Atom::intern_arc(p), args.get(i).cloned().unwrap_or(Value::Undefined));
                     }
                 }
                 if !def.is_arrow {
@@ -690,7 +694,7 @@ impl Interp {
                     scope
                         .borrow_mut()
                         .vars
-                        .insert(Arc::from("arguments"), Value::Obj(arguments));
+                        .insert(Atom::intern("arguments"), Value::Obj(arguments));
                 }
                 let display_name: Arc<str> = if def.name.is_empty() {
                     Arc::from("<anonymous>")
@@ -706,7 +710,7 @@ impl Interp {
                 for stmt in def.body.iter() {
                     if let Stmt::FunctionDecl(d) = stmt {
                         let f = self.alloc_script_fn(d.clone(), scope.clone());
-                        scope.borrow_mut().vars.insert(d.name.clone(), Value::Obj(f));
+                        scope.borrow_mut().vars.insert(Atom::intern_arc(&d.name), Value::Obj(f));
                     }
                 }
                 let mut result = Ok(Value::Undefined);
@@ -943,11 +947,11 @@ impl Interp {
                     Err(t) if !t.message.contains("step budget") => {
                         if let Some((param, cbody)) = catch {
                             let cscope = Rc::new(RefCell::new(Scope {
-                                vars: HashMap::new(),
+                                vars: AtomMap::default(),
                                 parent: Some(scope.clone()),
                                 this_val: None,
                             }));
-                            cscope.borrow_mut().vars.insert(param.clone(), t.value);
+                            cscope.borrow_mut().vars.insert(Atom::intern_arc(param), t.value);
                             self.exec_block(cbody, &cscope)
                         } else {
                             Err(t)
@@ -1003,18 +1007,22 @@ impl Interp {
         if Rc::ptr_eq(scope, &self.global_scope) {
             self.define_global(name, v);
         } else {
-            scope.borrow_mut().vars.insert(name, v);
+            scope.borrow_mut().vars.insert(Atom::intern_arc(&name), v);
         }
     }
 
     fn lookup_ident(&mut self, scope: &ScopeRef, name: &str) -> Option<Value> {
-        let mut cur = Some(scope.clone());
-        while let Some(s) = cur {
-            let b = s.borrow();
-            if let Some(v) = b.vars.get(name) {
-                return Some(v.clone());
+        // A never-interned name can't be bound in any scope (declaration
+        // interns it), so the chain walk is skipped entirely for it.
+        if let Some(atom) = Atom::lookup(name) {
+            let mut cur = Some(scope.clone());
+            while let Some(s) = cur {
+                let b = s.borrow();
+                if let Some(v) = b.vars.get(&atom) {
+                    return Some(v.clone());
+                }
+                cur = b.parent.clone();
             }
-            cur = b.parent.clone();
         }
         // Fall back to global object properties (host objects live there).
         let g = self.global;
@@ -1026,17 +1034,19 @@ impl Interp {
     }
 
     fn assign_ident(&mut self, scope: &ScopeRef, name: &str, v: Value) -> Result<(), Thrown> {
-        let mut cur = Some(scope.clone());
-        while let Some(s) = cur {
-            {
-                let mut b = s.borrow_mut();
-                if b.vars.contains_key(name) {
-                    b.vars.insert(Arc::from(name), v);
-                    return Ok(());
+        if let Some(atom) = Atom::lookup(name) {
+            let mut cur = Some(scope.clone());
+            while let Some(s) = cur {
+                {
+                    let mut b = s.borrow_mut();
+                    if let Some(slot) = b.vars.get_mut(&atom) {
+                        *slot = v;
+                        return Ok(());
+                    }
                 }
+                let parent = s.borrow().parent.clone();
+                cur = parent;
             }
-            let parent = s.borrow().parent.clone();
-            cur = parent;
         }
         // Undeclared assignment creates/overwrites a global property (which
         // may hit a setter — e.g. an instrumented global accessor).

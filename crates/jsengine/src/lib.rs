@@ -44,6 +44,7 @@
 //! native functions that close over host state.
 
 pub mod ast;
+pub mod atom;
 pub mod compile;
 pub mod error;
 pub mod interp;
@@ -59,6 +60,7 @@ pub use compile::{
     cache, cache_enabled, compile, compile_cached, set_cache_enabled, set_cache_shards,
     CacheStats, CompileCache, CompiledScript, ScriptSource,
 };
+pub use atom::{Atom, AtomMap};
 pub use error::{EngineError, Thrown};
 pub use interp::{Frame, Interp, NativeFn, ScopeRef};
 pub use profiler::{CountingProfiler, Profile, Profiler};

@@ -8,10 +8,10 @@
 //! its artefacts observable to scripts in exactly the ways the paper
 //! describes.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::ast::FunctionDef;
+use crate::atom::{Atom, AtomMap};
 use crate::interp::{NativeFn, ScopeRef};
 use crate::value::Value;
 
@@ -55,10 +55,16 @@ impl Property {
 
 /// Insertion-ordered property map (the iteration order scripts see in
 /// `for`-`in` and `Object.getOwnPropertyNames`).
+///
+/// The side index is keyed by interned [`Atom`]s, so a lookup hashes the
+/// property name at most once (through the interner's per-thread cache)
+/// and probes on a `u32` — string hashing is off the proto-chain walk. A
+/// miss in [`Atom::lookup`] is a definitive absence: every insert interns
+/// its key, so a never-interned name can't be in any map's index.
 #[derive(Clone, Debug, Default)]
 pub struct PropMap {
     entries: Vec<(Arc<str>, Property)>,
-    index: HashMap<Arc<str>, usize>,
+    index: AtomMap<usize>,
 }
 
 impl PropMap {
@@ -66,28 +72,34 @@ impl PropMap {
         PropMap::default()
     }
 
+    fn slot_of(&self, key: &str) -> Option<usize> {
+        let atom = Atom::lookup(key)?;
+        self.index.get(&atom).copied()
+    }
+
     pub fn get(&self, key: &str) -> Option<&Property> {
-        self.index.get(key).map(|&i| &self.entries[i].1)
+        self.slot_of(key).map(|i| &self.entries[i].1)
     }
 
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Property> {
-        match self.index.get(key) {
-            Some(&i) => Some(&mut self.entries[i].1),
+        match self.slot_of(key) {
+            Some(i) => Some(&mut self.entries[i].1),
             None => None,
         }
     }
 
     pub fn contains(&self, key: &str) -> bool {
-        self.index.contains_key(key)
+        self.slot_of(key).is_some()
     }
 
     /// Insert or overwrite, preserving the original insertion position on
     /// overwrite (as JavaScript engines do).
     pub fn insert(&mut self, key: Arc<str>, prop: Property) {
-        if let Some(&i) = self.index.get(&key) {
+        let atom = Atom::intern_arc(&key);
+        if let Some(&i) = self.index.get(&atom) {
             self.entries[i].1 = prop;
         } else {
-            self.index.insert(key.clone(), self.entries.len());
+            self.index.insert(atom, self.entries.len());
             self.entries.push((key, prop));
         }
     }
@@ -95,11 +107,12 @@ impl PropMap {
     /// Delete a property. Returns whether it existed. O(n) — deletes are
     /// rare (only the instrumentation clean-up path uses them).
     pub fn remove(&mut self, key: &str) -> bool {
-        if let Some(i) = self.index.remove(key) {
+        let Some(atom) = Atom::lookup(key) else { return false };
+        if let Some(i) = self.index.remove(&atom) {
             self.entries.remove(i);
             // Reindex everything after the removed slot.
             for (j, (k, _)) in self.entries.iter().enumerate().skip(i) {
-                self.index.insert(k.clone(), j);
+                self.index.insert(Atom::intern_arc(k), j);
             }
             true
         } else {

@@ -30,7 +30,8 @@ pub mod validate;
 pub use event::{push_json_string, AttrVal, Event, SpanMark};
 pub use journal::Journal;
 pub use metrics::{
-    bucket_of, Histogram, HistogramSnapshot, Registry, Snapshot, NONDETERMINISTIC_PREFIXES,
+    bucket_of, Histogram, HistogramSnapshot, Registry, ShardedCounter, Snapshot,
+    COUNTER_STRIPES, NONDETERMINISTIC_PREFIXES,
 };
 pub use scope::{begin_scope, clock_advance, clock_ms, end_scope, scope_active};
 
@@ -121,11 +122,32 @@ pub fn take_journal() -> Option<Arc<Journal>> {
 }
 
 /// Bump a counter (no-op unless telemetry is enabled).
+///
+/// The handle for each name is cached per thread (keyed by the `'static`
+/// string's address), so steady-state increments skip the registry's
+/// `RwLock` entirely and land straight on the calling thread's counter
+/// stripe. Handles stay valid across [`reset`] — reset zeroes counters in
+/// place — so the cache never needs invalidating.
 #[inline]
 pub fn add(name: &'static str, delta: u64) {
-    if enabled() {
-        global_registry().add(name, delta);
+    if !enabled() {
+        return;
     }
+    thread_local! {
+        static HANDLES: std::cell::RefCell<Vec<(*const u8, Arc<ShardedCounter>)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    HANDLES.with(|cache| {
+        let key = name.as_ptr();
+        let mut cache = cache.borrow_mut();
+        if let Some((_, c)) = cache.iter().find(|(k, _)| *k == key) {
+            c.add(delta);
+            return;
+        }
+        let c = global_registry().counter(name);
+        c.add(delta);
+        cache.push((key, c));
+    });
 }
 
 /// Set a gauge (no-op unless telemetry is enabled).

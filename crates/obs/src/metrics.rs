@@ -2,20 +2,80 @@
 //! histograms with atomic, lock-free hot paths.
 //!
 //! Registration takes a write lock once per metric name; after that every
-//! update is a single atomic RMW on a shared `Arc`. Snapshots render into
-//! `BTreeMap`s so their text form (and hence the telemetry digest printed
-//! in provenance footers) is byte-stable across runs: counters and
-//! histograms are pure sums, so a deterministic workload produces the same
-//! snapshot no matter how many worker threads updated them.
+//! update is a single atomic RMW on a shared `Arc`. Counters are
+//! additionally **striped**: a [`ShardedCounter`] spreads increments over
+//! cache-line-padded stripes (one picked per thread) so eight workers
+//! bumping `manager.items` don't serialise on one cache line; stripes are
+//! folded back into a single value at snapshot time, so the `BTreeMap`
+//! snapshot API and the telemetry digest are unchanged. Snapshots render
+//! into `BTreeMap`s so their text form (and hence the digest printed in
+//! provenance footers) is byte-stable across runs: counters and histograms
+//! are pure sums, so a deterministic workload produces the same snapshot
+//! no matter how many worker threads updated them.
 //!
 //! Wall-clock phase timings are deliberately kept in a separate side table
 //! ([`Registry::timings`]) that is *excluded* from [`Snapshot`] and its
 //! digest: wall time is never deterministic, and the digest must be.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
+
+/// Stripes per [`ShardedCounter`] — enough that a typical worker fleet
+/// maps to distinct stripes, small enough to stay cheap to fold.
+pub const COUNTER_STRIPES: usize = 16;
+
+/// One cache line worth of counter, so neighbouring stripes never
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// Round-robin stripe assignment: each thread picks a stripe once and
+/// keeps it for life, so a worker's increments always hit the same line.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+fn stripe_id() -> usize {
+    thread_local! {
+        static STRIPE: usize =
+            NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// A counter whose increments land on a per-thread stripe and whose value
+/// is the fold of all stripes. Handles are cheap to clone and safe to
+/// cache across [`Registry::reset`] (reset zeroes stripes in place).
+#[derive(Debug)]
+pub struct ShardedCounter {
+    stripes: [PaddedU64; COUNTER_STRIPES],
+}
+
+impl Default for ShardedCounter {
+    fn default() -> ShardedCounter {
+        ShardedCounter { stripes: std::array::from_fn(|_| PaddedU64::default()) }
+    }
+}
+
+impl ShardedCounter {
+    /// Bump this thread's stripe.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.stripes[stripe_id()].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Fold the stripes into the counter's value.
+    pub fn sum(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.stripes {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
 
 /// Number of log2 buckets in a histogram (values are u64, so 65 covers
 /// zero plus every power-of-two magnitude).
@@ -93,6 +153,31 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate quantile `q` in `[0, 1]` from the log2 buckets: the
+    /// midpoint of the bucket holding the `ceil(q·count)`-th observation.
+    /// Resolution is the bucket width (a factor of two) — plenty for the
+    /// p50/p99 latency lines in bench output, not for microbenchmarks.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                if b == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (b - 1);
+                let hi = if b >= 64 { u64::MAX } else { 1u64 << b };
+                return lo + (hi - lo) / 2;
+            }
+        }
+        // Unreachable when count == Σ bucket counts; be defensive.
+        self.buckets.last().map(|&(b, _)| 1u64 << (b.min(63))).unwrap_or(0)
+    }
 }
 
 /// Frozen, ordered view of the whole registry — the deterministic part.
@@ -105,14 +190,17 @@ pub struct Snapshot {
 
 /// Metric-name prefixes for values that reflect scheduling and caching
 /// luck rather than the modelled crawl: compile-cache hit/miss counts
-/// change with worker interleaving and process-level cache warmth, and
+/// change with worker interleaving and process-level cache warmth,
 /// archive bookkeeping depends on whether a run records, replays, or does
-/// neither. These metrics appear in [`Snapshot::render`] and the `[stats]`
-/// summary, but are excluded from [`Snapshot::render_deterministic`] and
-/// the telemetry [`Snapshot::digest`] — the digest must be byte-identical
-/// with the compile cache on and off, at any worker count, and between a
-/// live run and its archive replay.
-pub const NONDETERMINISTIC_PREFIXES: &[&str] = &["cache.", "archive."];
+/// neither, and the work-stealing scheduler's effort counters (steals,
+/// chunk claims, idle spins, wall latency) depend on worker count and OS
+/// scheduling. These metrics appear in [`Snapshot::render`] and the
+/// `[stats]` summary, but are excluded from
+/// [`Snapshot::render_deterministic`] and the telemetry
+/// [`Snapshot::digest`] — the digest must be byte-identical with the
+/// compile cache on and off, at any worker count, and between a live run
+/// and its archive replay.
+pub const NONDETERMINISTIC_PREFIXES: &[&str] = &["cache.", "archive.", "sched."];
 
 impl Snapshot {
     fn render_where(&self, include: impl Fn(&str) -> bool) -> String {
@@ -169,7 +257,7 @@ impl Snapshot {
 /// [`crate::registry`]; tests may build private ones.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    counters: RwLock<HashMap<&'static str, Arc<ShardedCounter>>>,
     gauges: RwLock<HashMap<&'static str, Arc<AtomicI64>>>,
     histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
     /// Wall-clock phase timings `(name, duration)`, in completion order.
@@ -183,8 +271,9 @@ impl Registry {
     }
 
     /// Handle to a named counter (registering it on first use). Callers on
-    /// hot paths should hold the handle rather than re-looking it up.
-    pub fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+    /// hot paths should hold the handle rather than re-looking it up; the
+    /// handle stays valid across [`Registry::reset`].
+    pub fn counter(&self, name: &'static str) -> Arc<ShardedCounter> {
         if let Some(c) = self.counters.read().unwrap().get(name) {
             return c.clone();
         }
@@ -206,7 +295,7 @@ impl Registry {
     }
 
     pub fn add(&self, name: &'static str, delta: u64) {
-        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+        self.counter(name).add(delta);
     }
 
     pub fn gauge_set(&self, name: &'static str, v: i64) {
@@ -233,7 +322,7 @@ impl Registry {
             .read()
             .unwrap()
             .iter()
-            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.to_string(), v.sum()))
             .filter(|(_, v)| *v > 0)
             .collect();
         let gauges = self
@@ -258,7 +347,7 @@ impl Registry {
     /// tests comparing two runs in one process) call this between runs.
     pub fn reset(&self) {
         for c in self.counters.read().unwrap().values() {
-            c.store(0, Ordering::Relaxed);
+            c.reset();
         }
         for g in self.gauges.read().unwrap().values() {
             g.store(0, Ordering::Relaxed);
@@ -334,12 +423,74 @@ mod tests {
                 s.spawn(move || {
                     let c = r.counter("spam");
                     for _ in 0..10_000 {
-                        c.fetch_add(1, Ordering::Relaxed);
+                        c.add(1);
                     }
                 });
             }
         });
         assert_eq!(r.snapshot().counter("spam"), 80_000);
+    }
+
+    #[test]
+    fn sharded_counter_folds_across_threads() {
+        // More threads than stripes: every stripe gets reused, and the
+        // fold must still be exact.
+        let c = ShardedCounter::default();
+        std::thread::scope(|s| {
+            for _ in 0..(COUNTER_STRIPES + 5) {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        c.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum(), 3_000 * (COUNTER_STRIPES as u64 + 5));
+        c.reset();
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn counter_handle_survives_reset() {
+        let r = Registry::new();
+        let c = r.counter("persist");
+        c.add(4);
+        r.reset();
+        c.add(2);
+        assert_eq!(r.snapshot().counter("persist"), 2);
+    }
+
+    #[test]
+    fn quantile_from_log_buckets() {
+        let r = Registry::new();
+        for v in [0u64, 1, 1, 3, 100, 100, 100, 100, 100, 1000] {
+            r.observe("q", v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["q"];
+        // p10 ≈ the single zero; p50 lands in the [64,128) bucket that
+        // holds the 100s; p100 in [512,1024).
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.1), 0);
+        assert_eq!(h.quantile(0.5), 96);
+        assert_eq!(h.quantile(1.0), 768);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sched_metrics_excluded_from_digest_but_rendered() {
+        let r = Registry::new();
+        r.add("records.js_calls", 3);
+        let before = r.snapshot().digest();
+        r.add("sched.steal", 12);
+        r.add("sched.chunk.claimed", 40);
+        r.add("sched.idle_spins", 7);
+        r.observe("sched.visit_wall_us", 900);
+        let snap = r.snapshot();
+        assert_eq!(before, snap.digest(), "sched.* must not perturb the digest");
+        assert!(snap.render().contains("sched.steal 12"));
+        assert!(snap.render().contains("histogram sched.visit_wall_us"));
+        assert!(!snap.render_deterministic().contains("sched."));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod wpm_browser;
 
 pub use config::{BrowserConfig, HttpSaveMode, JsInstrumentKind, StealthSettings};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use manager::{run_parallel, run_parallel_chunked};
 pub use records::{
     CrawlHistoryRecord, CrawlStatus, JsCallRecord, JsOperation, RecordStore, SavedScript,
     StoreCapture,

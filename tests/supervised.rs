@@ -182,6 +182,82 @@ fn checkpoint_format_version_is_stamped_and_validated() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// A panic inside a visit step surfaces once, names the *correct* item
+/// index, and does so at any worker count — the work-stealing scheduler
+/// may route the item to any worker, but never mislabel it.
+#[test]
+fn step_panic_reports_correct_index_at_any_worker_count() {
+    for workers in [1usize, 3, 8] {
+        let caught = std::panic::catch_unwind(|| {
+            openwpm::run_parallel(
+                (0..100u32).collect::<Vec<_>>(),
+                workers,
+                |_| (),
+                |_, i, x: u32| {
+                    if x == 61 {
+                        panic!("deliberate visit explosion");
+                    }
+                    i
+                },
+            )
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("item 61"), "workers={workers}: {msg}");
+        assert!(msg.contains("deliberate visit explosion"), "workers={workers}: {msg}");
+    }
+}
+
+/// Fault injection draws are keyed by (site, attempt), not by scheduling:
+/// the same adversarial plan must produce the same per-site outcomes and
+/// retry accounting whether one worker or eight drain the queue.
+#[test]
+fn fault_outcomes_identical_across_worker_counts() {
+    let base_cfg = |workers| ScanConfig {
+        faults: FaultPlan::adversarial(29),
+        workers,
+        ..ScanConfig::new(250, 17)
+    };
+    let base = Scan::new(base_cfg(1)).run().expect("scan");
+    for workers in [3, 8] {
+        let report = Scan::new(base_cfg(workers)).run().expect("scan");
+        assert_eq!(base.completion, report.completion, "workers={workers}");
+        assert_eq!(base.history, report.history, "workers={workers}");
+        assert_eq!(base.sites, report.sites, "workers={workers}");
+        assert_eq!(base.coverage_line(), report.coverage_line(), "workers={workers}");
+    }
+}
+
+/// Checkpoint/resume composes with the scheduler at a high worker count:
+/// interrupt a faulty 8-worker crawl, resume with a different worker
+/// count, and match the uninterrupted single-worker run byte for byte.
+#[test]
+fn checkpoint_resume_with_many_workers_matches_single_worker() {
+    let cfg = |workers| ScanConfig {
+        faults: FaultPlan::adversarial(3),
+        workers,
+        ..ScanConfig::new(200, 53)
+    };
+    let uninterrupted = Scan::new(cfg(1)).run().expect("scan");
+
+    let path = tmp_checkpoint("sched-resume");
+    Scan::new(ScanConfig { visit_budget: Some(80), ..cfg(8) })
+        .checkpoint(&path)
+        .run()
+        .expect("first leg");
+    let resumed = Scan::new(cfg(3)).checkpoint(&path).run().expect("second leg");
+    assert_eq!(resumed.completion.completed, uninterrupted.completion.completed);
+    assert_eq!(resumed.completion.failed, uninterrupted.completion.failed);
+    assert_eq!(resumed.sites, uninterrupted.sites);
+    assert_eq!(resumed.history, uninterrupted.history);
+    assert_eq!(resumed.table5(), uninterrupted.table5());
+    let _ = std::fs::remove_file(&path);
+}
+
 fn arbitrary_record(rng: &mut proplite::Rng) -> SiteScanRecord {
     let flags = |rng: &mut proplite::Rng| PageFlags {
         static_identified: rng.bool(),
