@@ -28,8 +28,8 @@
 //! perturb its provenance.
 
 use std::collections::{HashMap, HashSet};
-use std::fs::File;
-use std::io::{self, BufWriter, Read, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -93,13 +93,20 @@ struct BlobWriter {
     dedup: u64,
 }
 
+struct ManifestWriter {
+    file: BufWriter<File>,
+    /// Byte length of the manifest after the last flushed line — the
+    /// high-water mark the crash-consistent checkpoint records.
+    len: u64,
+}
+
 /// Writes one bundle: create, then [`put_blob`](BundleWriter::put_blob) /
 /// [`append_entry`](BundleWriter::append_entry) from any thread, then
 /// [`commit`](BundleWriter::commit). Every record is flushed as it is
 /// appended, so a killed run leaves a readable (uncommitted) prefix.
 pub struct BundleWriter {
     dir: PathBuf,
-    manifest: Mutex<BufWriter<File>>,
+    manifest: Mutex<ManifestWriter>,
     blobs: Mutex<BlobWriter>,
     entries: AtomicU64,
 }
@@ -113,18 +120,18 @@ impl BundleWriter {
         check_payload(config)?;
         std::fs::create_dir_all(&dir)?;
         let mut manifest = BufWriter::new(File::create(dir.join(MANIFEST_FILE))?);
-        writeln!(
-            manifest,
-            "{}",
-            frame(&format!("{MANIFEST_MAGIC} v{BUNDLE_FORMAT_VERSION}{US}{config}"))
-        )?;
+        let header = frame(&format!("{MANIFEST_MAGIC} v{BUNDLE_FORMAT_VERSION}{US}{config}"));
+        writeln!(manifest, "{header}")?;
         manifest.flush()?;
         let mut blobs = BufWriter::new(File::create(dir.join(BLOBS_FILE))?);
         writeln!(blobs, "{BLOBS_MAGIC} v{BUNDLE_FORMAT_VERSION}")?;
         blobs.flush()?;
         Ok(BundleWriter {
             dir,
-            manifest: Mutex::new(manifest),
+            manifest: Mutex::new(ManifestWriter {
+                file: manifest,
+                len: header.len() as u64 + 1,
+            }),
             blobs: Mutex::new(BlobWriter {
                 file: blobs,
                 seen: HashSet::new(),
@@ -133,6 +140,105 @@ impl BundleWriter {
                 dedup: 0,
             }),
             entries: AtomicU64::new(0),
+        })
+    }
+
+    /// Reopen an existing (uncommitted) bundle for appending — the
+    /// crash-resume path. The manifest is truncated to `truncate_to` bytes
+    /// first, dropping any torn tail *and* any flushed-but-unacknowledged
+    /// entries beyond the caller's trusted high-water mark; the blob store
+    /// is truncated to its last verifiable record and its content hashes
+    /// are re-seeded so dedup keeps working across the restart. Fails if
+    /// the header is damaged, the recorded config differs from
+    /// `expected_config` (resuming under a different configuration would
+    /// silently mix experiments), or `truncate_to` does not land on a line
+    /// boundary within the file.
+    ///
+    /// The returned writer's entry count continues from the surviving
+    /// prefix; blob write/dedup counters restart at zero (they describe
+    /// this process's work).
+    pub fn append_to(
+        dir: impl Into<PathBuf>,
+        expected_config: &str,
+        truncate_to: u64,
+    ) -> io::Result<BundleWriter> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path).map_err(|e| {
+            io::Error::new(e.kind(), format!("{}: {e}", manifest_path.display()))
+        })?;
+        let mut lines = text.lines();
+        let header = lines.next().and_then(unframe).ok_or_else(|| {
+            invalid(format!("{}: missing or corrupt bundle header", dir.display()))
+        })?;
+        let (magic, config) = header.split_once(US).unwrap_or((header, ""));
+        if !magic.starts_with(MANIFEST_MAGIC) {
+            return Err(invalid(format!("{}: not a bundle manifest", dir.display())));
+        }
+        if config != expected_config {
+            return Err(invalid(format!(
+                "{}: bundle was recorded under a different configuration — \
+                 refusing to resume into it",
+                dir.display()
+            )));
+        }
+        let header_len = text.lines().next().map(|l| l.len() as u64 + 1).unwrap_or(0);
+        if truncate_to < header_len || truncate_to > text.len() as u64 {
+            return Err(invalid(format!(
+                "{}: high-water mark {truncate_to} outside manifest (len {})",
+                dir.display(),
+                text.len()
+            )));
+        }
+        if text.as_bytes()[..truncate_to as usize].last() != Some(&b'\n') {
+            return Err(invalid(format!(
+                "{}: high-water mark {truncate_to} is not a line boundary",
+                dir.display()
+            )));
+        }
+        // Validate and count the surviving entries; the trusted prefix
+        // must be wholly intact (its lines were checksummed and the HWM
+        // says they were all flushed).
+        let mut kept_entries = 0u64;
+        for line in text[header_len as usize..truncate_to as usize].lines() {
+            match unframe(line).and_then(|body| body.split_once(US)) {
+                Some(("s", _)) => kept_entries += 1,
+                _ => {
+                    return Err(invalid(format!(
+                        "{}: corrupt entry inside trusted prefix (before byte {truncate_to})",
+                        dir.display()
+                    )))
+                }
+            }
+        }
+        let mut manifest = OpenOptions::new().read(true).write(true).open(&manifest_path)?;
+        manifest.set_len(truncate_to)?;
+        manifest.seek(SeekFrom::End(0))?;
+
+        // Truncate the blob store to its verified prefix and re-seed the
+        // dedup set from it.
+        let blobs_path = dir.join(BLOBS_FILE);
+        let (blobs, torn, valid_end) = read_blob_records(&blobs_path)?;
+        let mut blob_file = OpenOptions::new().read(true).write(true).open(&blobs_path)?;
+        if torn {
+            blob_file.set_len(valid_end)?;
+        }
+        blob_file.seek(SeekFrom::End(0))?;
+
+        Ok(BundleWriter {
+            dir,
+            manifest: Mutex::new(ManifestWriter {
+                file: BufWriter::new(manifest),
+                len: truncate_to,
+            }),
+            blobs: Mutex::new(BlobWriter {
+                file: BufWriter::new(blob_file),
+                seen: blobs.keys().copied().collect(),
+                written: 0,
+                bytes: 0,
+                dedup: 0,
+            }),
+            entries: AtomicU64::new(kept_entries),
         })
     }
 
@@ -164,16 +270,42 @@ impl BundleWriter {
 
     /// Append one opaque entry line (checksummed) to the manifest and
     /// flush it. Entries from worker threads land in completion order;
-    /// readers must not rely on file order.
-    pub fn append_entry(&self, payload: &str) -> io::Result<()> {
+    /// readers must not rely on file order. Returns the manifest's byte
+    /// length after the flush — the high-water mark a crash-consistent
+    /// checkpoint can record to mark this entry (and everything before
+    /// it) as durably on disk.
+    pub fn append_entry(&self, payload: &str) -> io::Result<u64> {
         check_payload(payload)?;
         let line = frame(&format!("s{US}{payload}"));
         let mut m = self.manifest.lock().unwrap();
-        writeln!(m, "{line}")?;
-        m.flush()?;
+        writeln!(m.file, "{line}")?;
+        m.file.flush()?;
+        m.len += line.len() as u64 + 1;
+        let hwm = m.len;
         drop(m);
         self.entries.fetch_add(1, Ordering::Relaxed);
         obs::add("archive.write.entries", 1);
+        Ok(hwm)
+    }
+
+    /// Manifest byte length after the last flushed line.
+    pub fn manifest_len(&self) -> u64 {
+        self.manifest.lock().unwrap().len
+    }
+
+    /// Crash-test hook: write the first `keep_bytes` bytes of what
+    /// [`BundleWriter::append_entry`] would have written for `payload`
+    /// (no trailing newline) and flush — the on-disk state of a process
+    /// killed at byte `keep_bytes` of an entry append. The internal
+    /// high-water mark is *not* advanced, mirroring a real crash: the
+    /// dying process never acknowledged the write.
+    pub fn append_entry_torn(&self, payload: &str, keep_bytes: usize) -> io::Result<()> {
+        check_payload(payload)?;
+        let line = frame(&format!("s{US}{payload}"));
+        let keep = keep_bytes.min(line.len());
+        let mut m = self.manifest.lock().unwrap();
+        m.file.write_all(&line.as_bytes()[..keep])?;
+        m.file.flush()?;
         Ok(())
     }
 
@@ -182,9 +314,9 @@ impl BundleWriter {
     pub fn commit(self, payload: &str) -> io::Result<WriteStats> {
         check_payload(payload)?;
         let mut m = self.manifest.into_inner().unwrap();
-        writeln!(m, "{}", frame(&format!("c{US}{payload}")))?;
-        m.flush()?;
-        m.get_ref().sync_all()?;
+        writeln!(m.file, "{}", frame(&format!("c{US}{payload}")))?;
+        m.file.flush()?;
+        m.file.get_ref().sync_all()?;
         let b = self.blobs.into_inner().unwrap();
         let mut file = b.file;
         file.flush()?;
@@ -215,6 +347,12 @@ pub struct BundleReader {
     pub config: String,
     /// Entry payloads, in file (completion) order.
     pub entries: Vec<String>,
+    /// Byte offset of the end of each entry's line (inclusive of its
+    /// newline), parallel to `entries` — lets a resume compare entries
+    /// against a checkpointed manifest high-water mark.
+    pub entry_ends: Vec<u64>,
+    /// Total manifest byte length as read.
+    pub manifest_len: u64,
     /// Commit payload; `None` for a torn (uncommitted) bundle.
     pub commit: Option<String>,
     /// Content-addressed blob store: FNV-64 hash → body.
@@ -256,25 +394,37 @@ impl BundleReader {
             )));
         }
         let mut entries = Vec::new();
+        let mut entry_ends = Vec::new();
         let mut commit = None;
         let mut dropped = 0usize;
+        // Track each line's end offset by hand; only lines written whole
+        // (with their trailing newline) can validate, so `+ 1` is exact
+        // for every line that lands in `entry_ends`.
+        let mut pos = manifest.lines().next().map(|l| l.len() as u64 + 1).unwrap_or(0);
         for line in lines {
+            let end = pos + line.len() as u64 + 1;
             match unframe(line).and_then(|body| body.split_once(US)) {
-                Some(("s", payload)) => entries.push(payload.to_string()),
+                Some(("s", payload)) => {
+                    entries.push(payload.to_string());
+                    entry_ends.push(end);
+                }
                 Some(("c", payload)) => commit = Some(payload.to_string()),
                 _ => {
                     dropped += 1;
                     obs::add("archive.read.dropped_lines", 1);
                 }
             }
+            pos = end;
         }
         obs::add("archive.read.entries", entries.len() as u64);
 
-        let (blobs, torn_blob_tail) = read_blobs(&dir.join(BLOBS_FILE))?;
+        let (blobs, torn_blob_tail, _) = read_blob_records(&dir.join(BLOBS_FILE))?;
         obs::add("archive.read.blobs", blobs.len() as u64);
         Ok(BundleReader {
             config: config.to_string(),
             entries,
+            entry_ends,
+            manifest_len: manifest.len() as u64,
             commit,
             blobs,
             dropped_lines: dropped,
@@ -288,7 +438,10 @@ impl BundleReader {
     }
 }
 
-fn read_blobs(path: &Path) -> io::Result<(HashMap<u64, Arc<str>>, bool)> {
+/// Parse the blob store: `(blobs, torn_tail, valid_end)` where
+/// `valid_end` is the byte offset just past the last verified record —
+/// the truncation point a crash resume uses.
+fn read_blob_records(path: &Path) -> io::Result<(HashMap<u64, Arc<str>>, bool, u64)> {
     let mut bytes = Vec::new();
     File::open(path)
         .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?
@@ -351,7 +504,7 @@ fn read_blobs(path: &Path) -> io::Result<(HashMap<u64, Arc<str>>, bool)> {
     if torn {
         obs::add("archive.read.torn_blob_tail", 1);
     }
-    Ok((blobs, torn))
+    Ok((blobs, torn, pos as u64))
 }
 
 #[cfg(test)]
@@ -508,6 +661,102 @@ mod tests {
     fn missing_bundle_is_not_found() {
         let err = BundleReader::open(tmpdir("missing")).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn append_entry_reports_line_boundary_high_water_marks() {
+        let dir = tmpdir("hwm");
+        let w = BundleWriter::create(&dir, "c").unwrap();
+        let header_len = w.manifest_len();
+        let h1 = w.append_entry("one").unwrap();
+        let h2 = w.append_entry("two").unwrap();
+        assert!(header_len < h1 && h1 < h2);
+        assert_eq!(w.manifest_len(), h2);
+        w.commit("done").unwrap();
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert_eq!(r.entry_ends, vec![h1, h2]);
+        assert!(r.manifest_len > h2, "commit line lies beyond the last entry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_then_resume_truncates_and_continues() {
+        let dir = tmpdir("resume");
+        let w = BundleWriter::create(&dir, "c").unwrap();
+        w.put_blob("shared body").unwrap();
+        w.append_entry("one").unwrap();
+        let hwm = w.append_entry("two").unwrap();
+        // The process dies at byte 7 of the third entry's append.
+        w.append_entry_torn("three", 7).unwrap();
+        drop(w);
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert_eq!(r.entries.len(), 2, "torn tail must not parse");
+        assert_eq!(r.dropped_lines, 1);
+        assert!(r.manifest_len > hwm);
+
+        // Resume: truncate to the checkpointed HWM, finish the crawl.
+        let w = BundleWriter::append_to(&dir, "c", hwm).unwrap();
+        assert_eq!(w.manifest_len(), hwm);
+        let dup = w.put_blob("shared body").unwrap();
+        assert_eq!(dup, fnv1a(b"shared body"), "dedup set re-seeded across restart");
+        w.append_entry("three").unwrap();
+        let stats = w.commit("done").unwrap();
+        assert_eq!(stats.entries, 3, "count continues from the surviving prefix");
+        assert_eq!(stats.blobs_written, 0);
+        assert_eq!(stats.dedup_hits, 1);
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert_eq!(r.entries, vec!["one", "two", "three"]);
+        assert_eq!(r.dropped_lines, 0);
+        assert_eq!(r.commit.as_deref(), Some("done"));
+        assert_eq!(r.blobs.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_torn_blob_tail() {
+        let dir = tmpdir("resume-blobs");
+        let w = BundleWriter::create(&dir, "c").unwrap();
+        w.put_blob("first body").unwrap();
+        let hwm = w.append_entry("one").unwrap();
+        w.put_blob("second body cut short").unwrap();
+        drop(w);
+        // Tear the blob store mid-way through the second body.
+        let path = dir.join(BLOBS_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+
+        let w = BundleWriter::append_to(&dir, "c", hwm).unwrap();
+        let h = w.put_blob("fresh body").unwrap();
+        w.append_entry("two").unwrap();
+        w.commit("done").unwrap();
+
+        let r = BundleReader::open(&dir).unwrap();
+        assert!(!r.torn_blob_tail, "resume must have excised the torn record");
+        assert_eq!(r.blobs.len(), 2);
+        assert!(r.blob(fnv1a(b"first body")).is_some());
+        assert!(r.blob(h).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_config_mismatch_and_bad_marks() {
+        let dir = tmpdir("resume-guards");
+        let w = BundleWriter::create(&dir, "c").unwrap();
+        let hwm = w.append_entry("one").unwrap();
+        drop(w);
+
+        let err = BundleWriter::append_to(&dir, "other-config", hwm).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("different configuration"), "{err}");
+        let err = BundleWriter::append_to(&dir, "c", hwm - 1).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("line boundary"), "{err}");
+        let err = BundleWriter::append_to(&dir, "c", hwm + 999).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("outside manifest"), "{err}");
+        let err = BundleWriter::append_to(&dir, "c", 0).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("outside manifest"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! All bookkeeping lands in `archive.*` metrics, which are excluded from
 //! the telemetry digest — recording must not perturb provenance.
 
-use std::io;
+use std::collections::{BTreeSet, HashMap};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -36,7 +38,8 @@ use ::archive::{BundleReader, BundleWriter};
 use browser::CspPolicy;
 use netsim::ResourceType;
 use openwpm::{
-    FailureReason, FaultPlan, PageScript, RetryPolicy, StoreCapture, VisitOutcome, VisitSpec,
+    CrashInjector, CrawlSummary, FailureReason, FaultPlan, KillPoint, PageScript, RetryPolicy,
+    StoreCapture, VisitOutcome, VisitSpec,
 };
 use webgen::{Category, Population};
 
@@ -345,6 +348,10 @@ fn result_fields(
         }
         VisitOutcome::Interrupted => ("interrupted", String::new(), String::new()),
     };
+    result_fields_of(status, &payload, &cap, attempts)
+}
+
+fn result_fields_of(status: &str, payload: &str, cap: &str, attempts: u32) -> String {
     format!("{attempts}{F}{status}{F}{payload}{F}{cap}")
 }
 
@@ -438,6 +445,298 @@ impl Recorder {
             dedup_hits: stats.dedup_hits,
         })
     }
+}
+
+// --- streaming -------------------------------------------------------------
+
+/// The determined outcome a stream flush persists: either a completed
+/// record (borrowed — it is dropped right after the flush) or a typed
+/// failure. Interruptions are never flushed; an interrupted rank simply
+/// has no checkpoint line and is re-visited on resume.
+pub(crate) enum StreamOutcome<'a> {
+    Ok(&'a SiteScanRecord),
+    Failed(&'a FailureReason),
+}
+
+/// The config identity a stream bundle carries. `visit_budget` is a
+/// run-level interruption knob — "stop after N sites this run" — not part
+/// of the experiment: a budgeted partial stream must be resumable (and
+/// comparable) without it.
+fn stream_config(cfg: &ScanConfig) -> String {
+    encode_config(&ScanConfig { visit_budget: None, ..*cfg })
+}
+
+struct StreamState {
+    ckpt: BufWriter<File>,
+    line_hashes: Vec<Option<u64>>,
+    flushed: u64,
+}
+
+/// Crash-consistent incremental recorder: each determined visit is
+/// appended to the bundle manifest and then acknowledged with one
+/// checkpoint line carrying the manifest high-water mark, so at every
+/// instant the durable state is `trusted bundle prefix + (maybe) one torn
+/// tail`. Worker threads flush concurrently; the entry-append → line-write
+/// pair is serialised so high-water marks are monotone in checkpoint-file
+/// order. Locks recover from poisoning (`into_inner`) because an injected
+/// crash unwinds through them by design.
+pub(crate) struct StreamRecorder {
+    writer: BundleWriter,
+    pop: Population,
+    include_subpages: bool,
+    injector: Option<CrashInjector>,
+    state: Mutex<StreamState>,
+    err: Mutex<Option<io::Error>>,
+}
+
+impl StreamRecorder {
+    pub(crate) fn create(
+        dir: &Path,
+        cfg: &ScanConfig,
+        ckpt: File,
+        injector: Option<CrashInjector>,
+    ) -> io::Result<StreamRecorder> {
+        let writer = BundleWriter::create(dir, &stream_config(cfg))?;
+        Ok(Self::with_writer(writer, cfg, ckpt, vec![None; cfg.n_sites as usize], injector))
+    }
+
+    /// Reopen a partial bundle for appending, truncating everything past
+    /// the checkpointed high-water mark, with the trusted entries' hashes
+    /// pre-seeded so the final commit digest covers replayed ranks too.
+    pub(crate) fn resume(
+        dir: &Path,
+        cfg: &ScanConfig,
+        truncate_to: u64,
+        ckpt: File,
+        line_hashes: Vec<Option<u64>>,
+        injector: Option<CrashInjector>,
+    ) -> io::Result<StreamRecorder> {
+        let writer = BundleWriter::append_to(dir, &stream_config(cfg), truncate_to)?;
+        Ok(Self::with_writer(writer, cfg, ckpt, line_hashes, injector))
+    }
+
+    fn with_writer(
+        writer: BundleWriter,
+        cfg: &ScanConfig,
+        ckpt: File,
+        line_hashes: Vec<Option<u64>>,
+        injector: Option<CrashInjector>,
+    ) -> StreamRecorder {
+        StreamRecorder {
+            writer,
+            pop: cfg.population(),
+            include_subpages: cfg.include_subpages,
+            injector,
+            state: Mutex::new(StreamState {
+                ckpt: BufWriter::new(ckpt),
+                line_hashes,
+                flushed: 0,
+            }),
+            err: Mutex::new(None),
+        }
+    }
+
+    /// Durably persist one determined visit (the `on_complete` hook).
+    pub(crate) fn flush(&self, rank: u32, outcome: StreamOutcome<'_>, attempts: u32, delta: &str) {
+        if let Err(e) = self.try_flush(rank, outcome, attempts, delta) {
+            self.err
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get_or_insert(e);
+        }
+    }
+
+    fn try_flush(
+        &self,
+        rank: u32,
+        outcome: StreamOutcome<'_>,
+        attempts: u32,
+        delta: &str,
+    ) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            // Once any worker has hit its kill point the process is
+            // notionally dead: nothing more may reach disk.
+            if inj.tripped() {
+                inj.die();
+            }
+        }
+        let (status, payload, cap) = match outcome {
+            StreamOutcome::Ok(rec) => (
+                "ok",
+                encode_site_record(rec),
+                take_capture().unwrap_or_default().encode(),
+            ),
+            StreamOutcome::Failed(reason) => ("failed", reason.as_str().to_string(), String::new()),
+        };
+        let rf = result_fields_of(status, &payload, &cap, attempts);
+        // Page re-materialisation and blob writes happen outside the
+        // serialising lock — the blob store has its own dedup lock.
+        let visit = site_visit(&self.pop.plan(rank), self.include_subpages);
+        let mut pages = Vec::with_capacity(visit.pages.len());
+        for spec in &visit.pages {
+            pages.push(encode_page(spec, &self.writer)?);
+        }
+        let entry = format!(
+            "{rank}{F}{}{F}{}{F}{}{F}{rf}{F}{}",
+            visit.domain,
+            join_list(&visit.categories, |c| c.name().to_string()),
+            visit.flaky as u8,
+            pages.join(&PAGE.to_string())
+        );
+        let hash = obs::fnv1a(entry.as_bytes());
+        let (line_status, line_payload) = match outcome {
+            StreamOutcome::Ok(_) => ("flushed", format!("{hash:016x}")),
+            StreamOutcome::Failed(reason) => ("failed", reason.as_str().to_string()),
+        };
+        // Death is always delivered while still holding the lock: the
+        // unwind releases it, and every other worker's next `begin_flush`
+        // (also under the lock) dies fast — so, exactly like a SIGKILL,
+        // nothing reaches disk after the kill point.
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let action = self.injector.as_ref().and_then(|i| i.begin_flush());
+        if let Some(KillPoint::MidBundleAppend(_, keep)) = action {
+            self.writer.append_entry_torn(&entry, keep)?;
+            self.injector.as_ref().unwrap().die();
+        }
+        let hwm = self.writer.append_entry(&entry)?;
+        st.line_hashes[rank as usize] = Some(hash);
+        st.flushed += 1;
+        let line =
+            crate::scan::stream_checkpoint_line(rank, line_status, attempts, &line_payload, hwm, delta);
+        if let Some(KillPoint::MidCheckpointLine(_, keep)) = action {
+            let keep = keep.min(line.len());
+            st.ckpt.write_all(&line.as_bytes()[..keep])?;
+            st.ckpt.flush()?;
+            self.injector.as_ref().unwrap().die();
+        }
+        writeln!(st.ckpt, "{line}")?;
+        st.ckpt.flush()?;
+        if let Some(KillPoint::AfterVisit(_)) = action {
+            self.injector.as_ref().unwrap().die();
+        }
+        drop(st);
+        obs::add("checkpoint.writes", 1);
+        obs::emit(obs::Event::new(0, "checkpoint_write").attr("rank", rank as usize));
+        Ok(())
+    }
+
+    /// Seal the bundle if every rank was flushed or replayed; a
+    /// budget-interrupted stream stays uncommitted so a later resume can
+    /// complete it. Returns `(archive stats if committed, records flushed
+    /// this run)`.
+    pub(crate) fn finish(
+        self,
+        completion: &CrawlSummary,
+        table5: [(u32, u32); 3],
+    ) -> io::Result<(Option<ArchiveStats>, u64)> {
+        if let Some(e) = self.err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
+        }
+        let st = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        let flushed = st.flushed;
+        if st.line_hashes.iter().any(|h| h.is_none()) {
+            return Ok((None, flushed));
+        }
+        let mut digest = String::new();
+        for h in &st.line_hashes {
+            digest.push_str(&format!("{:016x}", h.unwrap()));
+        }
+        let info = CommitInfo {
+            completed: completion.completed,
+            failed: completion.failed,
+            interrupted: completion.interrupted,
+            table5,
+            records_digest: obs::fnv1a(digest.as_bytes()),
+            telemetry_digest: obs::registry().snapshot().digest(),
+            stats_enabled: obs::stats_enabled(),
+        };
+        let stats = self.writer.commit(&info.encode())?;
+        Ok((
+            Some(ArchiveStats {
+                sites: stats.entries,
+                blobs_written: stats.blobs_written,
+                blob_bytes: stats.blob_bytes,
+                dedup_hits: stats.dedup_hits,
+            }),
+            flushed,
+        ))
+    }
+}
+
+/// One bundle entry inside the checkpointed (trusted) prefix.
+pub(crate) struct TrustedEntry {
+    pub(crate) hash: u64,
+    pub(crate) status: String,
+    pub(crate) payload: String,
+}
+
+/// What a partial bundle yields for resume: entries the checkpoint vouches
+/// for, ranks whose entries landed but whose checkpoint line did not
+/// (orphans — re-visited), and how many tail lines were discarded.
+pub(crate) struct StreamHarvest {
+    pub(crate) trusted: HashMap<u32, TrustedEntry>,
+    pub(crate) orphan_ranks: BTreeSet<u32>,
+    pub(crate) tail_dropped: u64,
+}
+
+/// Read a partial bundle back for resume. Everything at or below
+/// `max_hwm` (the highest manifest offset any surviving checkpoint line
+/// acknowledged) must be intact — corruption there means the storage
+/// lied about durability and is a hard error, not a recoverable tear.
+/// Entries past the mark are unacknowledged: decodable ones surface as
+/// orphans to re-visit, torn ones are counted and dropped.
+pub(crate) fn harvest_stream(dir: &Path, cfg: &ScanConfig, max_hwm: u64) -> io::Result<StreamHarvest> {
+    let reader = BundleReader::open(dir)?;
+    if reader.commit.is_some() {
+        return Err(invalid(format!(
+            "{}: bundle is already committed — streaming resume refuses to append to a sealed bundle",
+            dir.display()
+        )));
+    }
+    if reader.config != stream_config(cfg) {
+        return Err(invalid(format!(
+            "{}: bundle was recorded under a different configuration — refusing to resume into it",
+            dir.display()
+        )));
+    }
+    if max_hwm > reader.manifest_len {
+        return Err(invalid(format!(
+            "{}: checkpoint high-water mark {max_hwm} is beyond the manifest ({} bytes) — \
+             the bundle was truncated after the checkpoint was written",
+            dir.display(),
+            reader.manifest_len
+        )));
+    }
+    let mut harvest = StreamHarvest {
+        trusted: HashMap::new(),
+        orphan_ranks: BTreeSet::new(),
+        tail_dropped: reader.dropped_lines as u64,
+    };
+    for (i, entry) in reader.entries.iter().enumerate() {
+        let decoded = decode_entry(entry, &reader);
+        if reader.entry_ends[i] <= max_hwm {
+            let (rank, site) = decoded.ok_or_else(|| {
+                invalid(format!(
+                    "{}: corrupt site entry inside the checkpointed prefix",
+                    dir.display()
+                ))
+            })?;
+            harvest.trusted.insert(
+                rank,
+                TrustedEntry {
+                    hash: obs::fnv1a(entry.as_bytes()),
+                    status: site.status,
+                    payload: site.payload,
+                },
+            );
+        } else if let Some((rank, _)) = decoded {
+            harvest.tail_dropped += 1;
+            harvest.orphan_ranks.insert(rank);
+        } else {
+            harvest.tail_dropped += 1;
+        }
+    }
+    Ok(harvest)
 }
 
 // --- replay ----------------------------------------------------------------

@@ -7,22 +7,26 @@
 //! The aggregation reproduces Tables 5–7, 11–12 and the data behind
 //! Figures 3–5.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use detect::{analyse, preprocess, DynamicClass, StaticPattern};
 use netsim::url::etld1_of;
 use netsim::Url;
 use openwpm::{
-    run_supervised_fallible, Browser, BrowserConfig, CrawlHistoryRecord, CrawlSummary,
-    FailureReason, FaultPlan, ItemMeta, RetryPolicy, SiteResponse, SupervisorConfig, VisitOutcome,
-    VisitSpec,
+    run_supervised_fallible, run_supervised_folding, Browser, BrowserConfig, CrashInjector,
+    CrashPlan, CrawlHistoryRecord, CrawlSummary, FailureReason, FaultPlan, ItemMeta, RetryPolicy,
+    SiteResponse, SupervisorConfig, VisitOutcome, VisitSpec,
 };
 use webgen::{visit_spec, Category, PageKind, Population, SitePlan};
 
-use crate::archive::{ArchiveStats, Recorder, ReplayBundle, ReplayStats, Verifier};
+use crate::archive::{
+    harvest_stream, ArchiveStats, Recorder, ReplayBundle, ReplayStats, StreamOutcome,
+    StreamRecorder, Verifier,
+};
 
 /// Scan configuration.
 #[derive(Clone, Copy, Debug)]
@@ -355,9 +359,19 @@ pub struct ScanReport {
     pub archive: Option<ArchiveStats>,
     /// Verification statistics when the scan was replayed (`Scan::replay`).
     pub replay: Option<ReplayStats>,
+    /// Pre-folded table state when the scan was streamed
+    /// ([`Scan::stream_to`]): records are flushed to disk and dropped as
+    /// they complete, so `sites` stays empty and every table method reads
+    /// from here instead.
+    pub aggregates: Option<ScanAggregates>,
+    /// Crash-recovery and memory statistics for a streamed scan.
+    pub stream: Option<StreamStats>,
 }
 
 impl ScanReport {
+    /// Count completed sites matching `f`. In streaming mode per-record
+    /// state is gone by the time the report exists — use the
+    /// pre-aggregated tables instead.
     pub fn count(&self, f: impl Fn(&SiteScanRecord) -> bool) -> u32 {
         self.sites.iter().filter(|s| f(s)).count() as u32
     }
@@ -370,6 +384,9 @@ impl ScanReport {
     /// Table 5 rows: (static, dynamic, union) × (identified, true), over
     /// front + subpages.
     pub fn table5(&self) -> [(u32, u32); 3] {
+        if let Some(agg) = &self.aggregates {
+            return agg.table5();
+        }
         [
             (
                 self.count(|s| s.site.static_identified),
@@ -388,6 +405,9 @@ impl ScanReport {
 
     /// Table 6: OpenWPM-specific probes per provider domain × property.
     pub fn table6(&self) -> BTreeMap<String, BTreeMap<String, u32>> {
+        if let Some(agg) = &self.aggregates {
+            return agg.table6.clone();
+        }
         let mut out: BTreeMap<String, BTreeMap<String, u32>> = BTreeMap::new();
         for site in &self.sites {
             let mut per_site: Vec<&(String, String)> = site.openwpm_probes.iter().collect();
@@ -402,12 +422,18 @@ impl ScanReport {
 
     /// Table 7: third-party hosting domains by inclusion count (1/site).
     pub fn table7(&self) -> Vec<(String, u32)> {
-        let mut tally: BTreeMap<String, u32> = BTreeMap::new();
-        for site in &self.sites {
-            for d in &site.third_party_domains {
-                *tally.entry(d.clone()).or_insert(0) += 1;
+        let tally: BTreeMap<String, u32> = match &self.aggregates {
+            Some(agg) => agg.table7.clone(),
+            None => {
+                let mut tally: BTreeMap<String, u32> = BTreeMap::new();
+                for site in &self.sites {
+                    for d in &site.third_party_domains {
+                        *tally.entry(d.clone()).or_insert(0) += 1;
+                    }
+                }
+                tally
             }
-        }
+        };
         let mut v: Vec<(String, u32)> = tally.into_iter().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
@@ -415,6 +441,9 @@ impl ScanReport {
 
     /// Table 12: first-party origin clusters.
     pub fn table12(&self) -> BTreeMap<&'static str, u32> {
+        if let Some(agg) = &self.aggregates {
+            return agg.table12.clone();
+        }
         let mut out: BTreeMap<&'static str, u32> = BTreeMap::new();
         for site in &self.sites {
             let mut origins: Vec<&'static str> =
@@ -433,18 +462,23 @@ impl ScanReport {
     pub fn rank_buckets(&self, bucket: u32) -> Vec<[u32; 4]> {
         let nb = self.n_sites.div_ceil(bucket);
         let mut out = vec![[0u32; 4]; nb as usize];
-        for s in &self.sites {
-            let b = (s.rank / bucket) as usize;
-            if s.front.static_true {
+        let flags: Box<dyn Iterator<Item = (u32, PageFlags, PageFlags)> + '_> =
+            match &self.aggregates {
+                Some(agg) => Box::new(agg.flags.iter().copied()),
+                None => Box::new(self.sites.iter().map(|s| (s.rank, s.front, s.site))),
+            };
+        for (rank, front, site) in flags {
+            let b = (rank / bucket) as usize;
+            if front.static_true {
                 out[b][0] += 1;
             }
-            if s.front.dynamic_true {
+            if front.dynamic_true {
                 out[b][1] += 1;
             }
-            if s.site.static_true {
+            if site.static_true {
                 out[b][2] += 1;
             }
-            if s.site.dynamic_true {
+            if site.dynamic_true {
                 out[b][3] += 1;
             }
         }
@@ -454,6 +488,9 @@ impl ScanReport {
     /// Fig. 5: category tallies for first-party vs third-party detector
     /// sites.
     pub fn category_tallies(&self) -> (BTreeMap<&'static str, u32>, BTreeMap<&'static str, u32>) {
+        if let Some(agg) = &self.aggregates {
+            return (agg.cat_first.clone(), agg.cat_third.clone());
+        }
         let mut first: BTreeMap<&'static str, u32> = BTreeMap::new();
         let mut third: BTreeMap<&'static str, u32> = BTreeMap::new();
         for s in &self.sites {
@@ -471,6 +508,9 @@ impl ScanReport {
     /// Corpus statistics: `(scripts collected, unique bodies)` — the paper
     /// collected 1,535,306 unique scripts over its crawl.
     pub fn script_stats(&self) -> (u64, u64) {
+        if let Some(agg) = &self.aggregates {
+            return (agg.scripts_total, agg.script_hashes.len() as u64);
+        }
         let mut total = 0u64;
         let mut seen = std::collections::HashSet::new();
         for site in &self.sites {
@@ -482,10 +522,129 @@ impl ScanReport {
 
     /// Total first-party vs third-party detector inclusions (Sec. 4.3).
     pub fn inclusion_totals(&self) -> (u32, u32) {
+        if let Some(agg) = &self.aggregates {
+            return (agg.first_party_inclusions, agg.third_party_inclusions);
+        }
         let first = self.sites.iter().map(|s| s.first_party_urls.len() as u32).sum();
         let third = self.sites.iter().map(|s| s.third_party_domains.len() as u32).sum();
         (first, third)
     }
+}
+
+/// Streaming-mode table state, folded one record at a time so completed
+/// [`SiteScanRecord`]s can be dropped the moment they are flushed to
+/// disk. `add` mirrors the per-site logic of the [`ScanReport`] table
+/// methods exactly (including per-site dedup), so a streamed scan and a
+/// classic scan of the same config produce identical tables.
+#[derive(Clone, Debug, Default)]
+pub struct ScanAggregates {
+    /// Completed-site count (the Table-5 denominator).
+    pub completed: u32,
+    /// `(rank, front, site)` flags per completed site — 17 bytes/site,
+    /// the only per-site residue streaming keeps (for `rank_buckets`).
+    flags: Vec<(u32, PageFlags, PageFlags)>,
+    table6: BTreeMap<String, BTreeMap<String, u32>>,
+    table7: BTreeMap<String, u32>,
+    table12: BTreeMap<&'static str, u32>,
+    cat_first: BTreeMap<&'static str, u32>,
+    cat_third: BTreeMap<&'static str, u32>,
+    scripts_total: u64,
+    script_hashes: HashSet<u64>,
+    first_party_inclusions: u32,
+    third_party_inclusions: u32,
+    table5_identified: [u32; 3],
+    table5_true: [u32; 3],
+}
+
+impl ScanAggregates {
+    /// Fold one completed site into every table.
+    pub fn add(&mut self, s: &SiteScanRecord) {
+        self.completed += 1;
+        self.flags.push((s.rank, s.front, s.site));
+        if s.site.static_identified {
+            self.table5_identified[0] += 1;
+        }
+        if s.site.static_true {
+            self.table5_true[0] += 1;
+        }
+        if s.site.dynamic_identified {
+            self.table5_identified[1] += 1;
+        }
+        if s.site.dynamic_true {
+            self.table5_true[1] += 1;
+        }
+        if s.site.union_identified() {
+            self.table5_identified[2] += 1;
+        }
+        if s.site.union_true() {
+            self.table5_true[2] += 1;
+        }
+        let mut per_site: Vec<&(String, String)> = s.openwpm_probes.iter().collect();
+        per_site.sort();
+        per_site.dedup();
+        for (provider, prop) in per_site {
+            *self
+                .table6
+                .entry(provider.clone())
+                .or_default()
+                .entry(prop.clone())
+                .or_insert(0) += 1;
+        }
+        for d in &s.third_party_domains {
+            *self.table7.entry(d.clone()).or_insert(0) += 1;
+        }
+        let mut origins: Vec<&'static str> =
+            s.first_party_urls.iter().map(|u| first_party_origin_of(u)).collect();
+        origins.sort();
+        origins.dedup();
+        for o in origins {
+            *self.table12.entry(o).or_insert(0) += 1;
+        }
+        if s.site.union_true() {
+            let target =
+                if s.first_party_urls.is_empty() { &mut self.cat_third } else { &mut self.cat_first };
+            for c in &s.categories {
+                *target.entry(c.name()).or_insert(0) += 1;
+            }
+        }
+        self.scripts_total += s.script_hashes.len() as u64;
+        self.script_hashes.extend(s.script_hashes.iter().copied());
+        self.first_party_inclusions += s.first_party_urls.len() as u32;
+        self.third_party_inclusions += s.third_party_domains.len() as u32;
+    }
+
+    pub fn table5(&self) -> [(u32, u32); 3] {
+        [
+            (self.table5_identified[0], self.table5_true[0]),
+            (self.table5_identified[1], self.table5_true[1]),
+            (self.table5_identified[2], self.table5_true[2]),
+        ]
+    }
+}
+
+/// Recovery and memory statistics for a streamed scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// A prior checkpoint was found and at least one line survived.
+    pub resumed: bool,
+    /// Records adopted from the trusted bundle prefix without re-visiting.
+    pub records_replayed: u64,
+    /// Records flushed to the bundle by this run.
+    pub records_flushed: u64,
+    /// Checkpoint lines discarded as torn or corrupt.
+    pub checkpoint_lines_dropped: u64,
+    /// Bundle manifest lines past the checkpointed high-water mark
+    /// (unacknowledged appends, discarded on resume).
+    pub bundle_tail_dropped: u64,
+    /// Sites whose work was lost in the crash and had to be re-visited
+    /// (orphaned bundle entries + trusted entries missing their line).
+    pub revisits: u64,
+    /// High-water mark of completed records simultaneously alive in
+    /// memory — bounded by the worker count, not the site count.
+    pub peak_records_in_flight: u64,
+    /// The bundle was sealed (every rank determined). `false` means a
+    /// budget-limited run left work for a future resume.
+    pub committed: bool,
 }
 
 /// One configured scan session — the single entrypoint for plain,
@@ -508,6 +667,8 @@ pub struct Scan<'a> {
     checkpoint: Option<std::path::PathBuf>,
     record_dir: Option<std::path::PathBuf>,
     replay_dir: Option<std::path::PathBuf>,
+    stream_dir: Option<std::path::PathBuf>,
+    crash: Option<CrashPlan>,
     prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
     prior_attempts: Vec<u32>,
     #[allow(clippy::type_complexity)]
@@ -521,6 +682,8 @@ impl<'a> Scan<'a> {
             checkpoint: None,
             record_dir: None,
             replay_dir: None,
+            stream_dir: None,
+            crash: None,
             prior: Vec::new(),
             prior_attempts: Vec::new(),
             on_complete: None,
@@ -559,6 +722,32 @@ impl<'a> Scan<'a> {
         self
     }
 
+    /// Crash-consistent streaming mode: archive the scan into the bundle
+    /// at `dir`, flushing every completed record to disk the moment it is
+    /// determined and then *dropping it* — peak record memory is bounded
+    /// by the worker count, not the site count. The bundle doubles as the
+    /// checkpoint: each flushed record is acknowledged by one line in
+    /// `<dir>/scan.ckpt` carrying the bundle's high-water mark, so a
+    /// killed crawl resumes by trusting exactly the acknowledged prefix,
+    /// discarding any torn tail, and re-visiting only in-flight sites.
+    /// The resumed run's per-site records, tables and telemetry digest
+    /// are byte-identical to an uninterrupted run. Incompatible with
+    /// checkpoint/record/replay/resume_from — streaming manages its own
+    /// checkpoint inside `dir`.
+    pub fn stream_to(mut self, dir: impl Into<std::path::PathBuf>) -> Scan<'a> {
+        self.stream_dir = Some(dir.into());
+        self
+    }
+
+    /// Chaos testing: kill this process (by unwinding with a recognisable
+    /// panic — see [`openwpm::catch_crash`]) at the planned kill point
+    /// during streaming flushes. Only meaningful with [`Scan::stream_to`];
+    /// `run` rejects the combination otherwise.
+    pub fn inject_crash(mut self, plan: CrashPlan) -> Scan<'a> {
+        self.crash = Some(plan);
+        self
+    }
+
     /// Resume from in-memory state: `prior[rank] = Some(outcome)` replays
     /// a previously-determined outcome without re-visiting, and
     /// `prior_attempts[rank]` carries its original attempt count (used by
@@ -586,6 +775,16 @@ impl<'a> Scan<'a> {
     /// Execute the session. `Err` only for checkpoint/bundle I/O failures
     /// or an invalid mode combination.
     pub fn run(self) -> std::io::Result<ScanReport> {
+        if self.stream_dir.is_some() {
+            return self.run_stream();
+        }
+        if self.crash.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Scan::inject_crash requires Scan::stream_to (kill points live in the \
+                 streaming flush path)",
+            ));
+        }
         if self.replay_dir.is_some() {
             return self.run_replay();
         }
@@ -624,13 +823,20 @@ impl<'a> Scan<'a> {
                 .attr("replayed", replayed)
                 .attr("dropped", dropped),
         );
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-        if file.metadata()?.len() == 0 {
+        let needs_header = match std::fs::metadata(&path) {
+            Ok(m) => m.len() == 0,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+            Err(e) => return Err(e),
+        };
+        if needs_header {
             // Fresh file: stamp the format version so a future (or past)
-            // build can refuse it loudly instead of mis-parsing.
-            let mut f = &file;
-            writeln!(f, "{}", checkpoint_header())?;
+            // build can refuse it loudly instead of mis-parsing. Written
+            // to a temp file and renamed into place — a kill mid-header
+            // can truncate an ordinary write, and a torn header would
+            // hard-error every later resume.
+            write_checkpoint_header_atomic(&path)?;
         }
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
         let writer = Mutex::new(std::io::BufWriter::new(file));
         let mut report =
             run_scan_inner(cfg, &source, prior, &prior_attempts, &|rank, outcome, attempts| {
@@ -721,6 +927,218 @@ impl<'a> Scan<'a> {
         );
         report.replay = Some(verifier.stats());
         Ok(report)
+    }
+
+    fn run_stream(self) -> std::io::Result<ScanReport> {
+        if self.checkpoint.is_some()
+            || self.record_dir.is_some()
+            || self.replay_dir.is_some()
+            || !self.prior.is_empty()
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Scan::stream_to cannot be combined with checkpoint/record/replay/resume_from \
+                 (streaming manages its own checkpoint at <dir>/scan.ckpt)",
+            ));
+        }
+        let cfg = self.cfg;
+        let n = cfg.n_sites as usize;
+        let dir = self.stream_dir.expect("run_stream requires stream_dir");
+        std::fs::create_dir_all(&dir)?;
+        let ckpt_path = dir.join(STREAM_CHECKPOINT_FILE);
+
+        // Per-visit registry deltas are captured for the checkpoint lines
+        // so a resume can restore exactly the metrics the replayed visits
+        // emitted. The guard turns capture back off even when an injected
+        // crash unwinds through the scan.
+        obs::set_scope_metrics(true);
+        let _scope_guard = ScopeMetricsGuard;
+
+        let ckpt_contents = match std::fs::read_to_string(&ckpt_path) {
+            Ok(c) => Some(c),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        let (lines, ckpt_dropped) = match &ckpt_contents {
+            Some(c) => {
+                let body = checkpoint_body(c, &ckpt_path)?;
+                load_stream_checkpoint(body, cfg.n_sites)
+            }
+            None => (Vec::new(), 0),
+        };
+        let resumed = !lines.is_empty();
+        if ckpt_dropped > 0 {
+            obs::add("crash.lines_dropped", ckpt_dropped as u64);
+        }
+
+        let mut prior: Vec<Option<VisitOutcome<()>>> = (0..n).map(|_| None).collect();
+        let mut prior_attempts = vec![0u32; n];
+        let mut line_hashes: Vec<Option<u64>> = vec![None; n];
+        let mut agg = ScanAggregates::default();
+        let mut stream_stats = StreamStats {
+            resumed,
+            checkpoint_lines_dropped: ckpt_dropped as u64,
+            ..StreamStats::default()
+        };
+        let injector = self.crash.map(CrashInjector::new);
+
+        let recorder = if resumed {
+            // The highest manifest offset any surviving line acknowledged
+            // bounds what the bundle is trusted for; everything past it
+            // is an unacknowledged (possibly torn) tail.
+            let max_hwm = lines.iter().map(|l| l.hwm).max().expect("resumed => non-empty");
+            let harvest = harvest_stream(&dir, &cfg, max_hwm)?;
+            let mut consumed: HashSet<u32> = HashSet::new();
+            for line in &lines {
+                let Some(entry) = harvest.trusted.get(&line.rank) else {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: checkpoint line for rank {} has no bundle entry inside the \
+                             trusted prefix — checkpoint and bundle disagree",
+                            dir.display(),
+                            line.rank
+                        ),
+                    ));
+                };
+                match (&line.failed, entry.status.as_str()) {
+                    (None, "ok") => {
+                        if line.entry_hash != Some(entry.hash) {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!(
+                                    "{}: bundle entry for rank {} does not match its checkpoint \
+                                     line (entry hash {:016x}, line acknowledges {:016x})",
+                                    dir.display(),
+                                    line.rank,
+                                    entry.hash,
+                                    line.entry_hash.unwrap_or(0)
+                                ),
+                            ));
+                        }
+                        let rec = decode_site_record(&entry.payload).ok_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!(
+                                    "{}: corrupt site record for rank {} inside the trusted \
+                                     prefix",
+                                    dir.display(),
+                                    line.rank
+                                ),
+                            )
+                        })?;
+                        agg.add(&rec);
+                        prior[line.rank as usize] = Some(VisitOutcome::Completed(()));
+                    }
+                    (Some(reason), "failed") => {
+                        prior[line.rank as usize] = Some(VisitOutcome::Failed {
+                            reason: reason.clone(),
+                            attempts: line.attempts,
+                        });
+                    }
+                    (_, other) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "{}: status mismatch for rank {} — checkpoint says {}, bundle \
+                                 entry says {other}",
+                                dir.display(),
+                                line.rank,
+                                if line.failed.is_some() { "failed" } else { "flushed" },
+                            ),
+                        ));
+                    }
+                }
+                prior_attempts[line.rank as usize] = line.attempts;
+                line_hashes[line.rank as usize] = Some(entry.hash);
+                obs::restore_metrics(&line.delta);
+                consumed.insert(line.rank);
+                stream_stats.records_replayed += 1;
+            }
+            let revisits = harvest.orphan_ranks.len() as u64
+                + harvest.trusted.keys().filter(|r| !consumed.contains(r)).count() as u64;
+            stream_stats.bundle_tail_dropped = harvest.tail_dropped;
+            stream_stats.revisits = revisits;
+            obs::add("crash.resume", 1);
+            obs::add("crash.tail_dropped", harvest.tail_dropped);
+            obs::add("crash.revisits", revisits);
+            obs::emit(
+                obs::Event::new(0, "stream_resume")
+                    .attr("replayed", stream_stats.records_replayed as usize)
+                    .attr("lines_dropped", ckpt_dropped)
+                    .attr("tail_dropped", harvest.tail_dropped as usize)
+                    .attr("revisits", revisits as usize),
+            );
+            let ckpt = std::fs::OpenOptions::new().append(true).open(&ckpt_path)?;
+            StreamRecorder::resume(&dir, &cfg, max_hwm, ckpt, line_hashes, injector)?
+        } else {
+            // Nothing trusted — a fresh directory, or a checkpoint whose
+            // every line was torn. Start clean: recreate both files (the
+            // bundle too, so a stale partial bundle can't leak in).
+            let ckpt = create_stream_checkpoint(&ckpt_path)?;
+            StreamRecorder::create(&dir, &cfg, ckpt, injector)?
+        };
+
+        let agg = Mutex::new(agg);
+        let gauge = Arc::new(InFlight::default());
+        let user = self.on_complete;
+        let source = ScanSource::live(&cfg);
+        let hook = |rank: usize, outcome: &VisitOutcome<TrackedRecord>, attempts: u32| {
+            // Capture the visit's registry delta first: everything the
+            // visit emitted, and none of the flush's own (digest-excluded)
+            // bookkeeping below.
+            let delta = obs::take_scope_metrics().map(|m| m.encode()).unwrap_or_default();
+            match outcome {
+                VisitOutcome::Completed(t) => {
+                    agg.lock().unwrap_or_else(|e| e.into_inner()).add(&t.rec);
+                    recorder.flush(rank as u32, StreamOutcome::Ok(&t.rec), attempts, &delta);
+                    if let Some(f) = &user {
+                        // The user hook keeps the classic signature; the
+                        // clone only costs when a hook is installed.
+                        f(rank, &VisitOutcome::Completed(t.rec.clone()), attempts);
+                    }
+                }
+                VisitOutcome::Failed { reason, attempts: a } => {
+                    recorder.flush(rank as u32, StreamOutcome::Failed(reason), attempts, &delta);
+                    if let Some(f) = &user {
+                        f(rank, &VisitOutcome::Failed { reason: reason.clone(), attempts: *a }, attempts);
+                    }
+                }
+                VisitOutcome::Interrupted => {
+                    if let Some(f) = &user {
+                        f(rank, &VisitOutcome::Interrupted, attempts);
+                    }
+                }
+            }
+        };
+        let (summary, history) = run_stream_scan(cfg, &source, prior, &prior_attempts, &gauge, &hook);
+
+        let mut completion = summary;
+        completion.checkpoint_lines_dropped = ckpt_dropped;
+        let agg = agg.into_inner().unwrap_or_else(|e| e.into_inner());
+        let table5 = agg.table5();
+        let (archive_stats, flushed) = recorder.finish(&completion, table5)?;
+        stream_stats.records_flushed = flushed;
+        stream_stats.peak_records_in_flight = gauge.peak.load(Ordering::Relaxed);
+        stream_stats.committed = archive_stats.is_some();
+        Ok(ScanReport {
+            n_sites: cfg.n_sites,
+            sites: Vec::new(),
+            completion,
+            history,
+            archive: archive_stats,
+            replay: None,
+            aggregates: Some(agg),
+            stream: Some(stream_stats),
+        })
+    }
+}
+
+struct ScopeMetricsGuard;
+
+impl Drop for ScopeMetricsGuard {
+    fn drop(&mut self) {
+        obs::set_scope_metrics(false);
     }
 }
 
@@ -881,7 +1299,109 @@ fn run_scan_inner(
         history,
         archive: None,
         replay: None,
+        aggregates: None,
+        stream: None,
     }
+}
+
+/// Gauge of completed [`SiteScanRecord`]s currently alive in memory.
+/// Streaming's core claim — peak record memory is O(workers), not
+/// O(sites) — is asserted against `peak` by the chaos bench.
+#[derive(Debug, Default)]
+pub(crate) struct InFlight {
+    cur: AtomicU64,
+    pub(crate) peak: AtomicU64,
+}
+
+/// A completed record plus its liveness gauge. The `Drop` impl (rather
+/// than an explicit decrement in the fold hook) keeps the gauge exact on
+/// every exit path — including the supervisor's tab-crash branch, which
+/// discards an `Ok` record without ever reaching the fold.
+pub(crate) struct TrackedRecord {
+    pub(crate) rec: SiteScanRecord,
+    gauge: Arc<InFlight>,
+}
+
+impl TrackedRecord {
+    fn new(rec: SiteScanRecord, gauge: Arc<InFlight>) -> TrackedRecord {
+        let cur = gauge.cur.fetch_add(1, Ordering::Relaxed) + 1;
+        gauge.peak.fetch_max(cur, Ordering::Relaxed);
+        TrackedRecord { rec, gauge }
+    }
+}
+
+impl Drop for TrackedRecord {
+    fn drop(&mut self) {
+        self.gauge.cur.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The streaming counterpart of [`run_scan_inner`]: identical visit
+/// pipeline, but records are folded to `()` the moment the flush hook
+/// returns, so the outcome vector never holds site payloads and memory
+/// stays bounded by the in-flight window.
+fn run_stream_scan(
+    cfg: ScanConfig,
+    source: &ScanSource,
+    prior: Vec<Option<VisitOutcome<()>>>,
+    prior_attempts: &[u32],
+    gauge: &Arc<InFlight>,
+    on_complete: &(dyn Fn(usize, &VisitOutcome<TrackedRecord>, u32) + Sync),
+) -> (CrawlSummary, Vec<CrawlHistoryRecord>) {
+    let ranks: Vec<u32> = (0..cfg.n_sites).collect();
+    let seed = cfg.seed;
+    let interact = cfg.simulate_interaction;
+    let g = Arc::clone(gauge);
+    let phase = obs::phase("scan.visits");
+    let crawl = run_supervised_folding(
+        ranks,
+        cfg.workers,
+        cfg.supervisor(),
+        |rank: &u32| source.meta(*rank),
+        move |worker| {
+            let mut config = BrowserConfig::scanner(seed);
+            config.simulate_interaction = interact;
+            Browser::new(config).with_instance(worker as u32)
+        },
+        move |browser, _idx, rank: &u32| {
+            browser.set_visit_key(*rank as u64);
+            let visit = source.site_visit(*rank);
+            scan_site_visit(browser, &visit, true)
+                .map(|rec| TrackedRecord::new(rec, Arc::clone(&g)))
+        },
+        prior,
+        on_complete,
+        |_, _rec, _| (),
+    );
+    drop(phase);
+    let _phase = obs::phase("scan.aggregate");
+    let mut history = Vec::with_capacity(crawl.outcomes.len());
+    for (i, outcome) in crawl.outcomes.into_iter().enumerate() {
+        let rank = i as u32;
+        let url = source.front_url(rank);
+        let attempts = if crawl.attempts[i] > 0 {
+            crawl.attempts[i]
+        } else {
+            prior_attempts.get(i).copied().unwrap_or(1)
+        };
+        match outcome {
+            VisitOutcome::Completed(()) => {
+                history.push(CrawlHistoryRecord::ok(rank as u64, &url, attempts));
+            }
+            VisitOutcome::Failed { reason, attempts } => {
+                history.push(CrawlHistoryRecord::failed(
+                    rank as u64,
+                    &url,
+                    reason.as_str(),
+                    attempts,
+                ));
+            }
+            VisitOutcome::Interrupted => {
+                history.push(CrawlHistoryRecord::interrupted(rank as u64, &url));
+            }
+        }
+    }
+    (crawl.summary, history)
 }
 
 // --- checkpoint serialisation ---------------------------------------------
@@ -891,8 +1411,19 @@ fn run_scan_inner(
 // US (\x1f) between top-level fields, RS (\x1e) between record fields,
 // GS (\x1d) between list elements, FS (\x1c) inside pairs.
 //
-//   <rank> US ok     US <attempts> US <encoded SiteScanRecord>
-//   <rank> US failed US <attempts> US <failure reason>
+// v3 lines carry six US-separated body fields plus a checksum:
+//
+//   <rank> US <status> US <attempts> US <payload> US <hwm> US <delta> US <checksum>
+//
+// where status/payload is one of
+//
+//   ok      <encoded SiteScanRecord>   (classic checkpoint; hwm+delta empty)
+//   failed  <failure reason>
+//   flushed <fnv1a of the bundle entry, 016x>   (streaming only)
+//
+// `hwm` is the bundle-manifest high-water mark (016x) the line
+// acknowledges and `delta` the visit's captured registry metrics —
+// both only written by streaming mode; classic lines leave them empty.
 //
 // Interrupted sites are not written — resuming re-visits them. A torn
 // final line (crawl killed mid-write) fails to parse and is skipped, so
@@ -904,12 +1435,13 @@ const GS: char = '\x1d';
 const FS: char = '\x1c';
 
 /// Checkpoint file format version. Bumped whenever the line encoding
-/// changes incompatibly; v2 introduced the header line itself. A version
-/// mismatch is a hard error — before the header existed, an old-format
-/// file would silently parse as "all lines torn" and the crawl would
-/// quietly start over, exactly the kind of silent degradation the paper
-/// warns about.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+/// changes incompatibly; v2 introduced the header line itself, v3 the
+/// high-water-mark and metrics-delta fields that make streaming resume
+/// possible. A version mismatch is a hard error — before the header
+/// existed, an old-format file would silently parse as "all lines torn"
+/// and the crawl would quietly start over, exactly the kind of silent
+/// degradation the paper warns about.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
 
 const CHECKPOINT_MAGIC: &str = "gullible-checkpoint v";
 
@@ -1054,7 +1586,8 @@ fn line_checksum(body: &str) -> u64 {
 }
 
 /// One checkpoint line for a determined outcome (`None` for interrupted
-/// sites, which must be re-visited on resume).
+/// sites, which must be re-visited on resume). Classic mode: the
+/// high-water-mark and delta fields stay empty.
 pub fn checkpoint_line(
     rank: u32,
     outcome: &VisitOutcome<SiteScanRecord>,
@@ -1062,10 +1595,10 @@ pub fn checkpoint_line(
 ) -> Option<String> {
     let body = match outcome {
         VisitOutcome::Completed(rec) => {
-            format!("{rank}{US}ok{US}{attempts}{US}{}", encode_site_record(rec))
+            format!("{rank}{US}ok{US}{attempts}{US}{}{US}{US}", encode_site_record(rec))
         }
         VisitOutcome::Failed { reason, attempts } => {
-            format!("{rank}{US}failed{US}{attempts}{US}{}", reason.as_str())
+            format!("{rank}{US}failed{US}{attempts}{US}{}{US}{US}", reason.as_str())
         }
         VisitOutcome::Interrupted => return None,
     };
@@ -1073,27 +1606,69 @@ pub fn checkpoint_line(
     Some(format!("{body}{US}{sum:016x}"))
 }
 
-/// Parse one checkpoint line into `(rank, outcome, attempts)`.
-pub fn parse_checkpoint_line(
-    line: &str,
-) -> Option<(u32, VisitOutcome<SiteScanRecord>, u32)> {
+/// One streaming checkpoint line acknowledging the bundle append that
+/// ended at manifest offset `hwm`, carrying the visit's captured
+/// registry-metrics delta.
+pub(crate) fn stream_checkpoint_line(
+    rank: u32,
+    status: &str,
+    attempts: u32,
+    payload: &str,
+    hwm: u64,
+    delta: &str,
+) -> String {
+    let body = format!("{rank}{US}{status}{US}{attempts}{US}{payload}{US}{hwm:016x}{US}{delta}");
+    let sum = line_checksum(&body);
+    format!("{body}{US}{sum:016x}")
+}
+
+/// The six body fields of a checksum-verified v3 checkpoint line. None of
+/// the payload encodings ever contain US, so a plain split is exact.
+struct CheckpointFields<'s> {
+    rank: u32,
+    status: &'s str,
+    attempts: u32,
+    payload: &'s str,
+    hwm: &'s str,
+    delta: &'s str,
+}
+
+fn checkpoint_fields(line: &str) -> Option<CheckpointFields<'_>> {
     let (body, sum) = line.rsplit_once(US)?;
     if u64::from_str_radix(sum, 16).ok()? != line_checksum(body) {
         return None;
     }
-    let mut parts = body.splitn(4, US);
-    let rank: u32 = parts.next()?.parse().ok()?;
-    let status = parts.next()?;
-    let attempts: u32 = parts.next()?.parse().ok()?;
-    let payload = parts.next()?;
-    let outcome = match status {
-        "ok" => VisitOutcome::Completed(decode_site_record(payload)?),
-        "failed" => {
-            VisitOutcome::Failed { reason: FailureReason::parse(payload)?, attempts }
-        }
+    let parts: Vec<&str> = body.split(US).collect();
+    let [rank, status, attempts, payload, hwm, delta] = parts.as_slice() else {
+        return None;
+    };
+    Some(CheckpointFields {
+        rank: rank.parse().ok()?,
+        status,
+        attempts: attempts.parse().ok()?,
+        payload,
+        hwm,
+        delta,
+    })
+}
+
+/// Parse one checkpoint line into `(rank, outcome, attempts)`. Streaming
+/// `flushed` lines return `None` — their payload is a bundle-entry hash,
+/// not a record; resolving them requires the bundle
+/// ([`Scan::stream_to`]'s resume path does that internally).
+pub fn parse_checkpoint_line(
+    line: &str,
+) -> Option<(u32, VisitOutcome<SiteScanRecord>, u32)> {
+    let f = checkpoint_fields(line)?;
+    let outcome = match f.status {
+        "ok" => VisitOutcome::Completed(decode_site_record(f.payload)?),
+        "failed" => VisitOutcome::Failed {
+            reason: FailureReason::decode(f.payload),
+            attempts: f.attempts,
+        },
         _ => return None,
     };
-    Some((rank, outcome, attempts))
+    Some((f.rank, outcome, f.attempts))
 }
 
 /// Load checkpoint file contents into resume state for an `n_sites` scan.
@@ -1129,6 +1704,7 @@ pub fn load_checkpoint(
             None => {
                 dropped += 1;
                 obs::add("checkpoint.lines_dropped", 1);
+                obs::add("crash.checkpoint.torn", 1);
                 obs::emit(
                     obs::Event::new(0, "checkpoint_dropped_line")
                         .attr("line", lineno + 1)
@@ -1138,6 +1714,95 @@ pub fn load_checkpoint(
         }
     }
     (prior, attempts, dropped)
+}
+
+/// The checkpoint file a streamed scan keeps inside its bundle directory.
+pub const STREAM_CHECKPOINT_FILE: &str = "scan.ckpt";
+
+/// One surviving line of a streaming checkpoint.
+struct StreamLine {
+    rank: u32,
+    /// `None` for a flushed (completed) record, `Some` for a typed failure.
+    failed: Option<FailureReason>,
+    attempts: u32,
+    /// The bundle-entry hash a `flushed` line acknowledges.
+    entry_hash: Option<u64>,
+    /// Manifest high-water mark after this line's append.
+    hwm: u64,
+    /// Captured registry-metrics delta of the visit.
+    delta: String,
+}
+
+/// Load a streaming checkpoint body. Lines that are torn, corrupt,
+/// out-of-range, classic-format, or carry an undecodable metrics delta
+/// are dropped and counted — the affected sites are re-visited; nothing
+/// is trusted on spec.
+fn load_stream_checkpoint(contents: &str, n_sites: u32) -> (Vec<StreamLine>, usize) {
+    let mut lines = Vec::new();
+    let mut dropped = 0usize;
+    for (lineno, line) in contents.lines().enumerate() {
+        let parsed = checkpoint_fields(line).and_then(|f| {
+            if f.rank >= n_sites {
+                return None;
+            }
+            let hwm = u64::from_str_radix(f.hwm, 16).ok()?;
+            obs::decode_scope_metrics(f.delta)?;
+            match f.status {
+                "flushed" => Some(StreamLine {
+                    rank: f.rank,
+                    failed: None,
+                    attempts: f.attempts,
+                    entry_hash: Some(u64::from_str_radix(f.payload, 16).ok()?),
+                    hwm,
+                    delta: f.delta.to_string(),
+                }),
+                "failed" => Some(StreamLine {
+                    rank: f.rank,
+                    failed: Some(FailureReason::decode(f.payload)),
+                    attempts: f.attempts,
+                    entry_hash: None,
+                    hwm,
+                    delta: f.delta.to_string(),
+                }),
+                _ => None,
+            }
+        });
+        match parsed {
+            Some(l) => lines.push(l),
+            None => {
+                dropped += 1;
+                obs::add("checkpoint.lines_dropped", 1);
+                obs::add("crash.checkpoint.torn", 1);
+                obs::emit(
+                    obs::Event::new(0, "checkpoint_dropped_line")
+                        .attr("line", lineno + 1)
+                        .attr("cause", "torn_or_corrupt"),
+                );
+            }
+        }
+    }
+    (lines, dropped)
+}
+
+/// Write the version header to `<path>.tmp`, sync, and rename into
+/// place: after a kill at any instant the file either doesn't exist or
+/// has a complete, valid header.
+fn write_checkpoint_header_atomic(path: &Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    writeln!(f, "{}", checkpoint_header())?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Create (or reset) a streaming checkpoint and open it for appending.
+/// Always truncates: this path is only taken when nothing in the
+/// directory is trusted, and a stale torn checkpoint must not survive
+/// into the fresh run.
+fn create_stream_checkpoint(path: &Path) -> std::io::Result<std::fs::File> {
+    write_checkpoint_header_atomic(path)?;
+    std::fs::OpenOptions::new().append(true).open(path)
 }
 
 /// Run a scan with durable checkpointing.

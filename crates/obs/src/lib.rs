@@ -33,7 +33,10 @@ pub use metrics::{
     bucket_of, Histogram, HistogramSnapshot, Registry, ShardedCounter, Snapshot,
     COUNTER_STRIPES, NONDETERMINISTIC_PREFIXES,
 };
-pub use scope::{begin_scope, clock_advance, clock_ms, end_scope, scope_active};
+pub use scope::{
+    begin_scope, clock_advance, clock_ms, decode_scope_metrics, end_scope, scope_active,
+    scope_metrics_enabled, set_scope_metrics, take_scope_metrics, ScopeMetrics,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -133,6 +136,7 @@ pub fn add(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
+    scope::record_add(name, delta);
     thread_local! {
         static HANDLES: std::cell::RefCell<Vec<(*const u8, Arc<ShardedCounter>)>> =
             const { std::cell::RefCell::new(Vec::new()) };
@@ -162,8 +166,31 @@ pub fn gauge_set(name: &'static str, v: i64) {
 #[inline]
 pub fn observe(name: &'static str, v: u64) {
     if enabled() {
+        scope::record_observe(name, v);
         global_registry().observe(name, v);
     }
+}
+
+/// Re-apply a [`ScopeMetrics::encode`]d metric delta to the global
+/// registry — the crash-resume path's inverse of per-scope capture. Names
+/// arrive as decoded strings, so this goes through the registry's
+/// by-name (interning) lookups. Returns `false` (applying nothing) on a
+/// malformed encoding; no-op when telemetry is disabled.
+pub fn restore_metrics(encoded: &str) -> bool {
+    let Some(entries) = decode_scope_metrics(encoded) else {
+        return false;
+    };
+    if !enabled() {
+        return true;
+    }
+    let reg = global_registry();
+    for (kind, name, v) in entries {
+        match kind {
+            'c' => reg.counter_by_name(&name).add(v),
+            _ => reg.histogram_by_name(&name).observe(v),
+        }
+    }
+    true
 }
 
 /// Emit a journal event (no-op unless tracing). Inside an active visit
@@ -246,18 +273,22 @@ pub fn reset() {
     *JOURNAL.write().unwrap() = None;
     TRACING.store(false, Ordering::Relaxed);
     STATS.store(false, Ordering::Relaxed);
+    set_scope_metrics(false);
     recompute_enabled();
 }
+
+// Tests that touch process-global telemetry state (flags, registry, the
+// scope-metrics gate) share one process; they serialize on this lock —
+// including the scope module's own gate-flipping test.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Global-state tests share one process; serialize them.
-    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     fn locked() -> std::sync::MutexGuard<'static, ()> {
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[test]
@@ -309,6 +340,35 @@ mod tests {
         assert!(text.contains(r#"{"t":3,"scope":"visit:0","ev":"fault","kind":"hang"}"#), "{text}");
         // Phase timing landed in the registry (tracing implies enabled).
         assert!(registry().timings().iter().any(|(n, _)| n == "scan"));
+        reset();
+    }
+
+    #[test]
+    fn captured_scope_delta_restores_to_identical_registry_state() {
+        let _g = locked();
+        reset();
+        set_stats(true);
+        set_scope_metrics(true);
+
+        begin_scope();
+        add("restore.counter", 3);
+        add("restore.counter", 2);
+        observe("restore.hist", 17);
+        observe("restore.hist", 1);
+        let delta = take_scope_metrics().expect("captured");
+        end_scope();
+        let live = registry().snapshot();
+
+        // A "fresh process": zeroed registry, delta re-applied by name.
+        registry().reset();
+        assert!(restore_metrics(&delta.encode()));
+        let restored = registry().snapshot();
+        assert_eq!(live.counter("restore.counter"), 5);
+        assert_eq!(restored.counters, live.counters);
+        assert_eq!(restored.histograms, live.histograms);
+        assert_eq!(restored.digest(), live.digest());
+
+        assert!(!restore_metrics("garbage-without-structure"));
         reset();
     }
 

@@ -192,15 +192,19 @@ pub struct Snapshot {
 /// luck rather than the modelled crawl: compile-cache hit/miss counts
 /// change with worker interleaving and process-level cache warmth,
 /// archive bookkeeping depends on whether a run records, replays, or does
-/// neither, and the work-stealing scheduler's effort counters (steals,
+/// neither, the work-stealing scheduler's effort counters (steals,
 /// chunk claims, idle spins, wall latency) depend on worker count and OS
-/// scheduling. These metrics appear in [`Snapshot::render`] and the
+/// scheduling, checkpoint I/O accounting depends on whether (and where) a
+/// run was interrupted, and the `crash.*` recovery counters exist only on
+/// resumed runs. These metrics appear in [`Snapshot::render`] and the
 /// `[stats]` summary, but are excluded from
 /// [`Snapshot::render_deterministic`] and the telemetry
 /// [`Snapshot::digest`] — the digest must be byte-identical with the
-/// compile cache on and off, at any worker count, and between a live run
-/// and its archive replay.
-pub const NONDETERMINISTIC_PREFIXES: &[&str] = &["cache.", "archive.", "sched."];
+/// compile cache on and off, at any worker count, between a live run and
+/// its archive replay, and between an uninterrupted crawl and one that
+/// crashed and resumed.
+pub const NONDETERMINISTIC_PREFIXES: &[&str] =
+    &["cache.", "archive.", "sched.", "checkpoint.", "crash."];
 
 impl Snapshot {
     fn render_where(&self, include: impl Fn(&str) -> bool) -> String {
@@ -292,6 +296,29 @@ impl Registry {
             return h.clone();
         }
         self.histograms.write().unwrap().entry(name).or_default().clone()
+    }
+
+    /// [`Registry::counter`] for a name that is not a `'static` literal —
+    /// the crash-resume path restores metric deltas whose names arrive as
+    /// strings decoded from a checkpoint. Lookup is content-based (so the
+    /// handle is shared with literal-keyed callers); a genuinely new name
+    /// is interned once. The metric namespace is small and closed, so the
+    /// leak is bounded.
+    pub fn counter_by_name(&self, name: &str) -> Arc<ShardedCounter> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        let interned: &'static str = Box::leak(name.to_string().into_boxed_str());
+        self.counters.write().unwrap().entry(interned).or_default().clone()
+    }
+
+    /// [`Registry::histogram`] by string name; see [`Registry::counter_by_name`].
+    pub fn histogram_by_name(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return h.clone();
+        }
+        let interned: &'static str = Box::leak(name.to_string().into_boxed_str());
+        self.histograms.write().unwrap().entry(interned).or_default().clone()
     }
 
     pub fn add(&self, name: &'static str, delta: u64) {
@@ -530,6 +557,38 @@ mod tests {
         assert!(snap.render().contains("cache.compile.hit 7"));
         assert!(!snap.render_deterministic().contains("cache."));
         assert!(snap.render_deterministic().contains("records.js_calls 3"));
+    }
+
+    #[test]
+    fn crash_and_checkpoint_metrics_excluded_from_digest_but_rendered() {
+        let r = Registry::new();
+        r.add("records.js_calls", 3);
+        let before = r.snapshot().digest();
+        r.add("crash.resume", 1);
+        r.add("crash.tail_dropped", 2);
+        r.add("crash.revisits", 5);
+        r.add("checkpoint.writes", 120);
+        r.add("checkpoint.replays", 115);
+        r.add("checkpoint.lines_dropped", 1);
+        let snap = r.snapshot();
+        assert_eq!(before, snap.digest(), "crash./checkpoint. must not perturb the digest");
+        assert!(snap.render().contains("crash.revisits 5"));
+        assert!(snap.render().contains("checkpoint.writes 120"));
+        assert!(!snap.render_deterministic().contains("crash."));
+        assert!(!snap.render_deterministic().contains("checkpoint."));
+    }
+
+    #[test]
+    fn by_name_handles_alias_literal_keyed_metrics() {
+        let r = Registry::new();
+        r.add("aliased.counter", 3);
+        let dynamic = String::from("aliased.") + "counter";
+        r.counter_by_name(&dynamic).add(4);
+        assert_eq!(r.snapshot().counter("aliased.counter"), 7);
+        let hname = String::from("aliased.") + "hist";
+        r.histogram_by_name(&hname).observe(9);
+        r.observe("aliased.hist", 9);
+        assert_eq!(r.snapshot().histograms["aliased.hist"].count, 2);
     }
 
     #[test]

@@ -12,12 +12,103 @@
 
 use crate::event::{Event, SpanMark};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, every [`crate::add`] / [`crate::observe`] made inside an open
+/// visit scope is *also* recorded into that scope's [`ScopeMetrics`] delta.
+/// The crash-consistent streaming mode persists the delta alongside each
+/// visit's checkpoint line so a resumed process can re-apply exactly the
+/// metrics the lost process already counted. Off by default: one extra
+/// relaxed load on the metric hot path buys zero cost for everyone else.
+static SCOPE_METRICS: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable per-scope metric delta capture.
+pub fn set_scope_metrics(on: bool) {
+    SCOPE_METRICS.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn scope_metrics_enabled() -> bool {
+    SCOPE_METRICS.load(Ordering::Relaxed)
+}
+
+/// The metric updates one visit scope produced: summed counter deltas and
+/// the individual histogram observations, in emission order. Counters and
+/// observations are order-independent sums, so re-applying a delta on a
+/// resumed run reconstructs the same registry state the crashed run had.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScopeMetrics {
+    /// `(counter name, summed delta)`, first-touch order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(histogram name, value)` — one entry per observation so bucket
+    /// shapes and sums restore exactly.
+    pub observations: Vec<(&'static str, u64)>,
+}
+
+impl ScopeMetrics {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.observations.is_empty()
+    }
+
+    /// Compact single-line encoding: `c:name:value` / `o:name:value`
+    /// entries joined by `;`. Metric names are dotted identifiers, so the
+    /// separators never collide; the result contains no newline and no
+    /// checkpoint separator bytes. Metrics under
+    /// [`crate::NONDETERMINISTIC_PREFIXES`] are skipped — they are
+    /// excluded from the telemetry digest, so restoring them would only
+    /// falsify accounting the digest never sees.
+    pub fn encode(&self) -> String {
+        let deterministic = |name: &str| {
+            !crate::NONDETERMINISTIC_PREFIXES.iter().any(|p| name.starts_with(p))
+        };
+        let mut out = String::new();
+        for (name, v) in self.counters.iter().filter(|(n, _)| deterministic(n)) {
+            if !out.is_empty() {
+                out.push(';');
+            }
+            out.push_str(&format!("c:{name}:{v}"));
+        }
+        for (name, v) in self.observations.iter().filter(|(n, _)| deterministic(n)) {
+            if !out.is_empty() {
+                out.push(';');
+            }
+            out.push_str(&format!("o:{name}:{v}"));
+        }
+        out
+    }
+}
+
+/// Parse a [`ScopeMetrics::encode`] string into owned
+/// `(kind, name, value)` entries (`kind` is `'c'` or `'o'`). `None` on any
+/// malformed entry — callers treat that as a damaged checkpoint field.
+pub fn decode_scope_metrics(s: &str) -> Option<Vec<(char, String, u64)>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for entry in s.split(';') {
+        let mut parts = entry.splitn(3, ':');
+        let kind = match parts.next()? {
+            "c" => 'c',
+            "o" => 'o',
+            _ => return None,
+        };
+        let name = parts.next()?;
+        let value: u64 = parts.next()?.parse().ok()?;
+        if name.is_empty() {
+            return None;
+        }
+        out.push((kind, name.to_string(), value));
+    }
+    Some(out)
+}
 
 struct ScopeState {
     events: Vec<Event>,
     clock_ms: u64,
     span_stack: Vec<u32>,
     next_span: u32,
+    metrics: Option<ScopeMetrics>,
 }
 
 thread_local! {
@@ -32,7 +123,44 @@ pub fn begin_scope() {
             clock_ms: 0,
             span_stack: Vec::new(),
             next_span: 1,
+            metrics: scope_metrics_enabled().then(ScopeMetrics::default),
         })
+    });
+}
+
+/// Take the active scope's captured metric delta (leaving it empty).
+/// `None` when no scope is open or capture is off.
+pub fn take_scope_metrics() -> Option<ScopeMetrics> {
+    SCOPE.with(|s| s.borrow_mut().as_mut().and_then(|st| st.metrics.take()))
+}
+
+/// Record a counter bump into the active scope's delta (gated, no-op
+/// when capture is off or no scope is open).
+#[inline]
+pub(crate) fn record_add(name: &'static str, delta: u64) {
+    if !scope_metrics_enabled() {
+        return;
+    }
+    SCOPE.with(|s| {
+        if let Some(m) = s.borrow_mut().as_mut().and_then(|st| st.metrics.as_mut()) {
+            match m.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, v)) => *v += delta,
+                None => m.counters.push((name, delta)),
+            }
+        }
+    });
+}
+
+/// Record a histogram observation into the active scope's delta.
+#[inline]
+pub(crate) fn record_observe(name: &'static str, v: u64) {
+    if !scope_metrics_enabled() {
+        return;
+    }
+    SCOPE.with(|s| {
+        if let Some(m) = s.borrow_mut().as_mut().and_then(|st| st.metrics.as_mut()) {
+            m.observations.push((name, v));
+        }
     });
 }
 
@@ -183,6 +311,43 @@ mod tests {
         let evs = end_scope();
         assert_eq!(evs[2].span, Some(SpanMark::Close { id: b }));
         assert_eq!(evs[3].span, Some(SpanMark::Close { id: a }));
+    }
+
+    #[test]
+    fn scope_metrics_capture_encode_and_decode_roundtrip() {
+        let _g = crate::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_scope_metrics(true);
+        begin_scope();
+        record_add("supervisor.faults", 2);
+        record_add("records.js_calls", 10);
+        record_add("supervisor.faults", 1);
+        record_observe("jsengine.ops_per_visit", 64);
+        record_observe("jsengine.ops_per_visit", 64);
+        record_add("cache.compile.hit", 9); // nondeterministic: dropped by encode
+        let m = take_scope_metrics().expect("capture on");
+        let _ = end_scope();
+        set_scope_metrics(false);
+
+        assert_eq!(m.counters.iter().find(|(n, _)| *n == "supervisor.faults"), Some(&("supervisor.faults", 3)));
+        assert_eq!(m.observations.len(), 2);
+        let enc = m.encode();
+        assert!(!enc.contains("cache."), "{enc}");
+        let dec = decode_scope_metrics(&enc).expect("decode");
+        assert_eq!(dec.len(), 4, "{enc}");
+        assert!(dec.contains(&('c', "supervisor.faults".to_string(), 3)));
+        assert!(dec.contains(&('o', "jsengine.ops_per_visit".to_string(), 64)));
+
+        assert_eq!(decode_scope_metrics("").unwrap(), Vec::new());
+        assert!(decode_scope_metrics("x:bad:1").is_none());
+        assert!(decode_scope_metrics("c:name").is_none());
+        assert!(decode_scope_metrics("c::3").is_none());
+        assert!(decode_scope_metrics("c:name:notanum").is_none());
+
+        // With the gate back off, a fresh scope captures nothing.
+        begin_scope();
+        record_add("ignored", 1);
+        assert!(take_scope_metrics().is_none(), "gate off: nothing captured");
+        let _ = end_scope();
     }
 
     #[test]

@@ -39,14 +39,17 @@ pub mod supervisor;
 pub mod wpm_browser;
 
 pub use config::{BrowserConfig, HttpSaveMode, JsInstrumentKind, StealthSettings};
-pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use fault::{
+    catch_crash, is_crash_panic, CrashInjector, CrashPlan, FaultInjector, FaultKind, FaultPlan,
+    KillPoint, CRASH_SENTINEL,
+};
 pub use manager::{run_parallel, run_parallel_chunked};
 pub use records::{
     CrawlHistoryRecord, CrawlStatus, JsCallRecord, JsOperation, RecordStore, SavedScript,
     StoreCapture,
 };
 pub use supervisor::{
-    run_supervised, run_supervised_fallible, CrawlOutcome, CrawlSummary, FailureReason, ItemMeta,
-    RetryPolicy, SupervisorConfig, VisitOutcome,
+    run_supervised, run_supervised_fallible, run_supervised_folding, CrawlOutcome, CrawlSummary,
+    FailureReason, ItemMeta, RetryPolicy, SupervisorConfig, VisitOutcome,
 };
 pub use wpm_browser::{Browser, PageScript, SiteResponse, VisitSpec, VisitStats};

@@ -37,7 +37,7 @@ use crate::manager::{panic_message, run_parallel};
 use obs::Event;
 
 /// Why a visit attempt (or a whole site) failed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FailureReason {
     BrowserCrash,
     /// Visit exceeded the watchdog timeout and was killed.
@@ -51,10 +51,15 @@ pub enum FailureReason {
     BadUrl,
     /// The visit code itself panicked (caught by `catch_unwind`).
     Panic,
+    /// A reason string this build does not recognise — typically a
+    /// checkpoint written by a newer (or older) build. Preserving it as
+    /// data instead of dropping the line keeps resume lossless across
+    /// version skew; the string round-trips through [`FailureReason::as_str`].
+    Unknown(String),
 }
 
 impl FailureReason {
-    pub fn as_str(&self) -> &'static str {
+    pub fn as_str(&self) -> &str {
         match self {
             FailureReason::BrowserCrash => "browser_crash",
             FailureReason::Timeout => "timeout",
@@ -63,9 +68,12 @@ impl FailureReason {
             FailureReason::TransientHttp => "transient_http",
             FailureReason::BadUrl => "bad_url",
             FailureReason::Panic => "panic",
+            FailureReason::Unknown(s) => s,
         }
     }
 
+    /// The known (non-[`FailureReason::Unknown`]) reasons, in reporting
+    /// order.
     pub fn all() -> [FailureReason; 7] {
         [
             FailureReason::BrowserCrash,
@@ -78,9 +86,18 @@ impl FailureReason {
         ]
     }
 
-    /// Inverse of [`FailureReason::as_str`] (checkpoint decoding).
+    /// Strict inverse of [`FailureReason::as_str`]: only exact canonical
+    /// names of known reasons parse. Same-build artifacts (archive
+    /// bundles) use this — an unrecognised name there means corruption.
     pub fn parse(s: &str) -> Option<FailureReason> {
         FailureReason::all().into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Total decode for cross-build artifacts (checkpoints): a name this
+    /// build does not know becomes [`FailureReason::Unknown`] instead of
+    /// being dropped as a torn line.
+    pub fn decode(s: &str) -> FailureReason {
+        FailureReason::parse(s).unwrap_or_else(|| FailureReason::Unknown(s.to_string()))
     }
 
     fn from_fault(kind: FaultKind) -> FailureReason {
@@ -328,6 +345,33 @@ where
     W: Send,
     R: Send + Clone,
 {
+    run_supervised_folding(items, workers, cfg, meta, init, visit, prior, on_complete, |_, r, _| r)
+}
+
+/// [`run_supervised_fallible`] with a *fold*: after `on_complete` fires
+/// for a completed item, `fold(index, record, attempts)` maps the full
+/// record `R` down to the stored type `T` before it enters the outcome
+/// vector. Streaming crawls use this to flush each record to disk in
+/// `on_complete` and keep only O(1) bookkeeping in memory — the outcome
+/// vector's resident size becomes O(items × size_of::<T>()), not
+/// O(items × size_of::<R>()). Priors arrive already folded.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_folding<W, R, T, S>(
+    items: Vec<W>,
+    workers: usize,
+    cfg: SupervisorConfig,
+    meta: impl Fn(&W) -> ItemMeta + Sync,
+    init: impl Fn(usize) -> S + Sync,
+    visit: impl Fn(&mut S, usize, &W) -> Result<R, FailureReason> + Sync,
+    prior: Vec<Option<VisitOutcome<T>>>,
+    on_complete: impl Fn(usize, &VisitOutcome<R>, u32) + Sync,
+    fold: impl Fn(usize, R, u32) -> T + Sync,
+) -> CrawlOutcome<T>
+where
+    W: Send,
+    R: Send,
+    T: Send + Clone,
+{
     let n = items.len();
     let injector = FaultInjector::new(cfg.faults);
     // Resolve up-front which indices actually run: priors replay, and a
@@ -348,7 +392,7 @@ where
         admitted.push(admit);
     }
 
-    let work: Vec<(W, Option<VisitOutcome<R>>, bool)> = items
+    let work: Vec<(W, Option<VisitOutcome<T>>, bool)> = items
         .into_iter()
         .enumerate()
         .map(|(i, item)| {
@@ -361,14 +405,14 @@ where
     // worker counts (scheduling never reaches the trace).
     obs::emit(Event::new(0, "crawl_start").attr("items", n));
 
-    let runs: Vec<ItemRun<R>> = run_parallel(
+    let runs: Vec<ItemRun<T>> = run_parallel(
         work,
         workers,
         |w| (w, init(w)),
         |(worker, state), i, (item, replay, admit)| {
             obs::begin_scope();
             if let Some(outcome) = replay {
-                obs::add("supervisor.replays", 1);
+                obs::add("checkpoint.replays", 1);
                 obs::emit(Event::new(0, "checkpoint_replay").attr("item", i));
                 return ItemRun {
                     outcome,
@@ -380,11 +424,10 @@ where
                 };
             }
             if !admit {
-                let outcome = VisitOutcome::Interrupted;
                 obs::emit(Event::new(0, "interrupted").attr("item", i));
-                on_complete(i, &outcome, 0);
+                on_complete(i, &VisitOutcome::Interrupted, 0);
                 return ItemRun {
-                    outcome,
+                    outcome: VisitOutcome::Interrupted,
                     attempts: 0,
                     restarts: 0,
                     lost_ms: 0,
@@ -510,9 +553,19 @@ where
             // `on_complete` runs inside the still-open visit scope so that
             // checkpoint-write events land in this visit's trace.
             on_complete(i, &outcome, attempts);
+            // Fold the record down to its stored form only after the
+            // completion hook has seen (and possibly persisted) the full
+            // record.
+            let stored = match outcome {
+                VisitOutcome::Completed(r) => VisitOutcome::Completed(fold(i, r, attempts)),
+                VisitOutcome::Failed { reason, attempts } => {
+                    VisitOutcome::Failed { reason, attempts }
+                }
+                VisitOutcome::Interrupted => VisitOutcome::Interrupted,
+            };
             drop(visit_span);
             ItemRun {
-                outcome,
+                outcome: stored,
                 attempts: attempts as u64,
                 restarts,
                 lost_ms,
@@ -529,7 +582,8 @@ where
     }
 
     let mut summary = CrawlSummary { total: n, ..CrawlSummary::default() };
-    let mut by_reason = vec![0usize; FailureReason::all().len()];
+    let mut by_reason: std::collections::HashMap<FailureReason, usize> =
+        std::collections::HashMap::new();
     let mut outcomes = Vec::with_capacity(n);
     let mut attempts_per_item = Vec::with_capacity(n);
     for run in runs {
@@ -546,22 +600,21 @@ where
             }
             VisitOutcome::Failed { reason, .. } => {
                 summary.failed += 1;
-                let slot = FailureReason::all()
-                    .iter()
-                    .position(|r| r == reason)
-                    .expect("reason in all()");
-                by_reason[slot] += 1;
+                *by_reason.entry(reason.clone()).or_insert(0) += 1;
             }
             VisitOutcome::Interrupted => summary.interrupted += 1,
         }
         outcomes.push(run.outcome);
     }
+    // Known reasons in `all()` order, then any `Unknown` reasons (replayed
+    // from cross-build checkpoints) sorted by name for determinism.
     summary.failures_by_reason = FailureReason::all()
-        .iter()
-        .zip(by_reason)
-        .filter(|(_, n)| *n > 0)
-        .map(|(r, n)| (*r, n))
+        .into_iter()
+        .filter_map(|r| by_reason.remove(&r).map(|n| (r, n)))
         .collect();
+    let mut unknown: Vec<(FailureReason, usize)> = by_reason.into_iter().collect();
+    unknown.sort_by(|(a, _), (b, _)| a.as_str().cmp(b.as_str()));
+    summary.failures_by_reason.extend(unknown);
     obs::add("supervisor.visits.completed", summary.completed as u64);
     obs::add("supervisor.visits.failed", summary.failed as u64);
     obs::add("supervisor.visits.interrupted", summary.interrupted as u64);
@@ -577,7 +630,7 @@ where
     CrawlOutcome { outcomes, attempts: attempts_per_item, summary }
 }
 
-fn outcome_label<R>(outcome: &VisitOutcome<R>) -> &'static str {
+fn outcome_label<R>(outcome: &VisitOutcome<R>) -> &str {
     match outcome {
         VisitOutcome::Completed(_) => "completed",
         VisitOutcome::Failed { reason, .. } => reason.as_str(),
@@ -594,7 +647,7 @@ mod tests {
     #[test]
     fn failure_reason_round_trips_and_rejects_garbage() {
         for r in FailureReason::all() {
-            assert_eq!(FailureReason::parse(r.as_str()), Some(r), "{}", r.as_str());
+            assert_eq!(FailureReason::parse(r.as_str()), Some(r.clone()), "{}", r.as_str());
         }
         proplite::run_cases(2000, 0xFA11, |rng| {
             let s = match rng.u32_in(0, 2) {
@@ -624,6 +677,79 @@ mod tests {
                 ),
             }
         });
+    }
+
+    #[test]
+    fn unknown_reasons_decode_totally_and_round_trip() {
+        assert_eq!(FailureReason::decode("timeout"), FailureReason::Timeout);
+        let u = FailureReason::decode("quantum_decoherence");
+        assert_eq!(u, FailureReason::Unknown("quantum_decoherence".to_string()));
+        assert_eq!(u.as_str(), "quantum_decoherence");
+        assert_eq!(FailureReason::decode(u.as_str()), u);
+        // The strict parser still rejects it — only `decode` is total.
+        assert_eq!(FailureReason::parse("quantum_decoherence"), None);
+    }
+
+    #[test]
+    fn unknown_prior_reasons_tally_after_known_ones() {
+        let mut prior: Vec<Option<VisitOutcome<u64>>> = vec![None; 5];
+        prior[1] = Some(VisitOutcome::Failed {
+            reason: FailureReason::decode("zz_future_reason"),
+            attempts: 2,
+        });
+        prior[2] = Some(VisitOutcome::Failed { reason: FailureReason::Timeout, attempts: 3 });
+        prior[3] = Some(VisitOutcome::Failed {
+            reason: FailureReason::decode("aa_future_reason"),
+            attempts: 1,
+        });
+        let out = run_supervised(
+            (0..5u64).collect(),
+            2,
+            SupervisorConfig::default(),
+            meta_of,
+            |_| (),
+            |_, _, item: &u64| *item,
+            prior,
+            |_, _, _| {},
+        );
+        assert_eq!(
+            out.summary.failures_by_reason,
+            vec![
+                (FailureReason::Timeout, 1),
+                (FailureReason::Unknown("aa_future_reason".to_string()), 1),
+                (FailureReason::Unknown("zz_future_reason".to_string()), 1),
+            ],
+            "known reasons first, unknowns sorted by name"
+        );
+    }
+
+    #[test]
+    fn folding_runner_folds_after_the_completion_hook() {
+        let hook_saw = Mutex::new(Vec::new());
+        let out = run_supervised_folding(
+            (0..10u64).collect(),
+            2,
+            SupervisorConfig::default(),
+            meta_of,
+            |_| (),
+            |_, _, item: &u64| Ok::<Vec<u64>, FailureReason>(vec![*item; 100]),
+            Vec::new(),
+            |i, o: &VisitOutcome<Vec<u64>>, _| {
+                if let Some(r) = o.completed() {
+                    assert_eq!(r.len(), 100, "hook must see the full record");
+                    hook_saw.lock().unwrap().push(i);
+                }
+            },
+            |i, r, attempts| {
+                assert_eq!(attempts, 1);
+                (i as u64, r.len() as u64)
+            },
+        );
+        assert_eq!(out.summary.completed, 10);
+        for (i, o) in out.outcomes.iter().enumerate() {
+            assert_eq!(o.completed(), Some(&(i as u64, 100)));
+        }
+        assert_eq!(hook_saw.into_inner().unwrap().len(), 10);
     }
 
     fn meta_of(x: &u64) -> ItemMeta {
