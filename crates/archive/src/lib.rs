@@ -251,6 +251,9 @@ impl BundleWriter {
     /// the store has not seen that content yet. Returns the hash.
     pub fn put_blob(&self, body: &str) -> io::Result<u64> {
         let hash = fnv1a(body.as_bytes());
+        if obs::prof::recorder_armed() {
+            obs::prof::ring_record("blob", format!("{hash:016x} len={}", body.len()));
+        }
         let mut w = self.blobs.lock().unwrap();
         if !w.seen.insert(hash) {
             w.dedup += 1;
@@ -276,6 +279,9 @@ impl BundleWriter {
     /// it) as durably on disk.
     pub fn append_entry(&self, payload: &str) -> io::Result<u64> {
         check_payload(payload)?;
+        if obs::prof::recorder_armed() {
+            obs::prof::ring_record("entry", format!("len={}", payload.len()));
+        }
         let line = frame(&format!("s{US}{payload}"));
         let mut m = self.manifest.lock().unwrap();
         writeln!(m.file, "{line}")?;
@@ -301,6 +307,9 @@ impl BundleWriter {
     /// dying process never acknowledged the write.
     pub fn append_entry_torn(&self, payload: &str, keep_bytes: usize) -> io::Result<()> {
         check_payload(payload)?;
+        if obs::prof::recorder_armed() {
+            obs::prof::ring_record("entry_torn", format!("keep={keep_bytes}"));
+        }
         let line = frame(&format!("s{US}{payload}"));
         let keep = keep_bytes.min(line.len());
         let mut m = self.manifest.lock().unwrap();

@@ -1,21 +1,28 @@
 //! Validate a `GULLIBLE_TRACE` journal: parse every JSONL line, check the
 //! schema (required `t`/`scope`/`ev` keys), per-scope clock monotonicity
-//! and span open/close balance. CI runs this against the journal written
-//! by a small `table05` run; it exits non-zero on the first violation.
+//! and span open/close balance. With `--forensic`, validate a
+//! flight-recorder dump file (`GULLIBLE_FORENSICS` output) instead: every
+//! dump header must carry its trigger, in-flight phase and drop
+//! accounting, and its ring lines must follow contiguously in sequence
+//! order. CI runs both gates; the binary exits non-zero on the first
+//! violation.
 //!
 //! ```text
 //! cargo run --release -p bench --bin trace_check -- /tmp/trace.jsonl
+//! cargo run --release -p bench --bin trace_check -- --forensic dumps.jsonl
 //! ```
 
 #![deny(deprecated)]
 
-use gullible::obs::validate::validate_journal;
+use gullible::obs::validate::{validate_forensic, validate_journal};
 
 fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let forensic = args.iter().any(|a| a == "--forensic");
+    let path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
         None => {
-            eprintln!("usage: trace_check <journal.jsonl>");
+            eprintln!("usage: trace_check [--forensic] <file.jsonl>");
             std::process::exit(2);
         }
     };
@@ -26,6 +33,33 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if forensic {
+        match validate_forensic(&contents) {
+            Ok(summary) => {
+                let mut by_trigger: Vec<(String, usize)> = Vec::new();
+                for (trigger, _) in &summary.triggers {
+                    match by_trigger.iter_mut().find(|(t, _)| t == trigger) {
+                        Some((_, n)) => *n += 1,
+                        None => by_trigger.push((trigger.clone(), 1)),
+                    }
+                }
+                let triggers = by_trigger
+                    .iter()
+                    .map(|(t, n)| format!("{t}×{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!(
+                    "{path}: ok — {} forensic dump(s), {} ring event(s) ({triggers})",
+                    summary.dumps, summary.ring_events
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match validate_journal(&contents) {
         Ok(summary) => {
             println!(

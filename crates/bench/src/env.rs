@@ -24,6 +24,9 @@
 //! | `GULLIBLE_COMPILE_CACHE`  | bool  | 1              | share compiled scripts across workers (`0` disables; ablation) |
 //! | `GULLIBLE_COMPILE_SHARDS` | usize | 16             | mutex stripes in the compile cache (set before first use) |
 //! | `GULLIBLE_BUNDLE`         | path  | unset          | crawl-bundle directory for `archive_record`/`archive_replay` (positional arg wins) |
+//! | `GULLIBLE_PROF`           | mode  | off            | phase profiler: `1` on, `collapsed` also prints a flamegraph-ready collapsed-stack dump |
+//! | `GULLIBLE_PROF_SLOW_US`   | u64   | 0              | slow-visit threshold in µs; visits at/above it dump a forensic record (`0` disables) |
+//! | `GULLIBLE_FORENSICS`      | path  | unset          | append flight-recorder forensic dumps (JSONL) here; arms the profiler |
 //!
 //! Boolean knobs accept `1`, `true`, `yes` or `on` (anything else, or
 //! unset, is off). Default-on boolean knobs (`GULLIBLE_COMPILE_CACHE`)
@@ -31,6 +34,7 @@
 //! that fail to parse fall back to their defaults rather than aborting a
 //! long run.
 
+use gullible::obs;
 use openwpm::FaultPlan;
 use std::path::PathBuf;
 
@@ -118,6 +122,21 @@ pub fn compile_shards() -> usize {
 /// `GULLIBLE_BUNDLE` — crawl-bundle directory for the archive binaries.
 pub fn bundle() -> Option<PathBuf> {
     path_knob("GULLIBLE_BUNDLE")
+}
+
+/// `GULLIBLE_PROF` — phase-profiler mode (`off`, `1`/`on`, `collapsed`).
+pub fn prof_mode() -> obs::prof::Mode {
+    obs::prof::parse_mode(&std::env::var("GULLIBLE_PROF").unwrap_or_default())
+}
+
+/// `GULLIBLE_PROF_SLOW_US` — slow-visit forensic-dump threshold (µs, 0 = off).
+pub fn prof_slow_us() -> u64 {
+    u64_knob("GULLIBLE_PROF_SLOW_US", 0)
+}
+
+/// `GULLIBLE_FORENSICS` — flight-recorder forensic dump file (JSONL, append).
+pub fn forensics() -> Option<PathBuf> {
+    path_knob("GULLIBLE_FORENSICS")
 }
 
 /// Positional (non-flag) CLI arguments, in order — the archive binaries

@@ -75,7 +75,9 @@ pub fn compare_config() -> CompareConfig {
 }
 
 /// Arm the telemetry knobs: install the trace journal when
-/// `GULLIBLE_TRACE` names a path, enable stats under `GULLIBLE_STATS`.
+/// `GULLIBLE_TRACE` names a path, enable stats under `GULLIBLE_STATS`,
+/// switch on the phase profiler / flight recorder under `GULLIBLE_PROF`,
+/// `GULLIBLE_PROF_SLOW_US` and `GULLIBLE_FORENSICS`.
 fn arm_telemetry() {
     if env::stats() {
         obs::set_stats(true);
@@ -86,6 +88,13 @@ fn arm_telemetry() {
                 obs::install_journal(journal);
             }
             Err(e) => eprintln!("warning: GULLIBLE_TRACE={}: {e}", path.display()),
+        }
+    }
+    obs::prof::set_mode(env::prof_mode());
+    obs::prof::set_slow_visit_us(env::prof_slow_us());
+    if let Some(path) = env::forensics() {
+        if let Err(e) = obs::prof::set_forensic_path(Some(&path)) {
+            eprintln!("warning: GULLIBLE_FORENSICS={}: {e}", path.display());
         }
     }
 }
@@ -145,6 +154,13 @@ pub fn finish(bin: &str, coverage: Option<&str>) {
     let reg = obs::registry();
     if obs::stats_enabled() {
         print!("{}", obs::stats::render_summary(reg));
+    }
+    if obs::prof::mode() == obs::prof::Mode::Collapsed {
+        // Flamegraph-ready collapsed stacks: `stack;stack;... self_us`.
+        let collapsed = obs::prof::render_collapsed();
+        if !collapsed.is_empty() {
+            print!("[prof] collapsed stacks (self µs)\n{collapsed}");
+        }
     }
     println!(
         "{}",

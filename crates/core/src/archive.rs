@@ -553,6 +553,7 @@ impl StreamRecorder {
         attempts: u32,
         delta: &str,
     ) -> io::Result<()> {
+        let _flush_ph = obs::prof::enter(&obs::prof::ARCHIVE_FLUSH);
         if let Some(inj) = &self.injector {
             // Once any worker has hit its kill point the process is
             // notionally dead: nothing more may reach disk.
@@ -560,6 +561,7 @@ impl StreamRecorder {
                 inj.die();
             }
         }
+        let encode_ph = obs::prof::enter(&obs::prof::ARCHIVE_ENCODE);
         let (status, payload, cap) = match outcome {
             StreamOutcome::Ok(rec) => (
                 "ok",
@@ -584,6 +586,7 @@ impl StreamRecorder {
             pages.join(&PAGE.to_string())
         );
         let hash = obs::fnv1a(entry.as_bytes());
+        drop(encode_ph);
         let (line_status, line_payload) = match outcome {
             StreamOutcome::Ok(_) => ("flushed", format!("{hash:016x}")),
             StreamOutcome::Failed(reason) => ("failed", reason.as_str().to_string()),

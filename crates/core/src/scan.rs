@@ -217,6 +217,11 @@ pub fn scan_site_visit(
     };
     let mut captures = Vec::new();
     for (i, spec) in visit.pages.iter().enumerate() {
+        // Flight-recorder breadcrumb: a forensic dump mid-visit names the
+        // exact page in flight (detail allocation gated on the recorder).
+        if obs::prof::recorder_armed() {
+            obs::prof::ring_record("page", spec.url.clone());
+        }
         browser.visit(spec, |_traffic| SiteResponse::default())?;
         let store = browser.take_store();
         if capture {

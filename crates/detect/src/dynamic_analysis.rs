@@ -60,6 +60,7 @@ impl ScriptObservation {
 
 /// Group a visit's JS records by originating script.
 pub fn observe(store: &RecordStore) -> Vec<ScriptObservation> {
+    let _ph = obs::prof::enter(&obs::prof::DETECT_DYNAMIC);
     let mut by_script: BTreeMap<String, ScriptObservation> = BTreeMap::new();
     for rec in &store.js_calls {
         let obs = by_script.entry(rec.script_url.clone()).or_insert_with(|| {

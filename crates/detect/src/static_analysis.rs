@@ -210,6 +210,7 @@ impl StaticFinding {
 
 /// Analyse one script with the production pattern set.
 pub fn analyse(src: &str) -> StaticFinding {
+    let _ph = obs::prof::enter(&obs::prof::DETECT_STATIC);
     let pre = preprocess(src);
     let selenium = StaticPattern::NavigatorDotWebdriver.matches(&pre)
         || StaticPattern::NavigatorIndexedWebdriver.matches(&pre);

@@ -132,6 +132,7 @@ impl CompileCache {
     pub fn get_or_compile(&self, src: &str, name: &str) -> Result<CompiledScript, EngineError> {
         let key = (fnv1a(src.as_bytes()), fnv1a(name.as_bytes()));
         if let Some(program) = self.shard(key).lock().unwrap().get(&key).cloned() {
+            let _ph = obs::prof::enter(&obs::prof::COMPILE_HIT);
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("cache.compile.hit", 1);
             return Ok(CompiledScript {
@@ -141,6 +142,7 @@ impl CompileCache {
                 program,
             });
         }
+        let _ph = obs::prof::enter(&obs::prof::COMPILE_MISS);
         let parsed = Arc::new(parse(src, name)?);
         let program = {
             let mut guard = self.shard(key).lock().unwrap();

@@ -675,7 +675,12 @@ impl Interp {
             p.record_call(self.stack.len() + 1);
         }
         match callable {
-            Callable::Native { f, .. } => f(self, this, args),
+            Callable::Native { name, f } => {
+                if let Some(p) = &mut self.profiler {
+                    p.record_builtin(&name);
+                }
+                f(self, this, args)
+            }
             Callable::Script { def, env } => {
                 let scope = Rc::new(RefCell::new(Scope {
                     vars: AtomMap::default(),

@@ -7,8 +7,11 @@
 //! crate, driven by telemetry knobs) enables it — the disabled cost is a
 //! single `if let` branch per hook site.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 /// Aggregated per-page interpreter counts.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Statements executed (same unit as the step budget).
     pub ops: u64,
@@ -18,6 +21,8 @@ pub struct Profile {
     pub evals: u64,
     /// Deepest call-stack depth reached.
     pub max_depth: usize,
+    /// Per-builtin native-call counts, sorted by name for determinism.
+    pub builtins: Vec<(Arc<str>, u64)>,
 }
 
 /// Hooks the interpreter invokes when profiling is enabled. All methods
@@ -26,15 +31,20 @@ pub trait Profiler {
     fn record_step(&mut self) {}
     fn record_call(&mut self, _depth: usize) {}
     fn record_eval(&mut self) {}
+    /// A native (builtin) function is about to run; `name` is the
+    /// interned name the host registered it under.
+    fn record_builtin(&mut self, _name: &Arc<str>) {}
     fn report(&self) -> Profile {
         Profile::default()
     }
 }
 
-/// The standard profiler: counts ops, calls, evals, and peak depth.
+/// The standard profiler: counts ops, calls, evals, peak depth, and
+/// per-builtin native dispatches.
 #[derive(Debug, Default)]
 pub struct CountingProfiler {
     profile: Profile,
+    builtins: HashMap<Arc<str>, u64>,
 }
 
 impl Profiler for CountingProfiler {
@@ -53,8 +63,15 @@ impl Profiler for CountingProfiler {
         self.profile.evals += 1;
     }
 
+    fn record_builtin(&mut self, name: &Arc<str>) {
+        *self.builtins.entry(Arc::clone(name)).or_insert(0) += 1;
+    }
+
     fn report(&self) -> Profile {
-        self.profile
+        let mut profile = self.profile.clone();
+        profile.builtins = self.builtins.iter().map(|(n, c)| (Arc::clone(n), *c)).collect();
+        profile.builtins.sort_by(|a, b| a.0.cmp(&b.0));
+        profile
     }
 }
 
@@ -70,7 +87,18 @@ mod tests {
         p.record_call(3);
         p.record_call(1);
         p.record_eval();
-        assert_eq!(p.report(), Profile { ops: 2, calls: 2, evals: 1, max_depth: 3 });
+        let log: Arc<str> = Arc::from("log");
+        let get_time: Arc<str> = Arc::from("getTime");
+        p.record_builtin(&log);
+        p.record_builtin(&log);
+        p.record_builtin(&get_time);
+        let report = p.report();
+        assert_eq!((report.ops, report.calls, report.evals, report.max_depth), (2, 2, 1, 3));
+        assert_eq!(
+            report.builtins,
+            vec![(Arc::from("getTime"), 1), (Arc::from("log"), 2)],
+            "builtins must be name-sorted with summed counts"
+        );
     }
 }
 
@@ -96,6 +124,18 @@ mod interp_tests {
         assert_eq!(p.evals, 1);
         assert!(p.max_depth >= 6, "recursion depth must be tracked: {p:?}");
         assert!(interp.profiler.is_none(), "take_profile removes the profiler");
+    }
+
+    #[test]
+    fn profiling_counts_builtin_dispatches_by_name() {
+        let mut interp = Interp::new();
+        interp.enable_profiling();
+        interp
+            .eval_script("var s = 'ab'.toUpperCase(); var t = 'cd'.toUpperCase();", "builtins")
+            .unwrap();
+        let p = interp.take_profile().unwrap();
+        let upper = p.builtins.iter().find(|(n, _)| &**n == "toUpperCase");
+        assert_eq!(upper.map(|(_, c)| *c), Some(2), "builtin calls tallied by name: {p:?}");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 mod event;
 mod journal;
 mod metrics;
+pub mod prof;
 mod scope;
 pub mod stats;
 pub mod validate;
@@ -197,6 +198,9 @@ pub fn restore_metrics(encoded: &str) -> bool {
 /// scope the event is buffered there (stamped on the scope clock);
 /// otherwise it goes straight to the journal's crawl scope.
 pub fn emit(ev: Event) {
+    // The flight recorder sees every event, traced or not: forensic dumps
+    // must explain failures in stats-only runs too.
+    prof::ring_event(&ev);
     if !tracing_enabled() {
         return;
     }
@@ -274,6 +278,7 @@ pub fn reset() {
     TRACING.store(false, Ordering::Relaxed);
     STATS.store(false, Ordering::Relaxed);
     set_scope_metrics(false);
+    prof::reset_prof();
     recompute_enabled();
 }
 

@@ -195,8 +195,9 @@ pub struct Snapshot {
 /// neither, the work-stealing scheduler's effort counters (steals,
 /// chunk claims, idle spins, wall latency) depend on worker count and OS
 /// scheduling, checkpoint I/O accounting depends on whether (and where) a
-/// run was interrupted, and the `crash.*` recovery counters exist only on
-/// resumed runs. These metrics appear in [`Snapshot::render`] and the
+/// run was interrupted, the `crash.*` recovery counters exist only on
+/// resumed runs, and the `prof.*` phase-profiler metrics are wall-clock
+/// measurements by definition. These metrics appear in [`Snapshot::render`] and the
 /// `[stats]` summary, but are excluded from
 /// [`Snapshot::render_deterministic`] and the telemetry
 /// [`Snapshot::digest`] — the digest must be byte-identical with the
@@ -204,7 +205,7 @@ pub struct Snapshot {
 /// its archive replay, and between an uninterrupted crawl and one that
 /// crashed and resumed.
 pub const NONDETERMINISTIC_PREFIXES: &[&str] =
-    &["cache.", "archive.", "sched.", "checkpoint.", "crash."];
+    &["cache.", "archive.", "sched.", "checkpoint.", "crash.", "prof."];
 
 impl Snapshot {
     fn render_where(&self, include: impl Fn(&str) -> bool) -> String {
@@ -518,6 +519,22 @@ mod tests {
         assert!(snap.render().contains("sched.steal 12"));
         assert!(snap.render().contains("histogram sched.visit_wall_us"));
         assert!(!snap.render_deterministic().contains("sched."));
+    }
+
+    #[test]
+    fn prof_metrics_excluded_from_digest_but_rendered() {
+        let r = Registry::new();
+        r.add("records.js_calls", 3);
+        let before = r.snapshot().digest();
+        r.add("prof.self.visit", 1_200);
+        r.add("prof.builtin.getTime", 4);
+        r.observe("prof.visit_us", 1_500);
+        r.observe("prof.jsengine.interp_us", 300);
+        let snap = r.snapshot();
+        assert_eq!(before, snap.digest(), "prof.* must not perturb the digest");
+        assert!(snap.render().contains("prof.self.visit 1200"));
+        assert!(snap.render().contains("histogram prof.visit_us"));
+        assert!(!snap.render_deterministic().contains("prof."));
     }
 
     #[test]

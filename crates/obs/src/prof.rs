@@ -1,0 +1,644 @@
+//! Phase-attributed pipeline profiler and slow-visit flight recorder.
+//!
+//! Two instruments, both invisible to the determinism contract:
+//!
+//! * **Phase profiler** — RAII guards ([`enter`]) attribute wall-clock time
+//!   to a fixed tree of pipeline phases (webgen materialise → compile cache
+//!   hit/miss → jsengine interp → detect static/dynamic → archive
+//!   encode/flush, rooted at the scheduler's per-item `visit`). Every phase
+//!   records a log-bucket histogram (`prof.<name>_us`) and a self-time
+//!   counter (`prof.self.<name>`); in collapsed mode the per-thread stack
+//!   path also accumulates into a flamegraph-style collapsed-stack map.
+//!   All `prof.*` metrics carry a [`NONDETERMINISTIC_PREFIXES`] prefix, so
+//!   they render in `[stats]` but never reach the telemetry digest or the
+//!   streaming checkpoint metric deltas — profiling on vs off is
+//!   byte-identical where it matters.
+//! * **Flight recorder** — a per-worker ring buffer of recent events (every
+//!   `obs::emit`, phase transitions, and explicit breadcrumbs). Slow
+//!   visits, typed visit failures, panics, and chaos kills dump the ring
+//!   plus the in-flight phase stack as flat JSONL forensic records to a
+//!   side file (see [`set_forensic_path`]); `validate::validate_forensic`
+//!   checks the schema. The ring is thread-local — recording takes no lock;
+//!   only the rare dump serialises on the sink.
+//!
+//! [`NONDETERMINISTIC_PREFIXES`]: crate::NONDETERMINISTIC_PREFIXES
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::{push_json_string, AttrVal, Event};
+
+// ------------------------------------------------------------------ phases
+
+/// One node of the fixed phase tree: the display name plus the interned
+/// metric names its guard records into (kept `'static` so the hot-path
+/// counter/histogram handle caches apply).
+pub struct PhaseDef {
+    pub name: &'static str,
+    hist_us: &'static str,
+    self_ctr: &'static str,
+}
+
+impl PhaseDef {
+    /// Name of the per-phase total-time histogram (`prof.<name>_us`).
+    pub fn hist_name(&self) -> &'static str {
+        self.hist_us
+    }
+
+    /// Name of the self-time counter (`prof.self.<name>`).
+    pub fn self_counter(&self) -> &'static str {
+        self.self_ctr
+    }
+}
+
+macro_rules! phase_def {
+    ($ident:ident, $name:literal, $hist:literal, $self_ctr:literal) => {
+        pub static $ident: PhaseDef =
+            PhaseDef { name: $name, hist_us: $hist, self_ctr: $self_ctr };
+    };
+}
+
+phase_def!(VISIT, "visit", "prof.visit_us", "prof.self.visit");
+phase_def!(
+    WEBGEN_MATERIALISE,
+    "webgen.materialise",
+    "prof.webgen.materialise_us",
+    "prof.self.webgen.materialise"
+);
+phase_def!(COMPILE_HIT, "compile.hit", "prof.compile.hit_us", "prof.self.compile.hit");
+phase_def!(COMPILE_MISS, "compile.miss", "prof.compile.miss_us", "prof.self.compile.miss");
+phase_def!(JS_INTERP, "jsengine.interp", "prof.jsengine.interp_us", "prof.self.jsengine.interp");
+phase_def!(DETECT_STATIC, "detect.static", "prof.detect.static_us", "prof.self.detect.static");
+phase_def!(DETECT_DYNAMIC, "detect.dynamic", "prof.detect.dynamic_us", "prof.self.detect.dynamic");
+phase_def!(ARCHIVE_ENCODE, "archive.encode", "prof.archive.encode_us", "prof.self.archive.encode");
+phase_def!(ARCHIVE_FLUSH, "archive.flush", "prof.archive.flush_us", "prof.self.archive.flush");
+phase_def!(SCHED_IDLE, "sched.idle", "prof.sched.idle_us", "prof.self.sched.idle");
+phase_def!(SCHED_STEAL, "sched.steal", "prof.sched.steal_us", "prof.self.sched.steal");
+
+/// Every phase of the fixed tree, for report/stats iteration. `visit` is
+/// the root; `sched.idle` / `sched.steal` run outside it on the worker
+/// loop.
+pub static PHASES: &[&PhaseDef] = &[
+    &VISIT,
+    &WEBGEN_MATERIALISE,
+    &COMPILE_HIT,
+    &COMPILE_MISS,
+    &JS_INTERP,
+    &DETECT_STATIC,
+    &DETECT_DYNAMIC,
+    &ARCHIVE_ENCODE,
+    &ARCHIVE_FLUSH,
+    &SCHED_IDLE,
+    &SCHED_STEAL,
+];
+
+/// Phases nested under `visit` — the set whose self times (plus `visit`'s
+/// own) partition a visit's wall clock.
+pub static VISIT_PHASES: &[&PhaseDef] = &[
+    &WEBGEN_MATERIALISE,
+    &COMPILE_HIT,
+    &COMPILE_MISS,
+    &JS_INTERP,
+    &DETECT_STATIC,
+    &DETECT_DYNAMIC,
+    &ARCHIVE_ENCODE,
+    &ARCHIVE_FLUSH,
+];
+
+// ------------------------------------------------------------------- state
+
+static PROF: AtomicBool = AtomicBool::new(false);
+static COLLAPSED: AtomicBool = AtomicBool::new(false);
+static SLOW_VISIT_US: AtomicU64 = AtomicU64::new(0);
+static FORENSIC_ARMED: AtomicBool = AtomicBool::new(false);
+static NEXT_DUMP_ID: AtomicU64 = AtomicU64::new(0);
+static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Profiler operating mode (the `GULLIBLE_PROF` knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Off,
+    /// Per-phase histograms and self-time counters.
+    On,
+    /// `On` plus collapsed-stack (flamegraph text) accumulation.
+    Collapsed,
+}
+
+/// Parse a `GULLIBLE_PROF` value: `collapsed` → [`Mode::Collapsed`], empty
+/// / `0` / `off` → [`Mode::Off`], anything else → [`Mode::On`].
+pub fn parse_mode(v: &str) -> Mode {
+    match v.trim() {
+        "collapsed" => Mode::Collapsed,
+        "" | "0" | "off" => Mode::Off,
+        _ => Mode::On,
+    }
+}
+
+pub fn set_mode(mode: Mode) {
+    PROF.store(mode != Mode::Off, Ordering::Relaxed);
+    COLLAPSED.store(mode == Mode::Collapsed, Ordering::Relaxed);
+}
+
+/// The current operating mode.
+pub fn mode() -> Mode {
+    if COLLAPSED.load(Ordering::Relaxed) {
+        Mode::Collapsed
+    } else if PROF.load(Ordering::Relaxed) {
+        Mode::On
+    } else {
+        Mode::Off
+    }
+}
+
+/// Is the phase profiler armed? One relaxed load — the disabled-path check.
+#[inline]
+pub fn profiling() -> bool {
+    PROF.load(Ordering::Relaxed)
+}
+
+/// Slow-visit threshold in wall-clock microseconds; 0 disables the check.
+pub fn set_slow_visit_us(v: u64) {
+    SLOW_VISIT_US.store(v, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn slow_visit_us() -> u64 {
+    SLOW_VISIT_US.load(Ordering::Relaxed)
+}
+
+/// Clear all profiler/recorder configuration (called by [`crate::reset`]).
+/// Dump ids stay monotone across resets so multi-run forensic files remain
+/// unambiguous.
+pub(crate) fn reset_prof() {
+    set_mode(Mode::Off);
+    SLOW_VISIT_US.store(0, Ordering::Relaxed);
+    FORENSIC_ARMED.store(false, Ordering::Relaxed);
+    *sink().lock().unwrap_or_else(|e| e.into_inner()) = None;
+    collapsed_map().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+// ----------------------------------------------------------- phase guards
+
+struct Frame {
+    def: &'static PhaseDef,
+    start: Instant,
+    /// Wall micros attributed to already-closed child phases.
+    child_us: u64,
+    /// `;`-joined stack path, materialised only in collapsed mode.
+    path: Option<String>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+    static WORKER_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+}
+
+/// An open phase; attributes its wall time on drop. Inert (and free beyond
+/// one atomic load) when the profiler is off.
+pub struct ProfGuard {
+    active: bool,
+}
+
+/// Enter `def` on this thread's phase stack.
+pub fn enter(def: &'static PhaseDef) -> ProfGuard {
+    if !profiling() {
+        return ProfGuard { active: false };
+    }
+    let path = if COLLAPSED.load(Ordering::Relaxed) {
+        Some(STACK.with(|s| match s.borrow().last().and_then(|f| f.path.as_deref()) {
+            Some(parent) => format!("{parent};{}", def.name),
+            None => def.name.to_string(),
+        }))
+    } else {
+        None
+    };
+    if recorder_armed() {
+        ring_push("phase", def.name.to_string());
+    }
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame { def, start: Instant::now(), child_us: 0, path })
+    });
+    ProfGuard { active: true }
+}
+
+impl Drop for ProfGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(frame) = STACK.with(|s| s.borrow_mut().pop()) else {
+            return;
+        };
+        let total_us = frame.start.elapsed().as_micros() as u64;
+        let self_us = total_us.saturating_sub(frame.child_us);
+        STACK.with(|s| {
+            if let Some(parent) = s.borrow_mut().last_mut() {
+                parent.child_us += total_us;
+            }
+        });
+        crate::observe(frame.def.hist_us, total_us);
+        crate::add(frame.def.self_ctr, self_us);
+        if let Some(path) = frame.path {
+            *collapsed_map()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(path)
+                .or_insert(0) += self_us;
+        }
+    }
+}
+
+/// The current thread's in-flight phase path (`;`-joined, innermost last),
+/// or `"none"` outside any phase.
+pub fn current_phase() -> String {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        if stack.is_empty() {
+            return "none".to_string();
+        }
+        let names: Vec<&str> = stack.iter().map(|f| f.def.name).collect();
+        names.join(";")
+    })
+}
+
+// ------------------------------------------------------- collapsed stacks
+
+fn collapsed_map() -> &'static Mutex<BTreeMap<String, u64>> {
+    static MAP: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Fold per-builtin interpreter call counts in as leaf nodes under
+/// `visit;jsengine.interp`. Leaf values are **call counts**, not micros —
+/// natives execute without their own stack frames, so counts are the
+/// finest attribution the engine offers (documented in the collapsed
+/// header the bench prints).
+pub fn fold_builtin_counts(builtins: &[(std::sync::Arc<str>, u64)]) {
+    if !profiling() || builtins.is_empty() {
+        return;
+    }
+    let reg = crate::registry();
+    for (name, count) in builtins {
+        reg.counter_by_name(&format!("prof.builtin.{name}")).add(*count);
+    }
+    if COLLAPSED.load(Ordering::Relaxed) {
+        let mut map = collapsed_map().lock().unwrap_or_else(|e| e.into_inner());
+        for (name, count) in builtins {
+            *map.entry(format!("visit;jsengine.interp;builtin.{name}")).or_insert(0) += count;
+        }
+    }
+}
+
+/// Render the collapsed-stack map as flamegraph text: one
+/// `path;to;phase value` line per entry, sorted by path.
+pub fn render_collapsed() -> String {
+    let map = collapsed_map().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::new();
+    for (path, v) in map.iter() {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// A single collapsed-stack value (tests and report code).
+pub fn collapsed_value(path: &str) -> Option<u64> {
+    collapsed_map().lock().unwrap_or_else(|e| e.into_inner()).get(path).copied()
+}
+
+// ------------------------------------------------------- flight recorder
+
+/// Ring capacity per worker thread. Sized so a forensic dump carries
+/// enough history to explain a failure without bloating dump files.
+pub const RING_CAPACITY: usize = 128;
+
+struct Ring {
+    buf: Vec<(u64, &'static str, String)>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl Ring {
+    const fn new() -> Ring {
+        Ring { buf: Vec::new(), seq: 0, dropped: 0 }
+    }
+
+    fn push(&mut self, kind: &'static str, detail: String) {
+        let entry = (self.seq, kind, detail);
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(entry);
+        } else {
+            // Overwrite the oldest slot; the counter — never the dump —
+            // absorbs the loss.
+            let idx = (self.seq % RING_CAPACITY as u64) as usize;
+            self.buf[idx] = entry;
+            self.dropped += 1;
+        }
+        self.seq += 1;
+    }
+
+    /// Entries oldest → newest.
+    fn snapshot(&self) -> Vec<(u64, &'static str, String)> {
+        let mut out = self.buf.clone();
+        out.sort_by_key(|(seq, _, _)| *seq);
+        out
+    }
+}
+
+/// Is the flight recorder armed (forensic sink installed)? Callers should
+/// gate any allocation for [`ring_record`] details on this.
+#[inline]
+pub fn recorder_armed() -> bool {
+    FORENSIC_ARMED.load(Ordering::Relaxed)
+}
+
+/// Record a breadcrumb into this worker's ring. No-op (post-check) when
+/// the recorder is unarmed — but gate the `detail` allocation on
+/// [`recorder_armed`] at the call site.
+pub fn ring_record(kind: &'static str, detail: String) {
+    if recorder_armed() {
+        ring_push(kind, detail);
+    }
+}
+
+fn ring_push(kind: &'static str, detail: String) {
+    RING.with(|r| r.borrow_mut().push(kind, detail));
+}
+
+/// Feed an emitted journal event into the ring (called by [`crate::emit`]
+/// whether or not tracing is live).
+pub(crate) fn ring_event(ev: &Event) {
+    if !recorder_armed() {
+        return;
+    }
+    let mut detail = String::new();
+    for (i, (key, val)) in ev.attrs.iter().enumerate() {
+        if i > 0 {
+            detail.push(' ');
+        }
+        detail.push_str(key);
+        detail.push('=');
+        match val {
+            AttrVal::U(v) => detail.push_str(&v.to_string()),
+            AttrVal::I(v) => detail.push_str(&v.to_string()),
+            AttrVal::S(s) => detail.push_str(s),
+        }
+    }
+    ring_push(ev.ev, detail);
+}
+
+fn worker_id() -> u64 {
+    WORKER_ID.with(|w| {
+        if w.get() == u64::MAX {
+            w.set(NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed));
+        }
+        w.get()
+    })
+}
+
+fn wall_ms() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+// --------------------------------------------------------- forensic sink
+
+fn sink() -> &'static Mutex<Option<(PathBuf, File)>> {
+    static SINK: OnceLock<Mutex<Option<(PathBuf, File)>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or remove, with `None`) the forensic dump sink. Installing a
+/// sink arms the flight recorder and — because a dump without phase
+/// attribution is blind — arms the phase profiler too if it was off.
+/// Dumps append; pass a fresh path per run for per-run files.
+pub fn set_forensic_path(path: Option<&Path>) -> std::io::Result<()> {
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    match path {
+        Some(p) => {
+            let file = OpenOptions::new().create(true).append(true).open(p)?;
+            *guard = Some((p.to_path_buf(), file));
+            FORENSIC_ARMED.store(true, Ordering::Relaxed);
+            PROF.store(true, Ordering::Relaxed);
+        }
+        None => {
+            *guard = None;
+            FORENSIC_ARMED.store(false, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}
+
+/// The installed forensic sink path, if any.
+pub fn forensic_path() -> Option<PathBuf> {
+    sink().lock().unwrap_or_else(|e| e.into_inner()).as_ref().map(|(p, _)| p.clone())
+}
+
+/// Dump this worker's flight-recorder state as one forensic record: a flat
+/// `{"rec":"forensic",...}` header line naming the trigger and the
+/// in-flight phase stack, followed by one `{"rec":"forensic_ring",...}`
+/// line per buffered event (oldest first). Every line is flat JSON —
+/// `validate::validate_forensic` checks the schema. Safe to call during a
+/// panic unwind (the chaos injector dumps *before* it dies); a poisoned
+/// sink lock is recovered, so a panic dump is never lost.
+pub fn dump_forensic(trigger: &str, attrs: &[(&str, String)]) {
+    if !recorder_armed() {
+        return;
+    }
+    crate::add("prof.forensic.dumps", 1);
+    let id = NEXT_DUMP_ID.fetch_add(1, Ordering::Relaxed) + 1;
+    let phase = current_phase();
+    let depth = STACK.with(|s| s.borrow().len());
+    let (ring, dropped) = RING.with(|r| {
+        let r = r.borrow();
+        (r.snapshot(), r.dropped)
+    });
+
+    let mut out = String::with_capacity(256 + ring.len() * 96);
+    {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"rec\":\"forensic\",\"id\":{id},\"wall_ms\":{},\"worker\":{},\"trigger\":",
+            wall_ms(),
+            worker_id(),
+        );
+        push_json_string(&mut out, trigger);
+        out.push_str(",\"phase\":");
+        push_json_string(&mut out, &phase);
+        let _ = write!(out, ",\"depth\":{depth},\"dropped\":{dropped},\"ring_len\":{}", ring.len());
+        for (key, val) in attrs {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            push_json_string(&mut out, val);
+        }
+        out.push_str("}\n");
+        for (seq, kind, detail) in &ring {
+            let _ = write!(out, "{{\"rec\":\"forensic_ring\",\"id\":{id},\"seq\":{seq},\"kind\":");
+            push_json_string(&mut out, kind);
+            out.push_str(",\"detail\":");
+            push_json_string(&mut out, detail);
+            out.push_str("}\n");
+        }
+    }
+
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, file)) = guard.as_mut() {
+        let _ = file.write_all(out.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TEST_LOCK;
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tmp_file(name: &str) -> PathBuf {
+        let p = std::env::temp_dir()
+            .join(format!("gullible-prof-{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn guards_are_inert_when_off() {
+        let _g = locked();
+        crate::reset();
+        {
+            let _p = enter(&VISIT);
+            assert_eq!(current_phase(), "none");
+        }
+        assert!(crate::registry().snapshot().histograms.is_empty());
+        crate::reset();
+    }
+
+    #[test]
+    fn nested_phases_attribute_self_time_and_paths() {
+        let _g = locked();
+        crate::reset();
+        crate::set_stats(true);
+        set_mode(Mode::Collapsed);
+        {
+            let _v = enter(&VISIT);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _j = enter(&JS_INTERP);
+                assert_eq!(current_phase(), "visit;jsengine.interp");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = crate::registry().snapshot();
+        let visit = snap.histograms.get("prof.visit_us").expect("visit histogram");
+        let interp = snap.histograms.get("prof.jsengine.interp_us").expect("interp histogram");
+        assert_eq!(visit.count, 1);
+        assert_eq!(interp.count, 1);
+        // Parent self time excludes the child's total.
+        let visit_self = snap.counter("prof.self.visit");
+        let interp_self = snap.counter("prof.self.jsengine.interp");
+        assert!(visit_self < visit.sum, "self {visit_self} must exclude child of {}", visit.sum);
+        assert!(interp_self > 0);
+        assert!(collapsed_value("visit").is_some());
+        assert!(collapsed_value("visit;jsengine.interp").is_some());
+        let rendered = render_collapsed();
+        assert!(rendered.contains("visit;jsengine.interp "), "{rendered}");
+        crate::reset();
+    }
+
+    #[test]
+    fn prof_metrics_never_reach_the_digest() {
+        let _g = locked();
+        crate::reset();
+        crate::set_stats(true);
+        let before = crate::registry().snapshot().digest();
+        set_mode(Mode::On);
+        {
+            let _v = enter(&VISIT);
+            let _d = enter(&DETECT_STATIC);
+        }
+        fold_builtin_counts(&[(std::sync::Arc::from("getTime"), 3)]);
+        let snap = crate::registry().snapshot();
+        assert_eq!(snap.digest(), before, "prof.* must be digest-invisible");
+        assert!(snap.render().contains("prof."), "but still rendered:\n{}", snap.render());
+        assert_eq!(snap.counter("prof.builtin.getTime"), 3);
+        crate::reset();
+    }
+
+    #[test]
+    fn ring_wraparound_accounts_for_drops_and_keeps_the_dump() {
+        let _g = locked();
+        crate::reset();
+        let path = tmp_file("ring");
+        set_forensic_path(Some(&path)).expect("sink");
+        assert!(profiling(), "arming forensics must arm the profiler");
+        let extra = 50;
+        for i in 0..RING_CAPACITY + extra {
+            ring_record("tick", format!("event {i}"));
+        }
+        {
+            let _v = enter(&VISIT);
+            dump_forensic("panic", &[("msg", "boom".to_string())]);
+        }
+        let text = std::fs::read_to_string(&path).expect("dump file");
+        let summary = crate::validate::validate_forensic(&text).expect("parseable dump");
+        assert_eq!(summary.dumps, 1);
+        // The visit phase-enter breadcrumb also landed in the ring.
+        assert_eq!(summary.ring_events, RING_CAPACITY);
+        assert_eq!(summary.triggers[0].0, "panic");
+        assert_eq!(summary.triggers[0].1, "visit");
+        // Oldest events were overwritten, newest survived, drops counted.
+        assert!(text.contains(&format!("\"dropped\":{}", extra + 1)), "{text}");
+        assert!(!text.contains("event 0\""), "oldest event must be gone");
+        assert!(text.contains(&format!("event {}", RING_CAPACITY + extra - 1)));
+        let _ = std::fs::remove_file(&path);
+        crate::reset();
+    }
+
+    #[test]
+    fn emitted_events_feed_the_ring() {
+        let _g = locked();
+        crate::reset();
+        let path = tmp_file("emit");
+        set_forensic_path(Some(&path)).expect("sink");
+        crate::emit(Event::new(0, "fault").attr("reason", "hang").attr("attempt", 2u32));
+        dump_forensic("visit_failed", &[]);
+        let text = std::fs::read_to_string(&path).expect("dump file");
+        assert!(text.contains(r#""kind":"fault""#), "{text}");
+        assert!(text.contains(r#""detail":"reason=hang attempt=2""#), "{text}");
+        let _ = std::fs::remove_file(&path);
+        crate::reset();
+    }
+
+    #[test]
+    fn reset_disarms_everything() {
+        let _g = locked();
+        crate::reset();
+        let path = tmp_file("reset");
+        set_forensic_path(Some(&path)).expect("sink");
+        set_mode(Mode::Collapsed);
+        set_slow_visit_us(123);
+        crate::reset();
+        assert!(!profiling());
+        assert!(!recorder_armed());
+        assert_eq!(slow_visit_us(), 0);
+        assert!(forensic_path().is_none());
+        assert!(render_collapsed().is_empty());
+        dump_forensic("ignored", &[]);
+        assert_eq!(std::fs::read_to_string(&path).unwrap_or_default(), "");
+        let _ = std::fs::remove_file(&path);
+    }
+}

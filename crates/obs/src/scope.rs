@@ -351,6 +351,47 @@ mod tests {
     }
 
     #[test]
+    fn nested_prof_phases_keep_scope_deltas_deterministic() {
+        // A visit scope captured while the phase profiler runs nested
+        // guards must hold exactly the deterministic metrics: the prof.*
+        // wall-clock counters/histograms the guards emit are excluded from
+        // the encoded delta, while instrument counters recorded inside the
+        // innermost phase still land in the delta.
+        let _g = crate::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::set_stats(true);
+        crate::prof::set_mode(crate::prof::Mode::On);
+        set_scope_metrics(true);
+        begin_scope();
+        {
+            let _visit = crate::prof::enter(&crate::prof::VISIT);
+            crate::add("records.js_calls", 4);
+            {
+                let _js = crate::prof::enter(&crate::prof::JS_INTERP);
+                crate::add("records.js_calls", 3);
+                crate::observe("jsengine.ops_per_visit", 128);
+            }
+        }
+        let m = take_scope_metrics().expect("capture on");
+        let _ = end_scope();
+        set_scope_metrics(false);
+        crate::reset();
+
+        // The raw delta saw the prof guards fire...
+        assert!(
+            m.counters.iter().any(|(n, _)| n.starts_with("prof.self.")),
+            "prof guards should have recorded raw counters: {:?}",
+            m.counters
+        );
+        // ...but the persisted encoding carries only deterministic state.
+        let enc = m.encode();
+        assert!(!enc.contains("prof."), "{enc}");
+        let dec = decode_scope_metrics(&enc).expect("decode");
+        assert!(dec.contains(&('c', "records.js_calls".to_string(), 7)), "{enc}");
+        assert!(dec.contains(&('o', "jsengine.ops_per_visit".to_string(), 128)), "{enc}");
+    }
+
+    #[test]
     fn out_of_order_close_still_balances() {
         begin_scope();
         let a = scope_span_open("outer").unwrap();

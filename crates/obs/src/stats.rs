@@ -49,6 +49,16 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
 /// Render the human `[stats]` summary from a registry: wall-clock phase
 /// timings with per-phase event rates, retry/restart rates derived from the
 /// supervisor counters, per-instrument record counts, and the remaining
@@ -110,6 +120,50 @@ pub fn render_summary(reg: &Registry) -> String {
         }
     }
 
+    // Phase profile: where a visit's wall clock went, from the prof.*
+    // self-time counters and per-phase histograms (digest-excluded).
+    let visit_total = snap.histograms.get("prof.visit_us").map(|h| h.sum);
+    let prof_selves: Vec<(&String, &u64)> =
+        snap.counters.iter().filter(|(k, _)| k.starts_with("prof.self.")).collect();
+    if !prof_selves.is_empty() {
+        out.push_str("[stats] phase profile (wall clock, digest-excluded)\n");
+        for (k, self_us) in prof_selves {
+            let name = &k["prof.self.".len()..];
+            let hist = snap.histograms.get(&format!("prof.{name}_us"));
+            let (count, p50, p99) = hist
+                .map(|h| (h.count, h.quantile(0.50), h.quantile(0.99)))
+                .unwrap_or_default();
+            let share = visit_total
+                .filter(|t| *t > 0)
+                .map(|t| format!("{:>5.1}%", *self_us as f64 * 100.0 / t as f64))
+                .unwrap_or_else(|| "     -".to_string());
+            let _ = writeln!(
+                out,
+                "  {name:<20} n={count:<8} p50={:<9} p99={:<9} self={:<10} {share}",
+                fmt_us(p50),
+                fmt_us(p99),
+                fmt_us(*self_us),
+            );
+        }
+    }
+
+    // Latency quantiles for every `*_us` histogram, via
+    // `HistogramSnapshot::quantile` (bucket midpoints).
+    let latency: Vec<_> = snap.histograms.iter().filter(|(k, _)| k.ends_with("_us")).collect();
+    if !latency.is_empty() {
+        out.push_str("[stats] latency quantiles\n");
+        for (name, h) in latency {
+            let _ = writeln!(
+                out,
+                "  {name:<28} n={:<8} p50={:<9} p90={:<9} p99={}",
+                h.count,
+                fmt_us(h.quantile(0.50)),
+                fmt_us(h.quantile(0.90)),
+                fmt_us(h.quantile(0.99)),
+            );
+        }
+    }
+
     out.push_str("[stats] metrics\n");
     for line in snap.render().lines() {
         let _ = writeln!(out, "  {line}");
@@ -141,6 +195,23 @@ mod tests {
         assert!(f.starts_with("[provenance] bin=table05 seed=42 config=000000000000abcd"));
         assert!(f.contains("telemetry="));
         assert!(f.ends_with("coverage=\"100/100 sites\""));
+    }
+
+    #[test]
+    fn summary_renders_phase_profile_and_quantiles() {
+        let reg = Registry::new();
+        reg.observe("prof.visit_us", 1_000);
+        reg.add("prof.self.visit", 700);
+        reg.observe("prof.jsengine.interp_us", 300);
+        reg.add("prof.self.jsengine.interp", 300);
+        reg.observe("sched.visit_wall_us", 1_200);
+        let s = render_summary(&reg);
+        assert!(s.contains("[stats] phase profile"), "{s}");
+        assert!(s.contains("jsengine.interp"), "{s}");
+        assert!(s.contains("[stats] latency quantiles"), "{s}");
+        assert!(s.contains("sched.visit_wall_us"), "{s}");
+        assert!(s.contains("p90="), "{s}");
+        assert!(s.contains("%"), "phase shares must render: {s}");
     }
 
     #[test]

@@ -268,6 +268,110 @@ pub fn validate_journal(contents: &str) -> Result<ValidateSummary, String> {
     Ok(ValidateSummary { lines, scopes: scopes.len(), spans })
 }
 
+/// Summary of a validated forensic dump file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForensicSummary {
+    /// Forensic header records.
+    pub dumps: usize,
+    /// Ring entries across all dumps.
+    pub ring_events: usize,
+    /// `(trigger, phase)` per dump, in file order.
+    pub triggers: Vec<(String, String)>,
+}
+
+/// Validate a flight-recorder forensic dump file (`prof::dump_forensic`
+/// output): every line is flat JSON; each `rec:"forensic"` header carries a
+/// non-empty trigger and in-flight phase plus drop accounting; each header
+/// is followed by exactly `ring_len` `rec:"forensic_ring"` lines with the
+/// same dump id and strictly increasing sequence numbers.
+pub fn validate_forensic(contents: &str) -> Result<ForensicSummary, String> {
+    let mut summary = ForensicSummary::default();
+    // (dump id, ring lines still expected, last seq seen)
+    let mut open: Option<(i64, i64, Option<i64>)> = None;
+
+    for (i, raw) in contents.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(raw).map_err(|e| format!("line {lineno}: {e}"))?;
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let rec = get("rec")
+            .and_then(Val::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string 'rec'"))?;
+
+        match rec {
+            "forensic" => {
+                if let Some((id, want, _)) = open {
+                    return Err(format!(
+                        "line {lineno}: dump {id} still expects {want} ring line(s)"
+                    ));
+                }
+                let id = get("id")
+                    .and_then(Val::as_num)
+                    .ok_or_else(|| format!("line {lineno}: forensic missing numeric 'id'"))?;
+                let trigger = get("trigger")
+                    .and_then(Val::as_str)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| format!("line {lineno}: forensic missing 'trigger'"))?;
+                let phase = get("phase")
+                    .and_then(Val::as_str)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| format!("line {lineno}: forensic missing 'phase'"))?;
+                for key in ["wall_ms", "worker", "depth", "dropped"] {
+                    get(key)
+                        .and_then(Val::as_num)
+                        .ok_or_else(|| format!("line {lineno}: forensic missing numeric '{key}'"))?;
+                }
+                let ring_len = get("ring_len")
+                    .and_then(Val::as_num)
+                    .ok_or_else(|| format!("line {lineno}: forensic missing numeric 'ring_len'"))?;
+                summary.dumps += 1;
+                summary.triggers.push((trigger.to_string(), phase.to_string()));
+                if ring_len > 0 {
+                    open = Some((id, ring_len, None));
+                }
+            }
+            "forensic_ring" => {
+                let Some((id, want, last_seq)) = open else {
+                    return Err(format!("line {lineno}: ring line outside a dump"));
+                };
+                let line_id = get("id")
+                    .and_then(Val::as_num)
+                    .ok_or_else(|| format!("line {lineno}: ring missing numeric 'id'"))?;
+                if line_id != id {
+                    return Err(format!(
+                        "line {lineno}: ring line for dump {line_id} inside dump {id}"
+                    ));
+                }
+                let seq = get("seq")
+                    .and_then(Val::as_num)
+                    .ok_or_else(|| format!("line {lineno}: ring missing numeric 'seq'"))?;
+                if let Some(last) = last_seq {
+                    if seq <= last {
+                        return Err(format!(
+                            "line {lineno}: ring seq {seq} not after {last} in dump {id}"
+                        ));
+                    }
+                }
+                get("kind")
+                    .and_then(Val::as_str)
+                    .ok_or_else(|| format!("line {lineno}: ring missing string 'kind'"))?;
+                get("detail")
+                    .and_then(Val::as_str)
+                    .ok_or_else(|| format!("line {lineno}: ring missing string 'detail'"))?;
+                summary.ring_events += 1;
+                open = (want > 1).then_some((id, want - 1, Some(seq)));
+            }
+            other => return Err(format!("line {lineno}: unknown record kind '{other}'")),
+        }
+    }
+    if let Some((id, want, _)) = open {
+        return Err(format!("file ends with dump {id} expecting {want} more ring line(s)"));
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,5 +453,65 @@ mod tests {
             r#"{"t":0,"scope":"visit:1","ev":"b"}"#
         );
         assert!(validate_journal(text).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod forensic_tests {
+    use super::*;
+
+    fn header(id: u64, ring_len: u64) -> String {
+        format!(
+            concat!(
+                r#"{{"rec":"forensic","id":{},"wall_ms":12,"worker":0,"#,
+                r#""trigger":"chaos_kill","phase":"visit;archive.flush","#,
+                r#""depth":2,"dropped":0,"ring_len":{}}}"#
+            ),
+            id, ring_len
+        )
+    }
+
+    fn ring(id: u64, seq: u64) -> String {
+        format!(
+            r#"{{"rec":"forensic_ring","id":{id},"seq":{seq},"kind":"page","detail":"u{seq}"}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_well_formed_dumps() {
+        let text = format!("{}\n{}\n{}\n{}\n", header(1, 2), ring(1, 5), ring(1, 9), header(2, 0));
+        let s = validate_forensic(&text).unwrap();
+        assert_eq!(s.dumps, 2);
+        assert_eq!(s.ring_events, 2);
+        assert_eq!(s.triggers[0], ("chaos_kill".to_string(), "visit;archive.flush".to_string()));
+    }
+
+    #[test]
+    fn rejects_short_ring() {
+        let text = format!("{}\n{}\n", header(1, 2), ring(1, 5));
+        let err = validate_forensic(&text).unwrap_err();
+        assert!(err.contains("expecting 1 more"), "{err}");
+        // A new header before the ring finishes is also a hole.
+        let text = format!("{}\n{}\n{}\n", header(1, 2), ring(1, 5), header(2, 0));
+        assert!(validate_forensic(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_or_orphan_ring_lines() {
+        let text = format!("{}\n{}\n{}\n", header(1, 2), ring(1, 9), ring(1, 5));
+        let err = validate_forensic(&text).unwrap_err();
+        assert!(err.contains("not after"), "{err}");
+        assert!(validate_forensic(&ring(1, 0)).unwrap_err().contains("outside a dump"));
+        let text = format!("{}\n{}\n", header(1, 1), ring(7, 0));
+        assert!(validate_forensic(&text).unwrap_err().contains("inside dump"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let text = r#"{"rec":"forensic","id":1,"wall_ms":0,"worker":0,"trigger":"","phase":"p","depth":0,"dropped":0,"ring_len":0}"#;
+        assert!(validate_forensic(text).unwrap_err().contains("trigger"));
+        let text = r#"{"rec":"forensic","id":1,"trigger":"t","phase":"p"}"#;
+        assert!(validate_forensic(text).is_err());
+        assert!(validate_forensic(r#"{"rec":"mystery"}"#).unwrap_err().contains("unknown record"));
     }
 }

@@ -341,6 +341,12 @@ impl CrashInjector {
     /// (full or partial writes) *before* calling.
     pub fn die(&self) -> ! {
         self.tripped.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Dump the flight recorder before unwinding: the forensic record
+        // names the in-flight phase so every injected crash is explainable.
+        obs::prof::dump_forensic(
+            "chaos_kill",
+            &[("kill", self.plan.kill.class_name().to_string())],
+        );
         panic!("{CRASH_SENTINEL} ({})", self.plan.kill.class_name());
     }
 }

@@ -257,7 +257,11 @@ where
                             Some(c) => c,
                             None => {
                                 // Thief side: raid the busiest victim.
-                                match steal_from_busiest(ranges, w) {
+                                let stolen = {
+                                    let _sp = obs::prof::enter(&obs::prof::SCHED_STEAL);
+                                    steal_from_busiest(ranges, w)
+                                };
+                                match stolen {
                                     Some((lo, hi)) => {
                                         stats.steals += 1;
                                         // Keep the first item; park the rest
@@ -274,7 +278,10 @@ where
                                         // stolen work privately; spin until
                                         // it surfaces or the run drains.
                                         stats.idle_spins += 1;
-                                        std::thread::yield_now();
+                                        {
+                                            let _sp = obs::prof::enter(&obs::prof::SCHED_IDLE);
+                                            std::thread::yield_now();
+                                        }
                                         continue 'work;
                                     }
                                 }
@@ -288,24 +295,42 @@ where
                             // SAFETY: `i` came from our claim CAS above.
                             let item = unsafe { slots.take(i as usize) };
                             let t0 = obs::enabled().then(std::time::Instant::now);
+                            // The VISIT guard lives outside the closure so a
+                            // panicking step still leaves it on the phase
+                            // stack when the forensic dump fires below.
+                            let visit_guard = obs::prof::enter(&obs::prof::VISIT);
                             match catch_unwind(AssertUnwindSafe(|| step(&mut state, i as usize, item))) {
                                 Ok(r) => {
                                     if let Some(t0) = t0 {
-                                        obs::observe(
-                                            "sched.visit_wall_us",
-                                            t0.elapsed().as_micros() as u64,
-                                        );
+                                        let us = t0.elapsed().as_micros() as u64;
+                                        obs::observe("sched.visit_wall_us", us);
+                                        let slow = obs::prof::slow_visit_us();
+                                        if slow > 0 && us >= slow {
+                                            obs::prof::dump_forensic(
+                                                "slow_visit",
+                                                &[
+                                                    ("item", i.to_string()),
+                                                    ("wall_us", us.to_string()),
+                                                ],
+                                            );
+                                        }
                                     }
+                                    drop(visit_guard);
                                     obs::add("manager.items", 1);
                                     out.push((i as usize, r));
                                     remaining.fetch_sub(1, Ordering::AcqRel);
                                 }
                                 Err(payload) => {
+                                    let msg = panic_message(payload.as_ref());
+                                    obs::prof::dump_forensic(
+                                        "worker_panic",
+                                        &[("item", i.to_string()), ("panic", msg.clone())],
+                                    );
+                                    drop(visit_guard);
                                     obs::add("manager.panics", 1);
                                     let mut slot = first_panic.lock().unwrap();
                                     if slot.is_none() {
-                                        *slot =
-                                            Some((Some(i as usize), panic_message(payload.as_ref())));
+                                        *slot = Some((Some(i as usize), msg));
                                     }
                                     abort.store(true, Ordering::Relaxed);
                                     break 'work;

@@ -517,13 +517,29 @@ where
                                     .attr("reason", reason.as_str())
                                     .attr("attempt", attempts),
                             );
+                            obs::prof::dump_forensic(
+                                "visit_error",
+                                &[
+                                    ("item", i.to_string()),
+                                    ("reason", reason.as_str().to_string()),
+                                    ("attempt", attempts.to_string()),
+                                ],
+                            );
                             reason
                         }
                         Err(payload) => {
                             // Keep the cause visible even though the crawl
                             // survives it.
-                            let _ = panic_message(payload.as_ref());
+                            let msg = panic_message(payload.as_ref());
                             obs::emit(Event::new(0, "visit_panic").attr("attempt", attempts));
+                            obs::prof::dump_forensic(
+                                "visit_panic",
+                                &[
+                                    ("item", i.to_string()),
+                                    ("panic", msg),
+                                    ("attempt", attempts.to_string()),
+                                ],
+                            );
                             *state = init(*worker);
                             restarts += 1;
                             obs::add("supervisor.restarts", 1);
@@ -534,6 +550,14 @@ where
                 };
                 drop(attempt_span);
                 if attempts >= cfg.retry.max_attempts {
+                    obs::prof::dump_forensic(
+                        "visit_failed",
+                        &[
+                            ("item", i.to_string()),
+                            ("reason", failure.as_str().to_string()),
+                            ("attempts", attempts.to_string()),
+                        ],
+                    );
                     break VisitOutcome::Failed { reason: failure, attempts };
                 }
                 let backoff = cfg.retry.backoff_ms(attempts);

@@ -326,7 +326,10 @@ impl Browser {
         for script in &spec.scripts {
             let ran = jsengine::compile_cached(&script.source, &script.url)
                 .map_err(|_| ())
-                .and_then(|cs| page.run_script(&cs).map_err(|_| ()));
+                .and_then(|cs| {
+                    let _ph = obs::prof::enter(&obs::prof::JS_INTERP);
+                    page.run_script(&cs).map_err(|_| ())
+                });
             if ran.is_err() {
                 stats.script_errors += 1;
             }
@@ -409,6 +412,7 @@ impl Browser {
             after.report_delta(&before);
         }
         if let Some(profile) = page.take_profile() {
+            obs::prof::fold_builtin_counts(&profile.builtins);
             obs::observe("jsengine.ops_per_visit", profile.ops);
             obs::observe("jsengine.calls_per_visit", profile.calls);
             obs::observe("jsengine.max_call_depth", profile.max_depth as u64);

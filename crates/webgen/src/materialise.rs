@@ -49,6 +49,7 @@ pub enum PageKind {
 
 /// Build the visit spec for one page of the site.
 pub fn visit_spec(plan: &SitePlan, page: PageKind) -> VisitSpec {
+    let _ph = obs::prof::enter(&obs::prof::WEBGEN_MATERIALISE);
     let url = match page {
         PageKind::Front => plan.front_url(),
         PageKind::Subpage(i) => plan.subpage_url(i),

@@ -228,6 +228,68 @@ fn every_kill_class_recovers() {
     }
 }
 
+/// Every injected crash must leave an *explainable* trace: with the
+/// flight recorder armed, each kill class writes a parseable forensic
+/// dump naming the in-flight phase (all three classes die inside the
+/// record flush, nested under the visit) — and the armed recorder must
+/// not perturb the resumed run's bytes.
+#[test]
+fn chaos_kills_leave_explainable_forensics() {
+    let _g = lock();
+    let n = 80u32;
+    let cfg = chaos_cfg(n, 21, 4);
+    let ref_dir = tmp_dir("forensic-ref");
+    fresh_registry();
+    let reference = Scan::new(cfg).stream_to(&ref_dir).run().expect("reference");
+    let ref_fp = fingerprint(&reference, &ref_dir);
+
+    let kills = [
+        KillPoint::AfterVisit(9),
+        KillPoint::MidCheckpointLine(7, 14),
+        KillPoint::MidBundleAppend(11, 6),
+    ];
+    for (i, kill) in kills.into_iter().enumerate() {
+        let dir = tmp_dir(&format!("forensic-{i}"));
+        let dumps = std::env::temp_dir()
+            .join(format!("gullible-chaos-forensics-{i}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&dumps);
+
+        // `fresh_registry` resets obs (disarming the recorder), so re-arm
+        // after it — exactly what a crash-investigation run would do.
+        fresh_registry();
+        gullible::obs::prof::set_forensic_path(Some(&dumps)).expect("arm flight recorder");
+        let crashed =
+            catch_crash(|| Scan::new(cfg).stream_to(&dir).inject_crash(CrashPlan::new(kill)).run());
+        assert!(crashed.is_none(), "kill {kill:?} must crash");
+
+        let text = std::fs::read_to_string(&dumps).expect("crash must leave a forensic dump");
+        let summary = gullible::obs::validate::validate_forensic(&text)
+            .unwrap_or_else(|e| panic!("kill {kill:?}: unparseable forensic dump: {e}"));
+        assert!(summary.dumps >= 1, "kill {kill:?}: no forensic dumps");
+        let chaos_dump = summary
+            .triggers
+            .iter()
+            .find(|(t, _)| t == "chaos_kill")
+            .unwrap_or_else(|| panic!("kill {kill:?}: no chaos_kill dump in {:?}", summary.triggers));
+        assert!(
+            chaos_dump.1.contains("archive.flush"),
+            "kill {kill:?}: dump must name the in-flight phase, got {:?}",
+            chaos_dump.1
+        );
+        assert!(summary.ring_events > 0, "kill {kill:?}: empty flight-recorder ring");
+
+        // Resume with the recorder still armed: bytes must match the
+        // (recorder-off) reference exactly.
+        fresh_registry();
+        gullible::obs::prof::set_forensic_path(Some(&dumps)).expect("re-arm flight recorder");
+        let resumed = Scan::new(cfg).stream_to(&dir).run().expect("resume");
+        let fp = fingerprint(&resumed, &dir);
+        gullible::obs::reset();
+        assert_eq!(fp, ref_fp, "kill {kill:?}: armed recorder perturbed the resume");
+        let _ = std::fs::remove_file(&dumps);
+    }
+}
+
 /// A crawl can crash, resume, crash again, and still converge.
 #[test]
 fn double_crash_still_converges() {

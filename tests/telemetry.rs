@@ -6,6 +6,14 @@
 use gullible::obs;
 use gullible::scan::{Scan, ScanConfig};
 use openwpm::FaultPlan;
+use std::sync::Mutex;
+
+// Both tests drive the process-global telemetry registry; serialize.
+static OBS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One instrumented run: install a buffer journal, scan, return the
 /// journal bytes and the rendered metric snapshot, then reset the global
@@ -33,6 +41,7 @@ fn traced_scan(workers: usize) -> (String, String) {
 /// trace journals and metric snapshots, regardless of worker count.
 #[test]
 fn trace_and_metrics_are_worker_count_independent() {
+    let _g = lock();
     let (trace2, metrics2) = traced_scan(2);
     let (trace7, metrics7) = traced_scan(7);
 
@@ -56,4 +65,68 @@ fn trace_and_metrics_are_worker_count_independent() {
     let summary = obs::validate::validate_journal(&trace2).expect("journal validates");
     assert!(summary.lines > 400, "expected per-visit events, got {} lines", summary.lines);
     assert!(summary.spans > 0);
+}
+
+/// One run for the profiler-invisibility check: trace bytes, deterministic
+/// metric render, telemetry digest, and fingerprints of the per-site
+/// records and the paper tables.
+fn profiled_scan(profile: bool) -> (String, String, u64, u64, String, String) {
+    obs::reset();
+    let journal = obs::install_journal(obs::Journal::buffer(false));
+    let dumps = std::env::temp_dir()
+        .join(format!("gullible-telemetry-prof-{}.jsonl", std::process::id()));
+    if profile {
+        obs::prof::set_mode(obs::prof::Mode::Collapsed);
+        // Threshold of 1 µs: practically every visit dumps a forensic
+        // record — the worst case for interference.
+        obs::prof::set_slow_visit_us(1);
+        let _ = std::fs::remove_file(&dumps);
+        obs::prof::set_forensic_path(Some(&dumps)).expect("arm flight recorder");
+    }
+    let cfg = ScanConfig {
+        workers: 3,
+        faults: FaultPlan::adversarial(7),
+        ..ScanConfig::new(150, 42)
+    };
+    let report = Scan::new(cfg).run().expect("scan");
+    journal.flush();
+    let trace = journal.buffer_contents().expect("buffer journal");
+    let snap = obs::registry().snapshot();
+    let out = (
+        trace,
+        snap.render_deterministic(),
+        snap.digest(),
+        obs::fnv1a(format!("{:?}", report.sites).as_bytes()),
+        format!("{:?}", report.table5()),
+        format!("{:?}", report.history),
+    );
+    if profile {
+        // The profiler itself must have seen the run (the comparison would
+        // be vacuous otherwise) and left parseable forensics behind.
+        assert!(snap.counter("prof.self.visit") > 0, "profiler armed but recorded nothing");
+        let text = std::fs::read_to_string(&dumps).expect("forensic dumps");
+        let summary = obs::validate::validate_forensic(&text).expect("parseable forensics");
+        assert!(summary.dumps > 0, "slow-visit threshold of 1µs must dump");
+        let _ = std::fs::remove_file(&dumps);
+    }
+    obs::take_journal();
+    obs::reset();
+    out
+}
+
+/// The profiler and flight recorder are pure observers: with both fully
+/// armed (collapsed stacks, per-visit forensic dumps) the trace journal,
+/// deterministic metrics, telemetry digest, per-site records and paper
+/// tables are byte-identical to an unprofiled run.
+#[test]
+fn profiler_is_digest_and_record_invisible() {
+    let _g = lock();
+    let off = profiled_scan(false);
+    let on = profiled_scan(true);
+    assert_eq!(off.2, on.2, "profiler perturbed the telemetry digest");
+    assert_eq!(off.1, on.1, "profiler leaked into the deterministic metric render");
+    assert_eq!(off.3, on.3, "profiler perturbed the per-site records");
+    assert_eq!(off.4, on.4, "profiler perturbed Table 5");
+    assert_eq!(off.5, on.5, "profiler perturbed the fault history");
+    assert_eq!(off.0, on.0, "profiler leaked into the trace journal");
 }
