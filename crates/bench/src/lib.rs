@@ -108,10 +108,18 @@ fn arm_compile_cache() {
     jsengine::set_cache_enabled(env::compile_cache());
 }
 
+/// Apply the execution-backend knob (`GULLIBLE_ENGINE`, the
+/// `--engine=tree|vm` flag) before any realm is built, so every
+/// interpreter the binary creates inherits it.
+fn arm_engine() {
+    jsengine::set_default_engine(env::engine());
+}
+
 /// Print the run header every binary starts with (and arm telemetry).
 pub fn banner(what: &str) {
     arm_telemetry();
     arm_compile_cache();
+    arm_engine();
     let faults = env::fault_plan();
     let weather = if faults.is_inert() {
         String::new()
@@ -123,8 +131,12 @@ pub fn banner(what: &str) {
         )
     };
     let cache = if jsengine::cache_enabled() { "" } else { ", compile cache OFF" };
+    let engine = match jsengine::default_engine() {
+        jsengine::Engine::Vm => "",
+        jsengine::Engine::Tree => ", engine tree",
+    };
     println!(
-        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}{cache}\n",
+        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}{cache}{engine}\n",
         env::sites(),
         env::seed(),
         env::workers()

@@ -674,6 +674,7 @@ pub struct Scan<'a> {
     replay_dir: Option<std::path::PathBuf>,
     stream_dir: Option<std::path::PathBuf>,
     crash: Option<CrashPlan>,
+    engine: Option<jsengine::Engine>,
     prior: Vec<Option<VisitOutcome<SiteScanRecord>>>,
     prior_attempts: Vec<u32>,
     #[allow(clippy::type_complexity)]
@@ -689,10 +690,21 @@ impl<'a> Scan<'a> {
             replay_dir: None,
             stream_dir: None,
             crash: None,
+            engine: None,
             prior: Vec::new(),
             prior_attempts: Vec::new(),
             on_complete: None,
         }
+    }
+
+    /// Select the MiniJS execution backend for this scan's realms
+    /// ([`jsengine::Engine::Vm`] by default, or whatever `GULLIBLE_ENGINE`
+    /// says). Both backends are observably identical — per-site records,
+    /// tables and the telemetry digest are byte-for-byte the same — so
+    /// this only changes how fast the interpretation phase runs.
+    pub fn engine(mut self, engine: jsengine::Engine) -> Scan<'a> {
+        self.engine = Some(engine);
+        self
     }
 
     /// Record the scan into a crawl bundle at `dir`: every served script
@@ -780,6 +792,11 @@ impl<'a> Scan<'a> {
     /// Execute the session. `Err` only for checkpoint/bundle I/O failures
     /// or an invalid mode combination.
     pub fn run(self) -> std::io::Result<ScanReport> {
+        if let Some(engine) = self.engine {
+            // Workers build realms via `Interp::new`/`clone_realm`, which
+            // read the process default — one write here covers every mode.
+            jsengine::set_default_engine(engine);
+        }
         if self.stream_dir.is_some() {
             return self.run_stream();
         }

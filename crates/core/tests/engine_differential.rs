@@ -1,0 +1,34 @@
+//! Scan-level differential gate: a fixed-seed scan must be byte-identical
+//! under the tree-walking oracle and the bytecode VM — per-site records,
+//! crawl history, Table 5 and the deterministic telemetry digest. The
+//! expression-level property harness lives in `jsengine/tests/differential.rs`;
+//! this covers the full pipeline (instrumented host objects, fault
+//! supervision, record commit order) on top of it.
+
+use gullible::{obs, Scan, ScanConfig};
+
+fn leg(engine: jsengine::Engine, sites: u32, seed: u64) -> (gullible::ScanReport, u64) {
+    obs::reset();
+    obs::set_stats(true); // the digest covers the stats counters
+    jsengine::cache().clear();
+    let mut cfg = ScanConfig::new(sites, seed);
+    cfg.workers = 1;
+    let report = Scan::new(cfg).engine(engine).run().expect("in-memory scan cannot fail");
+    let digest = obs::registry().snapshot().digest();
+    (report, digest)
+}
+
+#[test]
+fn scan_is_byte_identical_across_engines() {
+    let (sites, seed) = (150, 42);
+    let (tree, tree_digest) = leg(jsengine::Engine::Tree, sites, seed);
+    let (vm, vm_digest) = leg(jsengine::Engine::Vm, sites, seed);
+
+    assert_eq!(tree.sites, vm.sites, "per-site records diverged");
+    assert_eq!(tree.history, vm.history, "crawl history diverged");
+    assert_eq!(tree.table5(), vm.table5(), "Table 5 diverged");
+    assert_eq!(
+        tree_digest, vm_digest,
+        "telemetry digest diverged: {tree_digest:016x} vs {vm_digest:016x}"
+    );
+}

@@ -12,6 +12,25 @@ use crate::interp::{ErrorKind, Interp};
 use crate::object::{Callable, ObjId, Property, Slot};
 use crate::value::{number_to_string, Value};
 
+/// Invoke a native function, recording the per-builtin dispatch count.
+///
+/// This is the one funnel for builtin dispatch — [`Interp::call`] routes
+/// every `Callable::Native` through here for *both* execution backends, so
+/// `GULLIBLE_PROF=collapsed` flamegraphs carry identical `builtin.<name>`
+/// leaves whether the caller was the tree-walker or the bytecode VM.
+pub(crate) fn dispatch_native(
+    interp: &mut Interp,
+    name: &Arc<str>,
+    f: &crate::interp::NativeFn,
+    this: Value,
+    args: &[Value],
+) -> Result<Value, crate::error::Thrown> {
+    if let Some(p) = &mut interp.profiler {
+        p.record_builtin(name);
+    }
+    f(interp, this, args)
+}
+
 /// Install all builtins onto the interpreter's intrinsics and global.
 pub fn install(interp: &mut Interp) {
     install_function_proto(interp);

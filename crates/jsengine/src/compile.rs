@@ -44,14 +44,22 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// An immutable, cheaply-clonable compiled script: the shared parse
-/// artifact plus the identity it was compiled under.
-#[derive(Clone, Debug)]
+/// An opaque, shared compiled-script handle: the parse artifact, the
+/// identity it was compiled under, and a lazily-populated bytecode slot.
+///
+/// Handles are passed around as `Arc<CompiledScript>` (the cache hands out
+/// one `Arc` per unique `(body, name)`), so the once-compiled
+/// [`ScriptChunk`](crate::bytecode::ScriptChunk) in [`chunk`] is shared by
+/// every worker in the process exactly like the AST is.
+#[derive(Debug)]
 pub struct CompiledScript {
     name: Arc<str>,
     body_hash: u64,
     source_len: usize,
     program: Arc<Program>,
+    /// Bytecode, compiled on first use by a VM-backend realm (tree-walker
+    /// runs never pay for it).
+    chunk: OnceLock<Arc<crate::bytecode::ScriptChunk>>,
 }
 
 impl CompiledScript {
@@ -70,21 +78,38 @@ impl CompiledScript {
         self.source_len
     }
 
+    /// The shared parsed program (the tree-walker's execution artifact).
+    pub fn ast(&self) -> &Arc<Program> {
+        &self.program
+    }
+
     /// The shared parsed program.
+    #[deprecated(note = "use `ast()` (or `chunk()` for the VM backend) on the opaque handle")]
     pub fn program(&self) -> &Arc<Program> {
         &self.program
+    }
+
+    /// The script's bytecode, compiled exactly once per handle no matter
+    /// how many realms race here (`OnceLock`); losers of the race drop
+    /// their work and share the winner's chunk.
+    pub fn chunk(&self) -> &Arc<crate::bytecode::ScriptChunk> {
+        self.chunk.get_or_init(|| {
+            let _ph = obs::prof::enter(&obs::prof::JS_COMPILE_BC);
+            Arc::new(crate::bytecode::compile_program(&self.program))
+        })
     }
 }
 
 /// Compile a script without consulting any cache.
-pub fn compile(src: &str, name: &str) -> Result<CompiledScript, EngineError> {
+pub fn compile(src: &str, name: &str) -> Result<Arc<CompiledScript>, EngineError> {
     let program = Arc::new(parse(src, name)?);
-    Ok(CompiledScript {
+    Ok(Arc::new(CompiledScript {
         name: Arc::from(name),
         body_hash: fnv1a(src.as_bytes()),
         source_len: src.len(),
         program,
-    })
+        chunk: OnceLock::new(),
+    }))
 }
 
 /// Point-in-time cache accounting (also mirrored onto the
@@ -98,10 +123,13 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-type Shard = Mutex<HashMap<(u64, u64), Arc<Program>>>;
+type Shard = Mutex<HashMap<(u64, u64), Arc<CompiledScript>>>;
 
 /// A sharded (mutex-striped) compilation cache mapping
-/// `(FNV-64(body), FNV-64(name))` to the shared parsed [`Program`].
+/// `(FNV-64(body), FNV-64(name))` to the shared [`CompiledScript`] handle.
+/// Storing the whole handle (not just the `Program`) means the lazily
+/// compiled bytecode slot is shared across workers too: the second realm to
+/// run a script under the VM backend finds the chunk already populated.
 pub struct CompileCache {
     shards: Box<[Shard]>,
     hits: AtomicU64,
@@ -129,22 +157,23 @@ impl CompileCache {
     /// outside the shard lock, so a pathological script cannot stall other
     /// workers; concurrent first compiles of the same body may both parse,
     /// but only one artifact is retained.
-    pub fn get_or_compile(&self, src: &str, name: &str) -> Result<CompiledScript, EngineError> {
+    pub fn get_or_compile(&self, src: &str, name: &str) -> Result<Arc<CompiledScript>, EngineError> {
         let key = (fnv1a(src.as_bytes()), fnv1a(name.as_bytes()));
-        if let Some(program) = self.shard(key).lock().unwrap().get(&key).cloned() {
+        if let Some(cs) = self.shard(key).lock().unwrap().get(&key).cloned() {
             let _ph = obs::prof::enter(&obs::prof::COMPILE_HIT);
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("cache.compile.hit", 1);
-            return Ok(CompiledScript {
-                name: Arc::from(name),
-                body_hash: key.0,
-                source_len: src.len(),
-                program,
-            });
+            return Ok(cs);
         }
         let _ph = obs::prof::enter(&obs::prof::COMPILE_MISS);
-        let parsed = Arc::new(parse(src, name)?);
-        let program = {
+        let parsed = Arc::new(CompiledScript {
+            name: Arc::from(name),
+            body_hash: key.0,
+            source_len: src.len(),
+            program: Arc::new(parse(src, name)?),
+            chunk: OnceLock::new(),
+        });
+        let cs = {
             let mut guard = self.shard(key).lock().unwrap();
             guard.entry(key).or_insert_with(|| parsed.clone()).clone()
         };
@@ -152,12 +181,7 @@ impl CompileCache {
         self.bytes.fetch_add(src.len() as u64, Ordering::Relaxed);
         obs::add("cache.compile.miss", 1);
         obs::add("cache.compile.bytes", src.len() as u64);
-        Ok(CompiledScript {
-            name: Arc::from(name),
-            body_hash: key.0,
-            source_len: src.len(),
-            program,
-        })
+        Ok(cs)
     }
 
     /// Number of cached unique `(body, name)` artifacts.
@@ -217,7 +241,7 @@ pub fn set_cache_shards(shards: usize) {
 }
 
 /// Compile through the global cache when enabled, directly otherwise.
-pub fn compile_cached(src: &str, name: &str) -> Result<CompiledScript, EngineError> {
+pub fn compile_cached(src: &str, name: &str) -> Result<Arc<CompiledScript>, EngineError> {
     if cache_enabled() {
         cache().get_or_compile(src, name)
     } else {
@@ -232,7 +256,7 @@ pub fn compile_cached(src: &str, name: &str) -> Result<CompiledScript, EngineErr
 #[derive(Clone)]
 pub enum ScriptSource {
     Raw { source: Arc<str>, name: Arc<str> },
-    Compiled(CompiledScript),
+    Compiled(Arc<CompiledScript>),
 }
 
 impl ScriptSource {
@@ -251,15 +275,15 @@ impl<S: Into<Arc<str>>, N: Into<Arc<str>>> From<(S, N)> for ScriptSource {
     }
 }
 
-impl From<CompiledScript> for ScriptSource {
-    fn from(cs: CompiledScript) -> ScriptSource {
+impl From<Arc<CompiledScript>> for ScriptSource {
+    fn from(cs: Arc<CompiledScript>) -> ScriptSource {
         ScriptSource::Compiled(cs)
     }
 }
 
-impl From<&CompiledScript> for ScriptSource {
-    fn from(cs: &CompiledScript) -> ScriptSource {
-        ScriptSource::Compiled(cs.clone())
+impl From<&Arc<CompiledScript>> for ScriptSource {
+    fn from(cs: &Arc<CompiledScript>) -> ScriptSource {
+        ScriptSource::Compiled(Arc::clone(cs))
     }
 }
 
@@ -280,11 +304,12 @@ mod tests {
     }
 
     #[test]
-    fn cache_hits_share_one_program() {
+    fn cache_hits_share_one_handle() {
         let cache = CompileCache::with_shards(4);
         let a = cache.get_or_compile("1 + 1", "a.js").unwrap();
         let b = cache.get_or_compile("1 + 1", "a.js").unwrap();
-        assert!(Arc::ptr_eq(a.program(), b.program()));
+        assert!(Arc::ptr_eq(&a, &b), "hits return the same opaque handle");
+        assert!(Arc::ptr_eq(a.ast(), b.ast()));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert_eq!(s.bytes, 5);
@@ -297,8 +322,30 @@ mod tests {
         let cache = CompileCache::with_shards(4);
         let a = cache.get_or_compile("function f() { return 1; } f()", "a.js").unwrap();
         let b = cache.get_or_compile("function f() { return 1; } f()", "b.js").unwrap();
-        assert!(!Arc::ptr_eq(a.program(), b.program()));
+        assert!(!Arc::ptr_eq(a.ast(), b.ast()));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn racing_realms_share_one_lazily_compiled_chunk() {
+        // Two threads hitting the cold bytecode slot of one handle must end
+        // up with the same chunk — the loser of the `OnceLock` race drops
+        // its compile and adopts the winner's.
+        let cs = compile("function f(n) { return n + 1; } f(1)", "race.js").unwrap();
+        let barrier = std::sync::Barrier::new(2);
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| {
+                barrier.wait();
+                Arc::as_ptr(cs.chunk()) as usize
+            });
+            let tb = s.spawn(|| {
+                barrier.wait();
+                Arc::as_ptr(cs.chunk()) as usize
+            });
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(a, b, "both realms must observe the same compiled chunk");
+        assert_eq!(a, Arc::as_ptr(cs.chunk()) as usize);
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub struct Intrinsics {
 }
 
 /// Statement completion.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
     Break,
@@ -109,6 +109,21 @@ pub struct Interp {
     /// capturing it at install time — which is what makes an installed
     /// realm reusable as a [`clone_realm`](Interp::clone_realm) template.
     pub host: Option<Rc<dyn std::any::Any>>,
+    /// Execution backend for script code (tree-walking oracle or bytecode
+    /// VM). Initialised from [`crate::vm::default_engine`]; hosts may flip
+    /// it per realm before running scripts.
+    pub engine: crate::vm::Engine,
+    /// Memoised function-body chunks for the VM, keyed by the address of
+    /// the pinned [`FunctionDef`] `Arc` (the entry holds the `Arc`, so the
+    /// address cannot be reused while the memo lives). Seeded from a cached
+    /// script's [`ScriptChunk`](crate::bytecode::ScriptChunk); functions
+    /// born outside one (via raw source or `eval`) compile lazily on first
+    /// call.
+    fn_chunks: std::collections::HashMap<usize, (Arc<FunctionDef>, Arc<crate::bytecode::Chunk>)>,
+    /// Spare value stacks for [`crate::vm::run_chunk`] activations, so a
+    /// VM function call does not pay a heap allocation per invocation
+    /// (recursion depth bounds the pool size).
+    pub(crate) vm_stacks: Vec<Vec<Value>>,
 }
 
 impl Default for Interp {
@@ -167,6 +182,9 @@ impl Interp {
             rng_state: 0x9E3779B97F4A7C15,
             profiler: None,
             host: None,
+            engine: crate::vm::default_engine(),
+            fn_chunks: std::collections::HashMap::new(),
+            vm_stacks: Vec::new(),
         };
         crate::builtins::install(&mut interp);
         interp
@@ -218,6 +236,11 @@ impl Interp {
             rng_state: 0x9E3779B97F4A7C15,
             profiler: None,
             host: None,
+            // Re-read at clone time, so templates built before the host
+            // picked a backend still produce pages on the current one.
+            engine: crate::vm::default_engine(),
+            fn_chunks: self.fn_chunks.clone(),
+            vm_stacks: Vec::new(),
         }
     }
 
@@ -233,13 +256,23 @@ impl Interp {
     /// Execute a pre-compiled script artifact. The shared
     /// [`Program`](crate::ast::Program) is never mutated, so one
     /// [`CompiledScript`](crate::compile::CompiledScript) can serve every
-    /// interpreter in the process.
+    /// interpreter in the process. Under the VM backend this reuses the
+    /// script's once-compiled bytecode chunk (compiling it on first use).
     pub fn eval_compiled(
         &mut self,
         compiled: &crate::compile::CompiledScript,
     ) -> Result<Value, EngineError> {
-        let program = compiled.program().clone();
-        self.eval_program(&program, compiled.name())
+        match self.engine {
+            crate::vm::Engine::Vm => {
+                let chunks = compiled.chunk().clone();
+                let program = compiled.ast().clone();
+                self.eval_program_vm(&chunks, &program, compiled.name())
+            }
+            crate::vm::Engine::Tree => {
+                let program = compiled.ast().clone();
+                self.eval_program_tree(&program, compiled.name())
+            }
+        }
     }
 
     /// Execute either form of [`ScriptSource`](crate::compile::ScriptSource):
@@ -256,7 +289,32 @@ impl Interp {
     }
 
     /// Execute an already-parsed top-level program under `script_name`.
+    ///
+    /// This is the single backend dispatch point: everything above it —
+    /// [`eval_script`](Interp::eval_script),
+    /// [`eval_source`](Interp::eval_source), `Page::run_script`, the visit
+    /// loop — is engine-agnostic, and the [`Engine`](crate::vm::Engine)
+    /// chosen here (plus the matching branch in [`Interp::call`]) decides
+    /// how statements actually execute.
     pub fn eval_program(
+        &mut self,
+        program: &crate::ast::Program,
+        script_name: &Arc<str>,
+    ) -> Result<Value, EngineError> {
+        match self.engine {
+            crate::vm::Engine::Vm => {
+                // Uncached path: compile on the spot. Cached scripts come
+                // through `eval_compiled`, which reuses the shared chunk.
+                let chunks = crate::bytecode::compile_program(program);
+                self.eval_program_vm(&chunks, program, script_name)
+            }
+            crate::vm::Engine::Tree => self.eval_program_tree(program, script_name),
+        }
+    }
+
+    /// Tree-walking backend for [`eval_program`](Interp::eval_program) —
+    /// the reference oracle the VM is held byte-identical to.
+    fn eval_program_tree(
         &mut self,
         program: &crate::ast::Program,
         script_name: &Arc<str>,
@@ -293,6 +351,55 @@ impl Interp {
             None => Ok(last),
             Some(t) => Err(self.thrown_to_error(t)),
         }
+    }
+
+    /// Bytecode backend for [`eval_program`](Interp::eval_program): same
+    /// frame, hoisting and error paths as the oracle, with the statement
+    /// walk replaced by [`crate::vm::run_chunk`].
+    fn eval_program_vm(
+        &mut self,
+        chunks: &crate::bytecode::ScriptChunk,
+        program: &crate::ast::Program,
+        script_name: &Arc<str>,
+    ) -> Result<Value, EngineError> {
+        // Seed the function-chunk memo so calls skip the lazy compile.
+        for (def, chunk) in &chunks.fns {
+            self.fn_chunks
+                .entry(Arc::as_ptr(def) as usize)
+                .or_insert_with(|| (def.clone(), chunk.clone()));
+        }
+        self.stack.push(Frame {
+            name: Arc::from("(toplevel)"),
+            script: script_name.clone(),
+            line: 1,
+        });
+        let scope = self.global_scope.clone();
+        // Hoist function declarations (identical to the oracle).
+        for stmt in &program.body {
+            if let Stmt::FunctionDecl(def) = stmt {
+                let f = self.alloc_script_fn(def.clone(), scope.clone());
+                self.define_global(def.name.clone(), Value::Obj(f));
+            }
+        }
+        let r = crate::vm::run_chunk(self, &chunks.top, &scope);
+        self.stack.pop();
+        r.map_err(|t| self.thrown_to_error(t))
+    }
+
+    /// The VM chunk for a function body: memo hit, else compile lazily
+    /// (functions defined by raw source or `eval` have no cached script to
+    /// carry their bytecode).
+    pub(crate) fn function_chunk(
+        &mut self,
+        def: &Arc<FunctionDef>,
+    ) -> Arc<crate::bytecode::Chunk> {
+        let key = Arc::as_ptr(def) as usize;
+        if let Some((_, chunk)) = self.fn_chunks.get(&key) {
+            return chunk.clone();
+        }
+        let chunk = Arc::new(crate::bytecode::compile_function(def));
+        self.fn_chunks.insert(key, (def.clone(), chunk.clone()));
+        chunk
     }
 
     /// Execute all pending jobs that are due at or before the (advanced)
@@ -676,10 +783,10 @@ impl Interp {
         }
         match callable {
             Callable::Native { name, f } => {
-                if let Some(p) = &mut self.profiler {
-                    p.record_builtin(&name);
-                }
-                f(self, this, args)
+                // The per-builtin dispatch counter lives in the shared
+                // builtins layer, so both engines record identical
+                // `builtin.<name>` leaves.
+                crate::builtins::dispatch_native(self, &name, &f, this, args)
             }
             Callable::Script { def, env } => {
                 let scope = Rc::new(RefCell::new(Scope {
@@ -711,28 +818,35 @@ impl Interp {
                     script: def.script.clone(),
                     line: def.line,
                 });
-                // Hoist inner function declarations.
+                // Hoist inner function declarations (shared by both
+                // engines, so allocation order is identical).
                 for stmt in def.body.iter() {
                     if let Stmt::FunctionDecl(d) = stmt {
                         let f = self.alloc_script_fn(d.clone(), scope.clone());
                         scope.borrow_mut().vars.insert(Atom::intern_arc(&d.name), Value::Obj(f));
                     }
                 }
-                let mut result = Ok(Value::Undefined);
-                for stmt in def.body.iter() {
-                    match self.exec_stmt(stmt, &scope) {
-                        Ok(Flow::Normal) => {}
-                        Ok(Flow::Return(v)) => {
-                            result = Ok(v);
-                            break;
-                        }
-                        Ok(Flow::Break) | Ok(Flow::Continue) => {}
-                        Err(t) => {
-                            result = Err(t);
-                            break;
+                let result = if self.engine == crate::vm::Engine::Vm {
+                    let chunk = self.function_chunk(&def);
+                    crate::vm::run_chunk(self, &chunk, &scope)
+                } else {
+                    let mut result = Ok(Value::Undefined);
+                    for stmt in def.body.iter() {
+                        match self.exec_stmt(stmt, &scope) {
+                            Ok(Flow::Normal) => {}
+                            Ok(Flow::Return(v)) => {
+                                result = Ok(v);
+                                break;
+                            }
+                            Ok(Flow::Break) | Ok(Flow::Continue) => {}
+                            Err(t) => {
+                                result = Err(t);
+                                break;
+                            }
                         }
                     }
-                }
+                    result
+                };
                 self.stack.pop();
                 result
             }
@@ -784,6 +898,26 @@ impl Interp {
         }
     }
 
+    /// Charge `n` coalesced steps (the VM batches pure-node charges into
+    /// one budget check). The fast path cannot cross the limit; when it
+    /// would, fall back to per-unit charging so the budget error fires
+    /// after exactly as many recorded steps as the tree-walker's.
+    #[inline]
+    pub(crate) fn charge_steps(&mut self, n: u32) -> Result<(), Thrown> {
+        if self.steps + n as u64 <= self.step_limit {
+            self.steps += n as u64;
+            if let Some(p) = &mut self.profiler {
+                p.record_steps(n);
+            }
+            Ok(())
+        } else {
+            for _ in 0..n {
+                self.charge_step()?;
+            }
+            Ok(())
+        }
+    }
+
     /// Reset the step budget (between page loads).
     pub fn reset_steps(&mut self) {
         self.steps = 0;
@@ -818,7 +952,7 @@ impl Interp {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt, scope: &ScopeRef) -> Result<Flow, Thrown> {
+    pub(crate) fn exec_stmt(&mut self, stmt: &Stmt, scope: &ScopeRef) -> Result<Flow, Thrown> {
         self.charge_step()?;
         match stmt {
             Stmt::Empty => Ok(Flow::Normal),
@@ -1008,7 +1142,7 @@ impl Interp {
 
     // --------------------------------------------------------- expressions
 
-    fn declare(&mut self, scope: &ScopeRef, name: Arc<str>, v: Value) {
+    pub(crate) fn declare(&mut self, scope: &ScopeRef, name: Arc<str>, v: Value) {
         if Rc::ptr_eq(scope, &self.global_scope) {
             self.define_global(name, v);
         } else {
@@ -1016,7 +1150,7 @@ impl Interp {
         }
     }
 
-    fn lookup_ident(&mut self, scope: &ScopeRef, name: &str) -> Option<Value> {
+    pub(crate) fn lookup_ident(&mut self, scope: &ScopeRef, name: &str) -> Option<Value> {
         // A never-interned name can't be bound in any scope (declaration
         // interns it), so the chain walk is skipped entirely for it.
         if let Some(atom) = Atom::lookup(name) {
@@ -1038,7 +1172,7 @@ impl Interp {
         None
     }
 
-    fn assign_ident(&mut self, scope: &ScopeRef, name: &str, v: Value) -> Result<(), Thrown> {
+    pub(crate) fn assign_ident(&mut self, scope: &ScopeRef, name: &str, v: Value) -> Result<(), Thrown> {
         if let Some(atom) = Atom::lookup(name) {
             let mut cur = Some(scope.clone());
             while let Some(s) = cur {
@@ -1059,7 +1193,82 @@ impl Interp {
         self.set_prop(&g, name, v)
     }
 
-    fn resolve_this(&self, scope: &ScopeRef) -> Value {
+    /// [`Self::lookup_ident`] with the atom pre-interned (the VM stores
+    /// atoms in its chunks), skipping the per-access string hash of
+    /// [`Atom::lookup`]. Observably identical: an interned-but-unbound
+    /// name falls through to the global object exactly like a
+    /// never-interned one.
+    #[inline]
+    pub(crate) fn lookup_ident_fast(&mut self, scope: &ScopeRef, atom: Atom, name: &str) -> Option<Value> {
+        // Immediate-scope hit (the overwhelmingly common case for function
+        // locals) without touching the Rc refcount.
+        let mut cur = {
+            let b = scope.borrow();
+            if let Some(v) = b.vars.get(&atom) {
+                return Some(v.clone());
+            }
+            b.parent.clone()
+        };
+        while let Some(s) = cur {
+            let b = s.borrow();
+            if let Some(v) = b.vars.get(&atom) {
+                return Some(v.clone());
+            }
+            cur = b.parent.clone();
+        }
+        let g = self.global;
+        let obj = self.heap.get(g);
+        if obj.props.contains(name) {
+            return self.get_from_object(g, Value::Obj(g), name).ok();
+        }
+        None
+    }
+
+    /// [`Self::assign_ident`] with the atom pre-interned; see
+    /// [`Self::lookup_ident_fast`].
+    #[inline]
+    pub(crate) fn assign_ident_fast(
+        &mut self,
+        scope: &ScopeRef,
+        atom: Atom,
+        name: &str,
+        v: Value,
+    ) -> Result<(), Thrown> {
+        let mut cur = {
+            let mut b = scope.borrow_mut();
+            if let Some(slot) = b.vars.get_mut(&atom) {
+                *slot = v;
+                return Ok(());
+            }
+            b.parent.clone()
+        };
+        while let Some(s) = cur {
+            {
+                let mut b = s.borrow_mut();
+                if let Some(slot) = b.vars.get_mut(&atom) {
+                    *slot = v;
+                    return Ok(());
+                }
+            }
+            let parent = s.borrow().parent.clone();
+            cur = parent;
+        }
+        let g = Value::Obj(self.global);
+        self.set_prop(&g, name, v)
+    }
+
+    /// [`Self::declare`] with the atom pre-interned (non-global scopes skip
+    /// re-interning; the global path still needs the name for the property
+    /// table).
+    pub(crate) fn declare_fast(&mut self, scope: &ScopeRef, atom: Atom, name: &Arc<str>, v: Value) {
+        if Rc::ptr_eq(scope, &self.global_scope) {
+            self.define_global(name.clone(), v);
+        } else {
+            scope.borrow_mut().vars.insert(atom, v);
+        }
+    }
+
+    pub(crate) fn resolve_this(&self, scope: &ScopeRef) -> Value {
         let mut cur = Some(scope.clone());
         while let Some(s) = cur {
             let b = s.borrow();
@@ -1387,7 +1596,7 @@ impl Interp {
         true
     }
 
-    fn binary_op(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, Thrown> {
+    pub(crate) fn binary_op(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, Thrown> {
         use BinOp::*;
         Ok(match op {
             Add => {

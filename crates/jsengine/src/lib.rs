@@ -24,10 +24,17 @@
 //! * `for`-`in` iteration and `Object.getOwnPropertyNames` (so template
 //!   attacks and honey-property traps behave as in the paper).
 //!
-//! The engine is deliberately a tree-walking interpreter: the workloads are
-//! page scripts of a few hundred statements, and determinism plus
-//! debuggability matter far more than throughput (the `bench` crate
-//! quantifies the cost).
+//! The engine ships two execution backends behind one [`Engine`] API: the
+//! original tree-walking interpreter (the reference oracle — maximally
+//! debuggable, semantics written down once) and a bytecode VM
+//! ([`bytecode`] + [`vm`]) that compiles each script once per
+//! [`CompiledScript`] handle and runs a flat dispatch loop over the same
+//! runtime (values, objects, builtins, error paths). The two are required
+//! to be observably identical — per-site records, step budgets, traces and
+//! telemetry digests byte-for-byte — and a differential harness enforces
+//! it; the VM exists purely because the scan's interpretation phase
+//! dominates visit wall time (the `bench` crate's `ablation_engine`
+//! quantifies the speedup).
 //!
 //! ## Quick example
 //!
@@ -45,6 +52,7 @@
 
 pub mod ast;
 pub mod atom;
+pub mod bytecode;
 pub mod compile;
 pub mod error;
 pub mod interp;
@@ -53,6 +61,7 @@ pub mod object;
 pub mod parser;
 pub mod profiler;
 pub mod value;
+pub mod vm;
 
 mod builtins;
 
@@ -60,6 +69,7 @@ pub use compile::{
     cache, cache_enabled, compile, compile_cached, set_cache_enabled, set_cache_shards,
     CacheStats, CompileCache, CompiledScript, ScriptSource,
 };
+pub use vm::{default_engine, set_default_engine, Engine};
 pub use atom::{Atom, AtomMap};
 pub use error::{EngineError, Thrown};
 pub use interp::{Frame, Interp, NativeFn, ScopeRef};

@@ -1,0 +1,17 @@
+//! Compatibility shims kept through the opaque-handle redesign.
+//!
+//! [`jsengine::CompiledScript`] used to expose its AST as `program()`;
+//! the handle is now opaque (`ast()` for the tree oracle, `chunk()` for
+//! the VM) and `program()` is deprecated. The workspace builds with
+//! `#![deny(deprecated)]`, so this file is the one place still calling
+//! it — proving the shim keeps working for downstream embedders until
+//! it is removed.
+
+#[test]
+fn deprecated_program_accessor_still_works() {
+    let cs = jsengine::compile("1 + 2", "compat.js").expect("compiles");
+    #[allow(deprecated)]
+    let program = cs.program();
+    // Same artifact behind both names.
+    assert!(std::sync::Arc::ptr_eq(program, cs.ast()));
+}

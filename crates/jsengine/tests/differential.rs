@@ -1,0 +1,265 @@
+//! Differential property tests: the bytecode VM against the tree-walking
+//! oracle.
+//!
+//! The VM backend is only admissible if it is *observably identical* to the
+//! tree-walker — same values, same thrown errors (message and kind), same
+//! side-effect order, and the same interpreter profile (`ops` equality is
+//! the strongest check: the VM coalesces step charges, so any drift in its
+//! accounting or in evaluation order shows up as an ops mismatch). These
+//! tests generate random programs from a bounded grammar and run each one
+//! under both engines in fresh realms.
+
+use jsengine::{Engine, Interp, Profile};
+use proplite::{run_cases, Rng};
+
+/// What one engine observed from one program: the completion value (or the
+/// error message), plus the full interpreter profile.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    outcome: Result<String, String>,
+    profile: Profile,
+}
+
+fn observe(engine: Engine, src: &str) -> Observation {
+    let mut it = Interp::new();
+    it.engine = engine;
+    it.enable_profiling();
+    let outcome = match it.eval_script(src, "diff.js") {
+        Ok(v) => Ok(format!("{v:?}")),
+        Err(e) => Err(e.to_string()),
+    };
+    Observation { outcome, profile: it.take_profile().expect("profiler was enabled") }
+}
+
+fn assert_engines_agree(src: &str) {
+    let tree = observe(Engine::Tree, src);
+    let vm = observe(Engine::Vm, src);
+    assert_eq!(tree, vm, "engines diverged on program:\n{src}");
+}
+
+// ------------------------------------------------------ program generator
+
+const IDENT_POOL: &[&str] = &["a", "b", "c", "d", "e"];
+
+struct Gen<'r> {
+    rng: &'r mut Rng,
+    /// Variables declared so far (generated code only references these, so
+    /// every program is closed modulo deliberate `typeof` probes).
+    vars: Vec<String>,
+    funcs: Vec<(String, usize)>,
+    out: String,
+    depth: usize,
+}
+
+impl<'r> Gen<'r> {
+    fn new(rng: &'r mut Rng) -> Gen<'r> {
+        Gen { rng, vars: Vec::new(), funcs: Vec::new(), out: String::new(), depth: 0 }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let name = format!("v{}", self.vars.len());
+        self.vars.push(name.clone());
+        name
+    }
+
+    fn var_ref(&mut self) -> String {
+        if self.vars.is_empty() {
+            return "0".to_string();
+        }
+        let i = self.rng.usize_in(0, self.vars.len());
+        self.vars[i].clone()
+    }
+
+    fn expr(&mut self) -> String {
+        self.depth += 1;
+        let leaf = self.depth > 3;
+        let pick = if leaf { self.rng.usize_in(0, 5) } else { self.rng.usize_in(0, 12) };
+        let e = match pick {
+            0 => format!("{}", self.rng.i64_in(-100, 100)),
+            1 => format!("'{}'", self.rng.string_of("abcxyz", 0, 4)),
+            2 => if self.rng.usize_in(0, 2) == 0 { "true" } else { "false" }.to_string(),
+            3 | 4 => self.var_ref(),
+            5 => {
+                let op = ["+", "-", "*", "%", "<", ">", "==", "===", "&&", "||"]
+                    [self.rng.usize_in(0, 10)];
+                format!("({} {} {})", self.expr(), op, self.expr())
+            }
+            6 => {
+                let op = ["!", "-", "typeof "][self.rng.usize_in(0, 3)];
+                format!("({}{})", op, self.expr())
+            }
+            7 => format!("({} ? {} : {})", self.expr(), self.expr(), self.expr()),
+            8 => format!("('' + {}).length", self.expr()),
+            9 => format!("Math.abs({})", self.expr()),
+            10 => {
+                if !self.funcs.is_empty() {
+                    let i = self.rng.usize_in(0, self.funcs.len());
+                    let (name, arity) = self.funcs[i].clone();
+                    let args: Vec<String> = (0..arity).map(|_| self.expr()).collect();
+                    format!("{name}({})", args.join(", "))
+                } else {
+                    self.var_ref()
+                }
+            }
+            _ => {
+                let probe = IDENT_POOL[self.rng.usize_in(0, IDENT_POOL.len())];
+                format!("(typeof {probe})")
+            }
+        };
+        self.depth -= 1;
+        e
+    }
+
+    fn stmts(&mut self, n: usize, loops_ok: bool) {
+        for _ in 0..n {
+            self.stmt(loops_ok);
+        }
+    }
+
+    fn stmt(&mut self, loops_ok: bool) {
+        match self.rng.usize_in(0, if loops_ok { 10 } else { 7 }) {
+            0 | 1 => {
+                let e = self.expr();
+                let v = self.fresh_var();
+                self.out.push_str(&format!("var {v} = {e};\n"));
+            }
+            2 => {
+                let v = self.var_ref();
+                let e = self.expr();
+                if v != "0" {
+                    let op = ["=", "+=", "-="][self.rng.usize_in(0, 3)];
+                    self.out.push_str(&format!("{v} {op} {e};\n"));
+                }
+            }
+            3 => {
+                let c = self.expr();
+                self.out.push_str(&format!("if ({c}) {{\n"));
+                self.stmts(1, false);
+                if self.rng.usize_in(0, 2) == 0 {
+                    self.out.push_str("} else {\n");
+                    self.stmts(1, false);
+                }
+                self.out.push_str("}\n");
+            }
+            4 => {
+                let e = self.expr();
+                self.out.push_str(&format!("log.push('' + ({e}));\n"));
+            }
+            5 => {
+                // A function definition plus (sometimes) an immediate call.
+                let name = format!("f{}", self.funcs.len());
+                let arity = self.rng.usize_in(0, 3);
+                let params: Vec<String> = (0..arity).map(|i| format!("p{i}")).collect();
+                let body_ret = self.expr();
+                self.out.push_str(&format!(
+                    "function {name}({}) {{ return {body_ret}; }}\n",
+                    params.join(", ")
+                ));
+                self.funcs.push((name, arity));
+            }
+            6 => {
+                // try/catch exercises the VM's oracle fallback (`TreeStmt`).
+                let thrown = self.rng.string_of("abc", 1, 3);
+                let e = self.expr();
+                let v = self.fresh_var();
+                self.out.push_str(&format!(
+                    "var {v} = 0;\ntry {{ if ({e}) {{ throw new Error('{thrown}'); }} \
+                     {v} = 1; }} catch (err) {{ {v} = err.message; }}\n"
+                ));
+            }
+            7 => {
+                let n = self.rng.usize_in(0, 6);
+                let body = self.expr();
+                let v = self.fresh_var();
+                self.out.push_str(&format!(
+                    "var {v} = 0;\nfor (var i{v} = 0; i{v} < {n}; i{v}++) \
+                     {{ {v} += ('' + ({body})).length; }}\n"
+                ));
+            }
+            8 => {
+                let v = self.fresh_var();
+                let start = self.rng.usize_in(0, 7);
+                self.out.push_str(&format!(
+                    "var {v} = {start};\nwhile ({v} > 0) {{ {v} -= 1; log.push('w' + {v}); }}\n"
+                ));
+            }
+            _ => {
+                let v = self.fresh_var();
+                let ks: Vec<String> = (0..self.rng.usize_in(1, 4))
+                    .map(|i| format!("k{i}: {}", self.expr()))
+                    .collect();
+                self.out.push_str(&format!("var {v} = {{ {} }};\n", ks.join(", ")));
+                self.out.push_str(&format!(
+                    "for (var kk in {v}) {{ log.push(kk + '=' + {v}[kk]); }}\n"
+                ));
+            }
+        }
+    }
+
+    fn program(mut self) -> String {
+        self.out.push_str("var log = [];\n");
+        let n = self.rng.usize_in(2, 9);
+        self.stmts(n, true);
+        let fin = self.expr();
+        self.out.push_str(&format!("log.join('|') + '#' + ('' + ({fin}))\n"));
+        self.out
+    }
+}
+
+// ------------------------------------------------------------- properties
+
+/// Random well-formed programs: values, side-effect order, and the exact
+/// interpreter profile must match between engines.
+#[test]
+fn random_programs_agree_across_engines() {
+    run_cases(200, 0xD1FF, |rng: &mut Rng| {
+        let src = Gen::new(rng).program();
+        assert_engines_agree(&src);
+    });
+}
+
+/// Programs that throw (unhandled) must produce identical error messages
+/// and identical profiles up to the throw point.
+#[test]
+fn throwing_programs_agree_across_engines() {
+    run_cases(100, 0xD1FE, |rng: &mut Rng| {
+        let mut g = Gen::new(rng);
+        g.out.push_str("var log = [];\n");
+        let n = g.rng.usize_in(1, 4);
+        g.stmts(n, true);
+        // Then a guaranteed failure: an undefined reference or a
+        // non-function call, both of which must throw the same error text.
+        let bad = match g.rng.usize_in(0, 3) {
+            0 => "nosuchvar + 1;\n".to_string(),
+            1 => "var nf = 1; nf();\n".to_string(),
+            _ => format!("throw new Error('{}');\n", g.rng.string_of("xyz", 1, 4)),
+        };
+        g.out.push_str(&bad);
+        let src = g.program();
+        let tree = observe(Engine::Tree, &src);
+        let vm = observe(Engine::Vm, &src);
+        assert!(tree.outcome.is_err(), "program must throw:\n{src}");
+        assert_eq!(tree, vm, "engines diverged on throwing program:\n{src}");
+    });
+}
+
+/// The step budget must exhaust after the same number of recorded steps:
+/// a program that exceeds the budget fails identically under both engines.
+#[test]
+fn budget_exhaustion_is_identical() {
+    let src = "var n = 0; while (true) { n += 1; } n";
+    let tree = observe(Engine::Tree, src);
+    let vm = observe(Engine::Vm, src);
+    assert!(tree.outcome.is_err(), "infinite loop must hit the budget");
+    assert_eq!(tree, vm, "budget exhaustion diverged");
+}
+
+/// Recursion-depth limits fire identically (frame accounting is shared).
+#[test]
+fn recursion_limit_is_identical() {
+    let src = "function r(n) { return r(n + 1); } r(0)";
+    let tree = observe(Engine::Tree, src);
+    let vm = observe(Engine::Vm, src);
+    assert!(tree.outcome.is_err(), "unbounded recursion must fail");
+    assert_eq!(tree, vm, "recursion limit diverged");
+}
