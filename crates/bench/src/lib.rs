@@ -115,11 +115,18 @@ fn arm_engine() {
     jsengine::set_default_engine(env::engine());
 }
 
+/// Apply the static-matcher knob (`GULLIBLE_MATCHER`, the
+/// `--matcher=naive|automaton` flag) before any script is classified.
+fn arm_matcher() {
+    detect::set_default_matcher(env::matcher());
+}
+
 /// Print the run header every binary starts with (and arm telemetry).
 pub fn banner(what: &str) {
     arm_telemetry();
     arm_compile_cache();
     arm_engine();
+    arm_matcher();
     let faults = env::fault_plan();
     let weather = if faults.is_inert() {
         String::new()
@@ -135,8 +142,12 @@ pub fn banner(what: &str) {
         jsengine::Engine::Vm => "",
         jsengine::Engine::Tree => ", engine tree",
     };
+    let matcher = match detect::default_matcher() {
+        detect::MatcherKind::Automaton => "",
+        detect::MatcherKind::Naive => ", matcher naive",
+    };
     println!(
-        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}{cache}{engine}\n",
+        "gullible reproduction — {what}\npopulation: {} sites, seed {}, {} workers{weather}{cache}{engine}{matcher}\n",
         env::sites(),
         env::seed(),
         env::workers()

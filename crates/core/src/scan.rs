@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use detect::{analyse, preprocess, DynamicClass, StaticPattern};
+use detect::DynamicClass;
 use netsim::url::etld1_of;
 use netsim::Url;
 use openwpm::{
@@ -255,13 +255,17 @@ fn classify_page(
     let site_etld1 = etld1_of(domain);
 
     // --- static pipeline over saved scripts ---
+    // One memoised classification per script body: the FNV-64 hash the
+    // record keeps anyway doubles as the verdict-memo key, so a body shared
+    // across subpages (or sites) is preprocessed and matched only once per
+    // process.
     let mut static_by_url: BTreeMap<&str, detect::StaticFinding> = BTreeMap::new();
     for script in &store.saved_scripts {
-        record.script_hashes.push(fnv1a(script.body.as_bytes()));
-        let finding = analyse(&script.body);
-        let pre = preprocess(&script.body);
-        let naive = StaticPattern::WebdriverLiteral.matches(&pre);
-        if naive || finding.is_detector() {
+        let body_hash = fnv1a(script.body.as_bytes());
+        record.script_hashes.push(body_hash);
+        let verdict = detect::classify_memo(&script.body, body_hash);
+        let finding = verdict.finding;
+        if verdict.naive_webdriver || finding.is_detector() {
             flags.static_identified = true;
         }
         if finding.is_detector() {

@@ -17,4 +17,8 @@ pub mod static_analysis;
 
 pub use corpus::Technique;
 pub use dynamic_analysis::{observe, DynamicClass, ScriptObservation};
-pub use static_analysis::{analyse, preprocess, StaticFinding, StaticPattern};
+pub use static_analysis::{
+    analyse, classify, classify_memo, classify_with, clear_verdict_memo, default_matcher,
+    match_preprocessed, pattern_matches, pattern_matches_with, preprocess, set_default_matcher,
+    MatcherKind, ScriptVerdict, StaticFinding, StaticPattern,
+};

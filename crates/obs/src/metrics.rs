@@ -196,8 +196,10 @@ pub struct Snapshot {
 /// chunk claims, idle spins, wall latency) depend on worker count and OS
 /// scheduling, checkpoint I/O accounting depends on whether (and where) a
 /// run was interrupted, the `crash.*` recovery counters exist only on
-/// resumed runs, and the `prof.*` phase-profiler metrics are wall-clock
-/// measurements by definition. These metrics appear in [`Snapshot::render`] and the
+/// resumed runs, the `prof.*` phase-profiler metrics are wall-clock
+/// measurements by definition, and the `match.*` static-matcher metrics
+/// include a verdict-memo hit/miss split that moves with which worker
+/// first sees a shared script body. These metrics appear in [`Snapshot::render`] and the
 /// `[stats]` summary, but are excluded from
 /// [`Snapshot::render_deterministic`] and the telemetry
 /// [`Snapshot::digest`] — the digest must be byte-identical with the
@@ -205,7 +207,7 @@ pub struct Snapshot {
 /// its archive replay, and between an uninterrupted crawl and one that
 /// crashed and resumed.
 pub const NONDETERMINISTIC_PREFIXES: &[&str] =
-    &["cache.", "archive.", "sched.", "checkpoint.", "crash.", "prof."];
+    &["cache.", "archive.", "sched.", "checkpoint.", "crash.", "prof.", "match."];
 
 impl Snapshot {
     fn render_where(&self, include: impl Fn(&str) -> bool) -> String {

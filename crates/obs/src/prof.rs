@@ -82,6 +82,18 @@ phase_def!(
 );
 phase_def!(JS_VM, "jsengine.vm", "prof.jsengine.vm_us", "prof.self.jsengine.vm");
 phase_def!(DETECT_STATIC, "detect.static", "prof.detect.static_us", "prof.self.detect.static");
+phase_def!(
+    DETECT_STATIC_BUILD,
+    "detect.static.build",
+    "prof.detect.static.build_us",
+    "prof.self.detect.static.build"
+);
+phase_def!(
+    DETECT_STATIC_SCAN,
+    "detect.static.scan",
+    "prof.detect.static.scan_us",
+    "prof.self.detect.static.scan"
+);
 phase_def!(DETECT_DYNAMIC, "detect.dynamic", "prof.detect.dynamic_us", "prof.self.detect.dynamic");
 phase_def!(ARCHIVE_ENCODE, "archive.encode", "prof.archive.encode_us", "prof.self.archive.encode");
 phase_def!(ARCHIVE_FLUSH, "archive.flush", "prof.archive.flush_us", "prof.self.archive.flush");
@@ -100,6 +112,8 @@ pub static PHASES: &[&PhaseDef] = &[
     &JS_COMPILE_BC,
     &JS_VM,
     &DETECT_STATIC,
+    &DETECT_STATIC_BUILD,
+    &DETECT_STATIC_SCAN,
     &DETECT_DYNAMIC,
     &ARCHIVE_ENCODE,
     &ARCHIVE_FLUSH,
@@ -117,6 +131,8 @@ pub static VISIT_PHASES: &[&PhaseDef] = &[
     &JS_COMPILE_BC,
     &JS_VM,
     &DETECT_STATIC,
+    &DETECT_STATIC_BUILD,
+    &DETECT_STATIC_SCAN,
     &DETECT_DYNAMIC,
     &ARCHIVE_ENCODE,
     &ARCHIVE_FLUSH,
